@@ -1,0 +1,32 @@
+# censuslink — temporal group linkage for census data (EDBT 2017 reproduction)
+
+GO ?= go
+
+.PHONY: all build test vet bench report fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every table/figure benchmark plus the micro benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full experiment report at the canonical scale.
+report:
+	$(GO) run ./cmd/benchall -scale 0.1 -seed 1871 -o experiments_scale010.txt
+
+# Short fuzzing session over the parsing/encoding surfaces.
+fuzz:
+	$(GO) test ./internal/strsim/ -fuzz FuzzEncoders -fuzztime 20s
+	$(GO) test ./internal/census/ -fuzz FuzzReadCSV -fuzztime 20s
+
+clean:
+	$(GO) clean ./...

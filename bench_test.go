@@ -1,0 +1,236 @@
+// Top-level benchmarks: one per table and figure of the paper's evaluation
+// section (each iteration regenerates the experiment on synthetic data),
+// plus end-to-end benchmarks of the pipeline's hot paths.
+//
+// The population scale defaults to 5% of the paper's size so that
+// `go test -bench=.` finishes in minutes; set CENSUSLINK_BENCH_SCALE to run
+// closer to the full Table 1 magnitudes.
+package censuslink_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"censuslink/internal/evolution"
+	"censuslink/internal/experiments"
+	"censuslink/internal/linkage"
+	"censuslink/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnvV *experiments.Env
+	benchErr  error
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("CENSUSLINK_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.05
+}
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnvV, benchErr = experiments.NewEnv(experiments.Options{
+			Scale: benchScale(), Seed: 1871,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnvV
+}
+
+// BenchmarkTable1DatasetOverview regenerates the dataset statistics table.
+func BenchmarkTable1DatasetOverview(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if env.Table1() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkTable3PreMatchingConfig regenerates the ω1/ω2 × δ_low sweep.
+func BenchmarkTable3PreMatchingConfig(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4GroupWeights regenerates the (α, β) sweep.
+func BenchmarkTable4GroupWeights(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Iterative regenerates the iterative vs one-shot comparison.
+func BenchmarkTable5Iterative(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6CollectiveBaseline regenerates the CL comparison.
+func BenchmarkTable6CollectiveBaseline(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7GraphSimBaseline regenerates the GraphSim comparison.
+func BenchmarkTable7GraphSimBaseline(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Table7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6EvolutionPatterns regenerates the per-pair pattern counts.
+func BenchmarkFigure6EvolutionPatterns(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8PreserveChains regenerates the preserve-duration counts.
+func BenchmarkTable8PreserveChains(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Table8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateSeries times the synthetic six-census generation.
+func BenchmarkGenerateSeries(b *testing.B) {
+	cfg := synth.TestConfig(benchScale(), 1871)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkPair times one full iterative linkage of a census pair (the
+// system's hot path).
+func BenchmarkLinkPair(b *testing.B) {
+	env := benchEnv(b)
+	old := env.Series.Dataset(1871)
+	new := env.Series.Dataset(1881)
+	cfg := linkage.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linkage.Link(old, new, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvolutionAnalysis times pattern derivation for one linked pair.
+func BenchmarkEvolutionAnalysis(b *testing.B) {
+	env := benchEnv(b)
+	old := env.Series.Dataset(1871)
+	new := env.Series.Dataset(1881)
+	res, err := linkage.Link(old, new, linkage.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if evolution.Analyze(old, new, res) == nil {
+			b.Fatal("nil analysis")
+		}
+	}
+}
+
+// BenchmarkLinkScaling measures the full pipeline across population scales
+// (records grow roughly linearly with scale; candidate pairs faster).
+func BenchmarkLinkScaling(b *testing.B) {
+	for _, scale := range []float64{0.02, 0.05, 0.10} {
+		scale := scale
+		b.Run(fmt.Sprintf("scale=%.2f", scale), func(b *testing.B) {
+			old, new, err := synth.GeneratePair(synth.TestConfig(scale, 1871), 1871, 1881)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := linkage.DefaultConfig()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := linkage.Link(old, new, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation table.
+func BenchmarkAblation(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Ablation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselines regenerates the record-baseline comparison (CL,
+// temporal decay, iterative subgraph).
+func BenchmarkBaselines(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Baselines(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBirthplaceExtension regenerates the stable-attribute extension.
+func BenchmarkBirthplaceExtension(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.BirthplaceExtension(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQualityByDecade regenerates the per-pair quality table.
+func BenchmarkQualityByDecade(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.QualityByPair(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command evolve runs the full evolution analysis of Section 5.4 over a
+// directory of census CSV files (census_<year>.csv, as written by
+// censusgen): it links every successive pair, counts the group evolution
+// patterns per decade (Fig. 6), reports the preserve-duration distribution
+// (Table 8) and the largest connected component of the evolution graph.
+//
+// Usage:
+//
+//	evolve -dir data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"censuslink/internal/census"
+	"censuslink/internal/evolution"
+	"censuslink/internal/linkage"
+	"censuslink/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evolve: ")
+	dir := flag.String("dir", ".", "directory containing census_<year>.csv files")
+	dot := flag.String("dot", "", "also write the evolution graph in Graphviz DOT format to this file")
+	flag.Parse()
+
+	series, err := census.ReadSeriesDir(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(series.Datasets) < 2 {
+		log.Fatalf("need at least two censuses in %s, found %d", *dir, len(series.Datasets))
+	}
+	fmt.Printf("loaded %d censuses: %v\n\n", len(series.Datasets), series.Years())
+
+	results, err := linkage.LinkSeries(series, linkage.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, pair := range series.Pairs() {
+		fmt.Printf("linked %d-%d: %d record links, %d group links\n",
+			pair[0].Year, pair[1].Year, len(results[i].RecordLinks), len(results[i].GroupLinks))
+	}
+	graph, err2 := evolution.BuildGraph(series, results)
+	if err2 != nil {
+		log.Fatal(err2)
+	}
+
+	fmt.Println()
+	patterns := &report.Table{
+		Title:  "Group evolution patterns per census pair",
+		Header: []string{"pair", "preserve_G", "add_G", "remove_G", "move", "split", "merge"},
+	}
+	for i, counts := range graph.PatternCounts() {
+		a := graph.Analyses[i]
+		patterns.AddRow(fmt.Sprintf("%d-%d", a.OldYear, a.NewYear),
+			report.I(counts[evolution.PatternPreserve]),
+			report.I(counts[evolution.PatternAdd]),
+			report.I(counts[evolution.PatternRemove]),
+			report.I(counts[evolution.PatternMove]),
+			report.I(counts[evolution.PatternSplit]),
+			report.I(counts[evolution.PatternMerge]))
+	}
+	if err := patterns.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	chains := &report.Table{
+		Title:  "Preserved households per interval",
+		Header: []string{"interval (years)", "count"},
+	}
+	gap := series.Years()[1] - series.Years()[0]
+	for k := 1; k < len(series.Datasets); k++ {
+		chains.AddRow(report.I(gap*k), report.I(graph.PreserveChains(k)))
+	}
+	size, share := graph.LargestComponentShare()
+	chains.Note = fmt.Sprintf("largest connected component: %d household vertices (%.1f%%)",
+		size, share*100)
+	if err := chains.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := graph.WriteDOT(f, "evolution"); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (render with: dot -Tsvg %s)\n", *dot, *dot)
+	}
+}

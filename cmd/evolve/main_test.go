@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/paperexample"
+)
+
+func TestReadSeriesFromDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *census.Dataset) {
+		t.Helper()
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := census.WriteCSV(f, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("census_1881.csv", paperexample.New())
+	write("census_1871.csv", paperexample.Old())
+	write("notes.txt", paperexample.Old()) // ignored: wrong name pattern
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	series, err := census.ReadSeriesDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Datasets) != 2 {
+		t.Fatalf("datasets = %d, want 2", len(series.Datasets))
+	}
+	years := series.Years()
+	if years[0] != 1871 || years[1] != 1881 {
+		t.Errorf("years = %v", years)
+	}
+	if series.Dataset(1871).NumRecords() != 8 || series.Dataset(1881).NumRecords() != 11 {
+		t.Error("record counts wrong after load")
+	}
+}

@@ -1,0 +1,154 @@
+// Command explain audits the subgraph matching of one household pair: it
+// shows both households, the candidate vertex pairs (with similarities and
+// age-window verdicts), the edge compatibility matrix, and the resulting
+// subgraph scores — or explains why no subgraph exists. Useful for
+// debugging why two households were or were not linked.
+//
+// Usage:
+//
+//	explain -old census_1871.csv -new census_1881.csv \
+//	        -old-household 1871_h12 -new-household 1881_h12 [-delta 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/hgraph"
+	"censuslink/internal/linkage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("explain: ")
+	oldPath := flag.String("old", "", "older census CSV (required)")
+	newPath := flag.String("new", "", "newer census CSV (required)")
+	oldHH := flag.String("old-household", "", "household ID in the older census (required)")
+	newHH := flag.String("new-household", "", "household ID in the newer census (required)")
+	delta := flag.Float64("delta", 0.5, "pre-matching threshold to explain at")
+	ageTol := flag.Int("age-tolerance", 3, "age tolerance in years")
+	alpha := flag.Float64("alpha", 0.2, "record-similarity weight")
+	beta := flag.Float64("beta", 0.7, "edge-similarity weight")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" || *oldHH == "" || *newHH == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldDS := load(*oldPath)
+	newDS := load(*newPath)
+	gOld := mustHousehold(oldDS, *oldHH)
+	gNew := mustHousehold(newDS, *newHH)
+
+	fmt.Printf("=== %s (%d) ===\n", *oldHH, oldDS.Year)
+	printMembers(oldDS, gOld)
+	fmt.Printf("\n=== %s (%d) ===\n", *newHH, newDS.Year)
+	printMembers(newDS, gNew)
+
+	sim := linkage.OmegaTwo(*delta)
+	pre := linkage.PreMatch(oldDS.Records(), oldDS.Year, newDS.Records(), newDS.Year,
+		sim, block.DefaultStrategies(), 0)
+	cfg := linkage.MatchConfig{
+		AgeTolerance: *ageTol,
+		YearGap:      newDS.Year - oldDS.Year,
+		Alpha:        *alpha,
+		Beta:         *beta,
+	}
+	graphOld := hgraph.Build(oldDS, gOld)
+	graphNew := hgraph.Build(newDS, gNew)
+
+	fmt.Printf("\n--- candidate vertex pairs (delta=%.2f) ---\n", *delta)
+	candidates := 0
+	for _, o := range graphOld.Members() {
+		lo, okO := pre.Label(o.ID)
+		for _, n := range graphNew.Members() {
+			_, direct := pre.Sims[linkage.Pair{Old: o.ID, New: n.ID}]
+			ln, okN := pre.Label(n.ID)
+			sameLabel := okO && okN && lo == ln
+			if !direct && !sameLabel {
+				continue
+			}
+			candidates++
+			verdict := "ok"
+			if !cfg.AgeConsistent(o, n) {
+				verdict = "REJECTED: age gap inconsistent with the census interval"
+			}
+			kind := "transitive"
+			if direct {
+				kind = "direct"
+			}
+			fmt.Printf("  %-14s %-22s ~ %-22s sim=%.2f  ages %d->%d  [%s] %s\n",
+				kind, name(o), name(n), sim.AggSim(o, n), o.Age, n.Age, o.ID+"/"+n.ID, verdict)
+		}
+	}
+	if candidates == 0 {
+		fmt.Println("  none: no member pair is similar at this threshold.")
+		fmt.Println("\nverdict: NO LINK (no shared similar records)")
+		return
+	}
+
+	sub := linkage.MatchGroups(graphOld, graphNew, pre, sim, cfg)
+	if sub == nil {
+		fmt.Println("\nverdict: NO LINK (fewer than two compatible vertices, or no edge")
+		fmt.Println("with matching relationship type and similar age difference survived)")
+		return
+	}
+
+	fmt.Println("\n--- matched subgraph ---")
+	for _, v := range sub.Vertices {
+		fmt.Printf("  vertex  %-22s ~ %-22s sim=%.2f\n", name(v.Old), name(v.New), v.Sim)
+	}
+	for _, e := range sub.Edges {
+		a, b := sub.Vertices[e.I], sub.Vertices[e.J]
+		tOld, dOld, _ := graphOld.EdgeBetween(a.Old.ID, b.Old.ID)
+		_, dNew, _ := graphNew.EdgeBetween(a.New.ID, b.New.ID)
+		fmt.Printf("  edge    %s -- %s  type=%s  age-diff %d vs %d  rp_sim=%.2f\n",
+			a.Old.FirstName, b.Old.FirstName, tOld, dOld, dNew, e.RpSim)
+	}
+	fmt.Printf("\nscores: avg_sim=%.3f  e_sim=%.3f  unique=%.3f  ->  g_sim=%.3f\n",
+		sub.AvgSim, sub.ESim, sub.Unique, sub.GSim)
+	fmt.Println("verdict: candidate LINK (subject to Algorithm 2's disjoint selection)")
+}
+
+func name(r *census.Record) string {
+	return r.FirstName + " " + r.Surname
+}
+
+func printMembers(d *census.Dataset, h *census.Household) {
+	for _, m := range d.Members(h) {
+		fmt.Printf("  %-10s %-24s age=%-3d %s  %s\n", m.Role, name(m), m.Age, m.Occupation, m.Address)
+	}
+}
+
+func mustHousehold(d *census.Dataset, id string) *census.Household {
+	h := d.Household(id)
+	if h == nil {
+		log.Fatalf("no household %q in the %d census", id, d.Year)
+	}
+	return h
+}
+
+func load(path string) *census.Dataset {
+	m := regexp.MustCompile(`(1[89]\d\d)`).FindString(filepath.Base(path))
+	if m == "" {
+		log.Fatalf("%s: cannot infer census year from the file name", path)
+	}
+	year, _ := strconv.Atoi(m)
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	d, err := census.ReadCSV(f, year)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return d
+}

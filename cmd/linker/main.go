@@ -1,0 +1,233 @@
+// Command linker links two census CSV files (as produced by censusgen or in
+// the same format) and writes the record and group mappings. When the input
+// carries truth_id columns, linkage quality is reported as well.
+//
+// Usage:
+//
+//	linker -old census_1871.csv -new census_1881.csv \
+//	       [-method iterative|oneshot|cl|graphsim] \
+//	       [-records records.csv] [-groups groups.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"censuslink/internal/baseline/collective"
+	"censuslink/internal/baseline/graphsim"
+	"censuslink/internal/census"
+	"censuslink/internal/evaluate"
+	"censuslink/internal/linkage"
+	"censuslink/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("linker: ")
+	oldPath := flag.String("old", "", "older census CSV (required)")
+	newPath := flag.String("new", "", "newer census CSV (required)")
+	oldYear := flag.Int("old-year", 0, "older census year (default: parsed from the file name)")
+	newYear := flag.Int("new-year", 0, "newer census year (default: parsed from the file name)")
+	method := flag.String("method", "iterative", "linkage method: iterative, oneshot, cl or graphsim")
+	deltaHigh := flag.Float64("delta-high", 0.7, "upper pre-matching threshold")
+	deltaLow := flag.Float64("delta-low", 0.5, "lower pre-matching threshold")
+	deltaStep := flag.Float64("delta-step", 0.05, "threshold decrement per iteration")
+	alpha := flag.Float64("alpha", 0.2, "record-similarity weight in g_sim")
+	beta := flag.Float64("beta", 0.7, "edge-similarity weight in g_sim")
+	ageTol := flag.Int("age-tolerance", 3, "age tolerance in years")
+	recordsOut := flag.String("records", "", "write the record mapping to this CSV file")
+	groupsOut := flag.String("groups", "", "write the group mapping to this CSV file")
+	configPath := flag.String("config", "", "load the linkage configuration from this JSON file (overrides the tuning flags)")
+	writeConfig := flag.String("write-default-config", "", "write the default configuration as JSON to this file and exit")
+	flag.Parse()
+	if *writeConfig != "" {
+		f, err := os.Create(*writeConfig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := linkage.WriteConfigSpec(f, linkage.DefaultConfigSpec()); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *writeConfig)
+		return
+	}
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldDS := loadCensus(*oldPath, *oldYear)
+	newDS := loadCensus(*newPath, *newYear)
+	fmt.Printf("loaded %d (%d records) and %d (%d records)\n",
+		oldDS.Year, oldDS.NumRecords(), newDS.Year, newDS.NumRecords())
+
+	var recordLinks []linkage.RecordLink
+	var groupLinks []linkage.GroupLink
+	var sources map[linkage.Pair]linkage.LinkSource
+	switch *method {
+	case "iterative", "oneshot":
+		cfg := linkage.DefaultConfig()
+		if *configPath != "" {
+			f, err := os.Open(*configPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec, err := linkage.ReadConfigSpec(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg, err = spec.Build()
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			cfg.DeltaHigh, cfg.DeltaLow, cfg.DeltaStep = *deltaHigh, *deltaLow, *deltaStep
+			cfg.Alpha, cfg.Beta = *alpha, *beta
+			cfg.AgeTolerance = *ageTol
+		}
+		if *method == "oneshot" {
+			cfg.DeltaHigh, cfg.DeltaStep = cfg.DeltaLow, 0
+		}
+		res, err := linkage.Link(oldDS, newDS, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recordLinks, groupLinks, sources = res.RecordLinks, res.GroupLinks, res.Sources
+		fmt.Printf("%d iterations, %d remainder record links\n",
+			len(res.Iterations), res.RemainderRecordLinks)
+	case "cl":
+		recordLinks = collective.Link(oldDS, newDS, collective.DefaultConfig())
+	case "graphsim":
+		res := graphsim.Link(oldDS, newDS, graphsim.DefaultConfig())
+		recordLinks, groupLinks = res.RecordLinks, res.GroupLinks
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	fmt.Printf("record links: %d, group links: %d\n", len(recordLinks), len(groupLinks))
+
+	if *recordsOut != "" {
+		writeCSV(*recordsOut, []string{"old_record", "new_record", "similarity", "source"},
+			func(w *csv.Writer) error {
+				for _, l := range recordLinks {
+					source := ""
+					if src, ok := sources[linkage.Pair{Old: l.Old, New: l.New}]; ok {
+						source = fmt.Sprintf("%s@%.2f", src.Kind, src.Delta)
+					}
+					if err := w.Write([]string{l.Old, l.New,
+						strconv.FormatFloat(l.Sim, 'f', 4, 64), source}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	}
+	if *groupsOut != "" {
+		writeCSV(*groupsOut, []string{"old_household", "new_household"},
+			func(w *csv.Writer) error {
+				for _, l := range groupLinks {
+					if err := w.Write([]string{l.Old, l.New}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	}
+
+	if hasTruth(oldDS) && hasTruth(newDS) {
+		rm := evaluate.RecordMetrics(recordLinks, evaluate.TrueRecordMapping(oldDS, newDS))
+		t := &report.Table{
+			Title:  "Quality vs ground truth",
+			Header: []string{"mapping", "precision", "recall", "f-measure", "tp", "fp", "fn"},
+		}
+		t.AddRow("record", report.Pct(rm.Precision), report.Pct(rm.Recall), report.Pct(rm.F1),
+			report.I(rm.TP), report.I(rm.FP), report.I(rm.FN))
+		if len(groupLinks) > 0 {
+			gm := evaluate.GroupMetrics(groupLinks, evaluate.TrueGroupMapping(oldDS, newDS))
+			t.AddRow("group", report.Pct(gm.Precision), report.Pct(gm.Recall), report.Pct(gm.F1),
+				report.I(gm.TP), report.I(gm.FP), report.I(gm.FN))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+
+		// Why were links missed? Break the false negatives down by cause.
+		b := evaluate.AnalyzeErrors(recordLinks, oldDS, newDS)
+		et := &report.Table{
+			Title:  "Missed links by cause",
+			Header: []string{"cause", "count"},
+		}
+		for c := evaluate.CauseMissingName; c <= evaluate.CauseOther; c++ {
+			if n := b.FalseNegatives[c]; n > 0 {
+				et.AddRow(c.String(), report.I(n))
+			}
+		}
+		if len(et.Rows) > 0 {
+			fmt.Println()
+			if err := et.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// loadCensus reads a census CSV; the year is parsed from the file name when
+// not given explicitly.
+func loadCensus(path string, year int) *census.Dataset {
+	if year == 0 {
+		m := regexp.MustCompile(`(1[89]\d\d)`).FindString(filepath.Base(path))
+		if m == "" {
+			log.Fatalf("%s: cannot infer census year, pass -old-year/-new-year", path)
+		}
+		year, _ = strconv.Atoi(m)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	d, err := census.ReadCSV(f, year)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return d
+}
+
+func hasTruth(d *census.Dataset) bool {
+	for _, r := range d.Records() {
+		if r.TruthID != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func writeCSV(path string, header []string, body func(*csv.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		log.Fatal(err)
+	}
+	if err := body(w); err != nil {
+		log.Fatal(err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/paperexample"
+)
+
+func writeDataset(t *testing.T, dir, name string, d *census.Dataset) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := census.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCensusInfersYear(t *testing.T) {
+	dir := t.TempDir()
+	path := writeDataset(t, dir, "census_1871.csv", paperexample.Old())
+	d := loadCensus(path, 0)
+	if d.Year != 1871 {
+		t.Errorf("inferred year = %d", d.Year)
+	}
+	if d.NumRecords() != 8 {
+		t.Errorf("records = %d", d.NumRecords())
+	}
+	// Explicit year overrides the file name.
+	if got := loadCensus(path, 1899); got.Year != 1899 {
+		t.Errorf("explicit year = %d", got.Year)
+	}
+}
+
+func TestHasTruth(t *testing.T) {
+	d := paperexample.Old()
+	if hasTruth(d) {
+		t.Error("running example has no truth IDs")
+	}
+	d.Records()[0].TruthID = "p1"
+	if !hasTruth(d) {
+		t.Error("truth ID not detected")
+	}
+}
+
+func TestWriteCSVHelper(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	writeCSV(path, []string{"a", "b"}, func(w *csv.Writer) error {
+		return w.Write([]string{"1", "2"})
+	})
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "a" || rows[1][1] != "2" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,3 @@
+module censuslink
+
+go 1.22

@@ -1,0 +1,218 @@
+// Package assign solves maximum-weight bipartite assignment (the problem
+// behind 1:1 record matching): given candidate pairs with similarity
+// weights, choose a matching that maximises the total weight, leaving
+// elements unmatched where that is better.
+//
+// The solver decomposes the candidate graph into connected components and
+// runs an O(n³) Hungarian algorithm (Jonker-Volgenant style potentials) per
+// component, so sparse real-world instances — where candidate pairs cluster
+// by name blocks — stay fast even for large inputs.
+package assign
+
+import "math"
+
+// Edge is one candidate pair between left element l and right element r
+// with a positive weight. Non-candidate pairs are implicitly forbidden.
+type Edge struct {
+	Left, Right int
+	Weight      float64
+}
+
+// Max returns, for each left element 0..nLeft-1, the index of the matched
+// right element or -1, maximising the total weight over all 1:1 matchings.
+// Only listed edges with positive weight can be matched.
+func Max(nLeft, nRight int, edges []Edge) []int {
+	match := make([]int, nLeft)
+	for i := range match {
+		match[i] = -1
+	}
+	if nLeft == 0 || nRight == 0 || len(edges) == 0 {
+		return match
+	}
+
+	// Connected components over the candidate graph. Left nodes are
+	// 0..nLeft-1, right nodes are nLeft..nLeft+nRight-1.
+	parent := make([]int, nLeft+nRight)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, e := range edges {
+		if e.Weight > 0 && e.Left >= 0 && e.Left < nLeft && e.Right >= 0 && e.Right < nRight {
+			union(e.Left, nLeft+e.Right)
+		}
+	}
+
+	// Group edges and member lists per component root.
+	compEdges := make(map[int][]Edge)
+	for _, e := range edges {
+		if e.Weight <= 0 || e.Left < 0 || e.Left >= nLeft || e.Right < 0 || e.Right >= nRight {
+			continue
+		}
+		root := find(e.Left)
+		compEdges[root] = append(compEdges[root], e)
+	}
+
+	for _, ce := range compEdges {
+		solveComponent(ce, match)
+	}
+	return match
+}
+
+// solveComponent runs the Hungarian algorithm on one component's edges and
+// writes the chosen matches into match.
+func solveComponent(edges []Edge, match []int) {
+	// Compact the left/right indices of this component.
+	leftIdx := make(map[int]int)
+	rightIdx := make(map[int]int)
+	var lefts, rights []int
+	maxW := 0.0
+	for _, e := range edges {
+		if _, ok := leftIdx[e.Left]; !ok {
+			leftIdx[e.Left] = len(lefts)
+			lefts = append(lefts, e.Left)
+		}
+		if _, ok := rightIdx[e.Right]; !ok {
+			rightIdx[e.Right] = len(rights)
+			rights = append(rights, e.Right)
+		}
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+	n := len(lefts)
+	// Columns: the real right elements plus one dummy "unmatched" column
+	// per left element. Staying unmatched costs maxW (weight 0); matching a
+	// pair of weight w costs maxW - w; forbidden pairs cost big.
+	m := len(rights) + n
+	big := maxW*float64(n+1) + 1
+
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		for j := 0; j < len(rights); j++ {
+			cost[i][j] = big
+		}
+		for j := len(rights); j < m; j++ {
+			cost[i][j] = maxW // unmatched
+		}
+	}
+	for _, e := range edges {
+		i, j := leftIdx[e.Left], rightIdx[e.Right]
+		c := maxW - e.Weight
+		if c < cost[i][j] {
+			cost[i][j] = c
+		}
+	}
+
+	assignment := hungarian(cost)
+	for i, j := range assignment {
+		if j >= 0 && j < len(rights) && cost[i][j] < big {
+			match[lefts[i]] = rights[j]
+		}
+	}
+}
+
+// hungarian solves the min-cost assignment for an n×m cost matrix with
+// n <= m, returning for each row its assigned column. Classic potentials
+// formulation, O(n²·m).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	const inf = math.MaxFloat64
+
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row (1-based) assigned to column j
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	out := make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}
+
+// TotalWeight sums the weights of a matching given the original edges
+// (useful for tests and reporting). Unlisted matches contribute nothing.
+func TotalWeight(match []int, edges []Edge) float64 {
+	best := make(map[[2]int]float64, len(edges))
+	for _, e := range edges {
+		k := [2]int{e.Left, e.Right}
+		if e.Weight > best[k] {
+			best[k] = e.Weight
+		}
+	}
+	total := 0.0
+	for l, r := range match {
+		if r >= 0 {
+			total += best[[2]int{l, r}]
+		}
+	}
+	return total
+}

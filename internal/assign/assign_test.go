@@ -1,0 +1,194 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxSimpleCases(t *testing.T) {
+	// Greedy would take (0,0)=0.9 then leave row 1 with 0.1; the optimum is
+	// (0,1)=0.8 + (1,0)=0.8.
+	edges := []Edge{
+		{0, 0, 0.9}, {0, 1, 0.8}, {1, 0, 0.8}, {1, 1, 0.1},
+	}
+	match := Max(2, 2, edges)
+	if match[0] != 1 || match[1] != 0 {
+		t.Errorf("match = %v, want [1 0]", match)
+	}
+	if got := TotalWeight(match, edges); math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("total = %v, want 1.6", got)
+	}
+}
+
+func TestMaxLeavesUnmatched(t *testing.T) {
+	// Only one right element; one left must stay unmatched, and it must be
+	// the lower-weight one.
+	edges := []Edge{{0, 0, 0.3}, {1, 0, 0.9}}
+	match := Max(2, 1, edges)
+	if match[0] != -1 || match[1] != 0 {
+		t.Errorf("match = %v, want [-1 0]", match)
+	}
+}
+
+func TestMaxEmptyAndInvalid(t *testing.T) {
+	if m := Max(0, 5, nil); len(m) != 0 {
+		t.Errorf("empty left: %v", m)
+	}
+	m := Max(3, 3, []Edge{
+		{-1, 0, 1}, {0, 9, 1}, {0, 0, 0}, // all invalid or zero weight
+	})
+	for _, r := range m {
+		if r != -1 {
+			t.Errorf("invalid edges produced a match: %v", m)
+		}
+	}
+}
+
+func TestMaxDisconnectedComponents(t *testing.T) {
+	edges := []Edge{
+		{0, 0, 0.5}, {1, 1, 0.6}, // component A
+		{2, 2, 0.7}, {3, 2, 0.9}, // component B: 3 wins
+	}
+	match := Max(4, 3, edges)
+	if match[0] != 0 || match[1] != 1 || match[2] != -1 || match[3] != 2 {
+		t.Errorf("match = %v", match)
+	}
+}
+
+// bruteForce finds the true optimum by enumeration (small inputs only).
+func bruteForce(nLeft, nRight int, edges []Edge) float64 {
+	weight := make(map[[2]int]float64)
+	for _, e := range edges {
+		if e.Weight > 0 {
+			k := [2]int{e.Left, e.Right}
+			if e.Weight > weight[k] {
+				weight[k] = e.Weight
+			}
+		}
+	}
+	usedRight := make([]bool, nRight)
+	var rec func(l int) float64
+	rec = func(l int) float64 {
+		if l == nLeft {
+			return 0
+		}
+		best := rec(l + 1) // leave l unmatched
+		for r := 0; r < nRight; r++ {
+			if usedRight[r] {
+				continue
+			}
+			w, ok := weight[[2]int{l, r}]
+			if !ok {
+				continue
+			}
+			usedRight[r] = true
+			if s := w + rec(l+1); s > best {
+				best = s
+			}
+			usedRight[r] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// TestMaxOptimalProperty: on random small instances, the solver matches the
+// brute-force optimum.
+func TestMaxOptimalProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLeft := 1 + rng.Intn(5)
+		nRight := 1 + rng.Intn(5)
+		var edges []Edge
+		for l := 0; l < nLeft; l++ {
+			for r := 0; r < nRight; r++ {
+				if rng.Float64() < 0.6 {
+					edges = append(edges, Edge{l, r, 0.05 + rng.Float64()})
+				}
+			}
+		}
+		match := Max(nLeft, nRight, edges)
+		// Validity: 1:1.
+		seen := map[int]bool{}
+		for _, r := range match {
+			if r < 0 {
+				continue
+			}
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		got := TotalWeight(match, edges)
+		want := bruteForce(nLeft, nRight, edges)
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxBeatsGreedyOrEqual: the optimal matching never totals less than a
+// greedy one.
+func TestMaxBeatsGreedyOrEqual(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLeft := 1 + rng.Intn(8)
+		nRight := 1 + rng.Intn(8)
+		var edges []Edge
+		for l := 0; l < nLeft; l++ {
+			for r := 0; r < nRight; r++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, Edge{l, r, rng.Float64()})
+				}
+			}
+		}
+		// Greedy by weight.
+		sorted := append([]Edge(nil), edges...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j].Weight > sorted[i].Weight {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		usedL := map[int]bool{}
+		usedR := map[int]bool{}
+		greedy := 0.0
+		for _, e := range sorted {
+			if e.Weight <= 0 || usedL[e.Left] || usedR[e.Right] {
+				continue
+			}
+			usedL[e.Left] = true
+			usedR[e.Right] = true
+			greedy += e.Weight
+		}
+		optimal := TotalWeight(Max(nLeft, nRight, edges), edges)
+		return optimal >= greedy-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMaxSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var edges []Edge
+	// 50 components of ~20x20.
+	for c := 0; c < 50; c++ {
+		base := c * 20
+		for l := 0; l < 20; l++ {
+			for r := 0; r < 20; r++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, Edge{base + l, base + r, rng.Float64()})
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Max(1000, 1000, edges)
+	}
+}

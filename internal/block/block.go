@@ -1,0 +1,200 @@
+// Package block provides blocking (indexing) strategies that restrict the
+// pairwise record comparison space between two census datasets, avoiding the
+// full cross product R_i × R_{i+1}.
+//
+// A blocking Strategy maps each record to one or more blocking keys; records
+// from the two datasets that share a key become candidate pairs. Multiple
+// strategies are combined as a union (multi-pass blocking), and every
+// candidate pair is visited exactly once.
+package block
+
+import (
+	"sort"
+
+	"censuslink/internal/census"
+	"censuslink/internal/strsim"
+)
+
+// KeyFunc derives the blocking keys of a record. The census year is passed
+// so keys can be computed on time-shifted values such as the birth year.
+// Returning no keys excludes the record from the pass.
+type KeyFunc func(r *census.Record, year int) []string
+
+// Strategy is a named blocking pass.
+type Strategy struct {
+	Name string
+	Keys KeyFunc
+}
+
+// SurnameSoundex blocks on the Soundex code of the surname. It is the
+// primary pass: surnames are the most stable high-selectivity attribute.
+func SurnameSoundex() Strategy {
+	return Strategy{
+		Name: "surname-soundex",
+		Keys: func(r *census.Record, _ int) []string {
+			code := strsim.Soundex(r.Surname)
+			if code == "" {
+				return nil
+			}
+			return []string{"sn:" + code}
+		},
+	}
+}
+
+// FirstNameSoundexSex blocks on the Soundex code of the first name combined
+// with sex. This pass recovers records whose surname changed between
+// censuses (typically women at marriage).
+func FirstNameSoundexSex() Strategy {
+	return Strategy{
+		Name: "firstname-soundex-sex",
+		Keys: func(r *census.Record, _ int) []string {
+			code := strsim.Soundex(r.FirstName)
+			if code == "" {
+				return nil
+			}
+			return []string{"fn:" + code + ":" + r.Sex.String()}
+		},
+	}
+}
+
+// BirthYearBand blocks on the estimated birth year (census year minus age)
+// rounded into bands of the given width, emitting the band and its two
+// neighbours so that small age-recording errors still collide.
+func BirthYearBand(width int) Strategy {
+	if width < 1 {
+		width = 5
+	}
+	return Strategy{
+		Name: "birthyear-band",
+		Keys: func(r *census.Record, year int) []string {
+			if r.Age == census.AgeMissing {
+				return nil
+			}
+			birth := year - r.Age
+			band := birth / width
+			return []string{
+				"by:" + itoa(band-1),
+				"by:" + itoa(band),
+				"by:" + itoa(band+1),
+			}
+		},
+	}
+}
+
+// DefaultStrategies is the multi-pass configuration used by the linkage
+// pipeline: a stable-surname pass plus a surname-change recovery pass.
+func DefaultStrategies() []Strategy {
+	return []Strategy{SurnameSoundex(), FirstNameSoundexSex()}
+}
+
+// CrossProduct is a degenerate strategy that puts every record into a single
+// block. Only suitable for small datasets and tests.
+func CrossProduct() Strategy {
+	return Strategy{
+		Name: "cross-product",
+		Keys: func(*census.Record, int) []string { return []string{"all"} },
+	}
+}
+
+// Index is a prebuilt blocking index over the records of the newer dataset.
+// It can be queried concurrently once built.
+type Index struct {
+	strategies []Strategy
+	byKey      []map[string][]*census.Record // one map per strategy
+	pos        map[string]int                // record ID -> dataset position
+}
+
+// NewIndex indexes the given records (of the dataset with the given census
+// year) under every strategy.
+func NewIndex(recs []*census.Record, year int, strategies []Strategy) *Index {
+	ix := &Index{
+		strategies: strategies,
+		byKey:      make([]map[string][]*census.Record, len(strategies)),
+		pos:        make(map[string]int, len(recs)),
+	}
+	for i, r := range recs {
+		ix.pos[r.ID] = i
+	}
+	for si, s := range strategies {
+		m := make(map[string][]*census.Record)
+		for _, r := range recs {
+			for _, k := range s.Keys(r, year) {
+				m[k] = append(m[k], r)
+			}
+		}
+		ix.byKey[si] = m
+	}
+	return ix
+}
+
+// Candidates returns the distinct indexed records sharing at least one
+// blocking key with record o (whose dataset has the given year), ordered by
+// their position in the indexed dataset. The scratch map, if non-nil, is
+// cleared and reused to avoid allocation in tight loops.
+func (ix *Index) Candidates(o *census.Record, oldYear int, scratch map[string]struct{}) []*census.Record {
+	if scratch == nil {
+		scratch = make(map[string]struct{})
+	} else {
+		clear(scratch)
+	}
+	var out []*census.Record
+	for si, s := range ix.strategies {
+		for _, k := range s.Keys(o, oldYear) {
+			for _, n := range ix.byKey[si][k] {
+				if _, dup := scratch[n.ID]; dup {
+					continue
+				}
+				scratch[n.ID] = struct{}{}
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return ix.pos[out[i].ID] < ix.pos[out[j].ID] })
+	return out
+}
+
+// Candidates enumerates the union of candidate pairs over all strategies and
+// calls visit exactly once per distinct (old, new) record pair. Enumeration
+// order is deterministic: old records in input order, and for each old
+// record its candidates in new-input order.
+func Candidates(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	strategies []Strategy, visit func(o, n *census.Record)) {
+	ix := NewIndex(new, newYear, strategies)
+	scratch := make(map[string]struct{})
+	for _, o := range old {
+		for _, n := range ix.Candidates(o, oldYear, scratch) {
+			visit(o, n)
+		}
+	}
+}
+
+// CountPairs returns the number of distinct candidate pairs the strategies
+// generate, for reduction-ratio reporting.
+func CountPairs(old []*census.Record, oldYear int, new []*census.Record, newYear int, strategies []Strategy) int {
+	n := 0
+	Candidates(old, oldYear, new, newYear, strategies, func(_, _ *census.Record) { n++ })
+	return n
+}
+
+// itoa is a minimal integer formatter (avoids strconv import for one use).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

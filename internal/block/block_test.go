@@ -1,0 +1,213 @@
+package block
+
+import (
+	"fmt"
+	"testing"
+
+	"censuslink/internal/census"
+)
+
+// makeDataset builds a dataset from (first, surname, sex, age) tuples, one
+// record per household.
+func makeDataset(t *testing.T, year int, rows [][4]string) *census.Dataset {
+	t.Helper()
+	d := census.NewDataset(year)
+	for i, row := range rows {
+		age := census.AgeMissing
+		if row[3] != "" {
+			fmt.Sscanf(row[3], "%d", &age)
+		}
+		r := &census.Record{
+			ID:          fmt.Sprintf("%d_%d", year, i),
+			HouseholdID: fmt.Sprintf("h%d_%d", year, i),
+			FirstName:   row[0],
+			Surname:     row[1],
+			Sex:         census.ParseSex(row[2]),
+			Age:         age,
+			Role:        census.RoleHead,
+		}
+		if err := d.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func collectPairs(old, new *census.Dataset, strategies []Strategy) map[string]bool {
+	got := map[string]bool{}
+	Candidates(old.Records(), old.Year, new.Records(), new.Year, strategies, func(o, n *census.Record) {
+		got[o.ID+"|"+n.ID] = true
+	})
+	return got
+}
+
+func TestSurnameSoundexBlocksVariants(t *testing.T) {
+	old := makeDataset(t, 1871, [][4]string{
+		{"john", "smith", "m", "30"},
+		{"mary", "taylor", "f", "25"},
+	})
+	new := makeDataset(t, 1881, [][4]string{
+		{"john", "smyth", "m", "40"}, // same soundex as smith
+		{"mary", "walker", "f", "35"},
+	})
+	pairs := collectPairs(old, new, []Strategy{SurnameSoundex()})
+	if !pairs["1871_0|1881_0"] {
+		t.Error("smith/smyth should be candidates")
+	}
+	if pairs["1871_1|1881_1"] {
+		t.Error("taylor/walker should not be candidates")
+	}
+}
+
+func TestFirstNameSexPassRecoversSurnameChange(t *testing.T) {
+	old := makeDataset(t, 1871, [][4]string{
+		{"alice", "ashworth", "f", "18"},
+	})
+	new := makeDataset(t, 1881, [][4]string{
+		{"alice", "smith", "f", "28"}, // married, surname changed
+		{"alice", "smith", "m", "2"},  // different sex, must not block on pass 2
+	})
+	surnameOnly := collectPairs(old, new, []Strategy{SurnameSoundex()})
+	if len(surnameOnly) != 0 {
+		t.Fatalf("surname pass should miss the marriage case: %v", surnameOnly)
+	}
+	both := collectPairs(old, new, DefaultStrategies())
+	if !both["1871_0|1881_0"] {
+		t.Error("first-name pass should recover the surname change")
+	}
+	if both["1871_0|1881_1"] {
+		t.Error("sex mismatch should prevent first-name blocking")
+	}
+}
+
+func TestCandidatesDeduplicates(t *testing.T) {
+	// Same surname soundex AND same first name soundex: both passes emit the
+	// pair; visit must run once.
+	old := makeDataset(t, 1871, [][4]string{{"john", "smith", "m", "30"}})
+	new := makeDataset(t, 1881, [][4]string{{"john", "smith", "m", "40"}})
+	count := 0
+	Candidates(old.Records(), old.Year, new.Records(), new.Year, DefaultStrategies(), func(_, _ *census.Record) { count++ })
+	if count != 1 {
+		t.Errorf("pair visited %d times, want 1", count)
+	}
+}
+
+func TestBirthYearBand(t *testing.T) {
+	old := makeDataset(t, 1871, [][4]string{
+		{"a", "b", "m", "30"}, // born 1841
+		{"c", "d", "m", ""},   // missing age -> no key
+	})
+	new := makeDataset(t, 1881, [][4]string{
+		{"e", "f", "m", "41"}, // born 1840: adjacent band must collide
+		{"g", "h", "m", "5"},  // born 1876: far away
+	})
+	pairs := collectPairs(old, new, []Strategy{BirthYearBand(5)})
+	if !pairs["1871_0|1881_0"] {
+		t.Error("neighbouring birth-year bands should collide")
+	}
+	if pairs["1871_0|1881_1"] {
+		t.Error("distant birth years should not collide")
+	}
+	for k := range pairs {
+		if k[:6] == "1871_1" {
+			t.Error("record with missing age should emit no keys")
+		}
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	old := makeDataset(t, 1871, [][4]string{
+		{"a", "b", "m", "1"}, {"c", "d", "f", "2"},
+	})
+	new := makeDataset(t, 1881, [][4]string{
+		{"e", "f", "m", "3"}, {"g", "h", "f", "4"}, {"i", "j", "m", "5"},
+	})
+	if got := CountPairs(old.Records(), old.Year, new.Records(), new.Year, []Strategy{CrossProduct()}); got != 6 {
+		t.Errorf("CountPairs cross product = %d, want 6", got)
+	}
+}
+
+// TestCandidatesSupersetOfExactKey: every pair of records with identical
+// surname must be produced by the surname pass (blocking completeness on
+// exact duplicates).
+func TestCandidatesSupersetOfExactKey(t *testing.T) {
+	names := []string{"smith", "ashworth", "riley", "taylor", "smith", "riley"}
+	var rowsOld, rowsNew [][4]string
+	for i, n := range names {
+		rowsOld = append(rowsOld, [4]string{fmt.Sprintf("p%d", i), n, "m", "20"})
+		rowsNew = append(rowsNew, [4]string{fmt.Sprintf("q%d", i), n, "m", "30"})
+	}
+	old := makeDataset(t, 1871, rowsOld)
+	new := makeDataset(t, 1881, rowsNew)
+	pairs := collectPairs(old, new, []Strategy{SurnameSoundex()})
+	for i, a := range names {
+		for j, b := range names {
+			if a == b && !pairs[fmt.Sprintf("1871_%d|1881_%d", i, j)] {
+				t.Errorf("exact surname pair (%d,%d) missing", i, j)
+			}
+		}
+	}
+}
+
+func TestCandidatesDeterministicOrder(t *testing.T) {
+	old := makeDataset(t, 1871, [][4]string{
+		{"john", "smith", "m", "30"}, {"jane", "smith", "f", "28"},
+	})
+	new := makeDataset(t, 1881, [][4]string{
+		{"john", "smith", "m", "40"}, {"jane", "smith", "f", "38"}, {"jack", "smith", "m", "10"},
+	})
+	var first []string
+	Candidates(old.Records(), old.Year, new.Records(), new.Year, DefaultStrategies(), func(o, n *census.Record) {
+		first = append(first, o.ID+"|"+n.ID)
+	})
+	for trial := 0; trial < 5; trial++ {
+		var again []string
+		Candidates(old.Records(), old.Year, new.Records(), new.Year, DefaultStrategies(), func(o, n *census.Record) {
+			again = append(again, o.ID+"|"+n.ID)
+		})
+		if len(again) != len(first) {
+			t.Fatalf("pair count varies: %d vs %d", len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("order varies at %d: %s vs %s", i, first[i], again[i])
+			}
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", -3: "-3", 1851: "1851", -190: "-190"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkCandidates(b *testing.B) {
+	old := census.NewDataset(1871)
+	new := census.NewDataset(1881)
+	surnames := []string{"smith", "ashworth", "riley", "taylor", "walker", "holt", "lord", "barnes"}
+	firsts := []string{"john", "mary", "william", "elizabeth", "thomas", "sarah"}
+	for i := 0; i < 2000; i++ {
+		r := &census.Record{
+			ID: fmt.Sprintf("o%d", i), HouseholdID: fmt.Sprintf("ho%d", i/4),
+			FirstName: firsts[i%len(firsts)], Surname: surnames[i%len(surnames)],
+			Sex: census.SexMale, Age: i % 80, Role: census.RoleHead,
+		}
+		if err := old.AddRecord(r); err != nil {
+			b.Fatal(err)
+		}
+		r2 := *r
+		r2.ID = fmt.Sprintf("n%d", i)
+		r2.HouseholdID = fmt.Sprintf("hn%d", i/4)
+		if err := new.AddRecord(&r2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountPairs(old.Records(), old.Year, new.Records(), new.Year, DefaultStrategies())
+	}
+}

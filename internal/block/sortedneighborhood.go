@@ -1,0 +1,81 @@
+package block
+
+import (
+	"sort"
+
+	"censuslink/internal/census"
+)
+
+// SortKey derives the sorting key of a record for sorted-neighbourhood
+// blocking (e.g. surname + first-name initial).
+type SortKey func(r *census.Record) string
+
+// DefaultSortKey sorts by surname, then first name — the classic choice for
+// census data.
+func DefaultSortKey(r *census.Record) string {
+	return r.Surname + "\x00" + r.FirstName
+}
+
+// SortedNeighborhood enumerates candidate pairs with the sorted-
+// neighbourhood method (Hernández & Stolfo): the records of both datasets
+// are merged, sorted by the key, and a window of the given size slides over
+// the sorted list; every old/new pair inside a window becomes a candidate.
+// Each distinct pair is visited once, in deterministic order.
+//
+// Compared to key blocking, sorted neighbourhood also pairs records whose
+// keys are close but not identical (adjacent typo variants), at the cost of
+// missing pairs whose keys diverge early (e.g. a changed surname).
+func SortedNeighborhood(old []*census.Record, new []*census.Record,
+	key SortKey, window int, visit func(o, n *census.Record)) {
+	if key == nil {
+		key = DefaultSortKey
+	}
+	if window < 2 {
+		window = 2
+	}
+	type entry struct {
+		rec   *census.Record
+		key   string
+		isOld bool
+		pos   int // original position, for stable ordering
+	}
+	merged := make([]entry, 0, len(old)+len(new))
+	for i, r := range old {
+		merged = append(merged, entry{rec: r, key: key(r), isOld: true, pos: i})
+	}
+	for i, r := range new {
+		merged = append(merged, entry{rec: r, key: key(r), isOld: false, pos: i})
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].key != merged[j].key {
+			return merged[i].key < merged[j].key
+		}
+		if merged[i].isOld != merged[j].isOld {
+			return merged[i].isOld
+		}
+		return merged[i].pos < merged[j].pos
+	})
+
+	seen := make(map[[2]int]struct{})
+	for i := range merged {
+		hi := i + window
+		if hi > len(merged) {
+			hi = len(merged)
+		}
+		for j := i + 1; j < hi; j++ {
+			a, b := merged[i], merged[j]
+			if a.isOld == b.isOld {
+				continue
+			}
+			if !a.isOld {
+				a, b = b, a
+			}
+			k := [2]int{a.pos, b.pos}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			visit(a.rec, b.rec)
+		}
+	}
+}

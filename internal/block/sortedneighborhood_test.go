@@ -1,0 +1,104 @@
+package block
+
+import (
+	"testing"
+
+	"censuslink/internal/census"
+)
+
+func snPairs(old, new *census.Dataset, window int) map[string]bool {
+	got := map[string]bool{}
+	SortedNeighborhood(old.Records(), new.Records(), nil, window,
+		func(o, n *census.Record) { got[o.ID+"|"+n.ID] = true })
+	return got
+}
+
+func TestSortedNeighborhoodAdjacentKeys(t *testing.T) {
+	old := makeDataset(t, 1871, [][4]string{
+		{"john", "ashworth", "m", "30"},
+		{"mary", "zimmer", "f", "25"},
+	})
+	new := makeDataset(t, 1881, [][4]string{
+		{"john", "ashwirth", "m", "40"}, // typo: sorts adjacent to ashworth
+		{"mary", "zimmer", "f", "35"},
+	})
+	pairs := snPairs(old, new, 2)
+	if !pairs["1871_0|1881_0"] {
+		t.Error("adjacent typo variant should be a candidate")
+	}
+	if !pairs["1871_1|1881_1"] {
+		t.Error("identical keys should be candidates")
+	}
+	// ashworth and zimmer sort far apart: not candidates at window 3.
+	if pairs["1871_0|1881_1"] {
+		t.Error("distant keys should not pair at window 2")
+	}
+}
+
+func TestSortedNeighborhoodWindowGrowsCoverage(t *testing.T) {
+	rows := [][4]string{
+		{"a", "barker", "m", "20"}, {"b", "barnes", "m", "21"},
+		{"c", "barton", "m", "22"}, {"d", "baxter", "m", "23"},
+	}
+	old := makeDataset(t, 1871, rows)
+	new := makeDataset(t, 1881, rows)
+	small := snPairs(old, new, 2)
+	large := snPairs(old, new, 8)
+	if len(large) <= len(small) {
+		t.Errorf("larger window should add candidates: %d vs %d", len(large), len(small))
+	}
+	for p := range small {
+		if !large[p] {
+			t.Errorf("pair %s lost when growing the window", p)
+		}
+	}
+}
+
+func TestSortedNeighborhoodNoDuplicatesNoSameSide(t *testing.T) {
+	rows := [][4]string{
+		{"a", "smith", "m", "20"}, {"b", "smith", "m", "21"}, {"c", "smith", "m", "22"},
+	}
+	old := makeDataset(t, 1871, rows)
+	new := makeDataset(t, 1881, rows)
+	count := map[string]int{}
+	SortedNeighborhood(old.Records(), new.Records(), nil, 6,
+		func(o, n *census.Record) {
+			if o.ID[:4] != "1871" || n.ID[:4] != "1881" {
+				t.Fatalf("pair sides wrong: %s %s", o.ID, n.ID)
+			}
+			count[o.ID+"|"+n.ID]++
+		})
+	for p, c := range count {
+		if c != 1 {
+			t.Errorf("pair %s visited %d times", p, c)
+		}
+	}
+	// Window 6 over 6 identical keys: all 9 cross pairs.
+	if len(count) != 9 {
+		t.Errorf("pairs = %d, want 9", len(count))
+	}
+}
+
+func TestSortedNeighborhoodDeterministic(t *testing.T) {
+	rows := [][4]string{
+		{"a", "smith", "m", "20"}, {"b", "smith", "m", "21"}, {"c", "taylor", "m", "22"},
+	}
+	old := makeDataset(t, 1871, rows)
+	new := makeDataset(t, 1881, rows)
+	var first []string
+	SortedNeighborhood(old.Records(), new.Records(), nil, 4,
+		func(o, n *census.Record) { first = append(first, o.ID+"|"+n.ID) })
+	for i := 0; i < 3; i++ {
+		var again []string
+		SortedNeighborhood(old.Records(), new.Records(), nil, 4,
+			func(o, n *census.Record) { again = append(again, o.ID+"|"+n.ID) })
+		if len(again) != len(first) {
+			t.Fatal("length varies")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("order varies")
+			}
+		}
+	}
+}

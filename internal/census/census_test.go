@@ -1,0 +1,265 @@
+package census
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSex(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Sex
+	}{
+		{"m", SexMale}, {"M", SexMale}, {"male", SexMale}, {" Male ", SexMale},
+		{"f", SexFemale}, {"F", SexFemale}, {"female", SexFemale},
+		{"", SexUnknown}, {"x", SexUnknown}, {"unknown", SexUnknown},
+	}
+	for _, c := range cases {
+		if got := ParseSex(c.in); got != c.want {
+			t.Errorf("ParseSex(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSexString(t *testing.T) {
+	if SexMale.String() != "m" || SexFemale.String() != "f" || SexUnknown.String() != "" {
+		t.Errorf("Sex.String mismatch: %q %q %q", SexMale, SexFemale, SexUnknown)
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	if ParseRole("Head") != RoleHead {
+		t.Errorf("ParseRole(Head) = %v", ParseRole("Head"))
+	}
+	if ParseRole(" daughter ") != RoleDaughter {
+		t.Errorf("ParseRole(daughter) = %v", ParseRole(" daughter "))
+	}
+	if ParseRole("stranger") != RoleOther {
+		t.Errorf("ParseRole(stranger) = %v", ParseRole("stranger"))
+	}
+	if ParseRole("") != RoleOther {
+		t.Errorf("ParseRole(empty) = %v", ParseRole(""))
+	}
+}
+
+func TestRoleIsFamily(t *testing.T) {
+	family := []Role{RoleHead, RoleWife, RoleSon, RoleDaughter, RoleMother, RoleGrandson, RoleNiece}
+	for _, r := range family {
+		if !r.IsFamily() {
+			t.Errorf("%v.IsFamily() = false, want true", r)
+		}
+	}
+	nonFamily := []Role{RoleServant, RoleBoarder, RoleLodger, RoleVisitor, RoleOther}
+	for _, r := range nonFamily {
+		if r.IsFamily() {
+			t.Errorf("%v.IsFamily() = true, want false", r)
+		}
+	}
+}
+
+func TestRecordValue(t *testing.T) {
+	r := &Record{
+		FirstName: "John", Surname: "Ashworth", Sex: SexMale, Age: 39,
+		Address: "1 Mill Lane", Occupation: "weaver",
+	}
+	cases := []struct {
+		attr Attribute
+		want string
+	}{
+		{AttrFirstName, "John"},
+		{AttrSurname, "Ashworth"},
+		{AttrSex, "m"},
+		{AttrAge, "39"},
+		{AttrAddress, "1 Mill Lane"},
+		{AttrOccupation, "weaver"},
+	}
+	for _, c := range cases {
+		if got := r.Value(c.attr); got != c.want {
+			t.Errorf("Value(%v) = %q, want %q", c.attr, got, c.want)
+		}
+	}
+	r.Age = AgeMissing
+	if got := r.Value(AttrAge); got != "" {
+		t.Errorf("Value(age missing) = %q, want empty", got)
+	}
+}
+
+func TestAttributeString(t *testing.T) {
+	if AttrFirstName.String() != "first name" || AttrOccupation.String() != "occupation" {
+		t.Error("attribute names changed")
+	}
+	if !strings.Contains(Attribute(99).String(), "99") {
+		t.Error("unknown attribute should include its number")
+	}
+}
+
+func TestFullName(t *testing.T) {
+	r := &Record{FirstName: "John", Surname: "ASHWORTH"}
+	if got := r.FullName(); got != "john ashworth" {
+		t.Errorf("FullName = %q", got)
+	}
+}
+
+// buildSmallDataset creates a two-household dataset used by several tests.
+func buildSmallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset(1871)
+	recs := []*Record{
+		{ID: "1871_1", HouseholdID: "a", FirstName: "john", Surname: "ashworth", Sex: SexMale, Age: 39, Role: RoleHead, Address: "mill lane"},
+		{ID: "1871_2", HouseholdID: "a", FirstName: "elizabeth", Surname: "ashworth", Sex: SexFemale, Age: 37, Role: RoleWife, Address: "mill lane"},
+		{ID: "1871_3", HouseholdID: "a", FirstName: "alice", Surname: "ashworth", Sex: SexFemale, Age: 8, Role: RoleDaughter, Address: "mill lane"},
+		{ID: "1871_6", HouseholdID: "b", FirstName: "john", Surname: "smith", Sex: SexMale, Age: 44, Role: RoleHead, Address: "bury rd"},
+		{ID: "1871_7", HouseholdID: "b", FirstName: "elizabeth", Surname: "smith", Sex: SexFemale, Age: 41, Role: RoleWife, Address: "bury rd"},
+	}
+	for _, r := range recs {
+		if err := d.AddRecord(r); err != nil {
+			t.Fatalf("AddRecord(%s): %v", r.ID, err)
+		}
+	}
+	return d
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	d := buildSmallDataset(t)
+	if d.NumRecords() != 5 {
+		t.Fatalf("NumRecords = %d, want 5", d.NumRecords())
+	}
+	if d.NumHouseholds() != 2 {
+		t.Fatalf("NumHouseholds = %d, want 2", d.NumHouseholds())
+	}
+	if d.Record("1871_3") == nil || d.Record("1871_3").FirstName != "alice" {
+		t.Error("Record lookup failed")
+	}
+	if d.Record("nope") != nil {
+		t.Error("Record of unknown ID should be nil")
+	}
+	h := d.Household("a")
+	if h == nil || h.Size() != 3 {
+		t.Fatalf("Household(a) size = %v", h)
+	}
+	members := d.Members(h)
+	if len(members) != 3 || members[0].ID != "1871_1" {
+		t.Errorf("Members order wrong: %v", members)
+	}
+	head := d.Head(h)
+	if head == nil || head.ID != "1871_1" {
+		t.Errorf("Head = %v", head)
+	}
+}
+
+func TestHeadFallsBackToFirstMember(t *testing.T) {
+	d := NewDataset(1871)
+	if err := d.AddRecord(&Record{ID: "r1", HouseholdID: "h", FirstName: "a", Surname: "b", Role: RoleWife}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRecord(&Record{ID: "r2", HouseholdID: "h", FirstName: "c", Surname: "d", Role: RoleSon}); err != nil {
+		t.Fatal(err)
+	}
+	if head := d.Head(d.Household("h")); head == nil || head.ID != "r1" {
+		t.Errorf("Head fallback = %v", head)
+	}
+}
+
+func TestAddRecordErrors(t *testing.T) {
+	d := NewDataset(1871)
+	if err := d.AddRecord(&Record{ID: "", HouseholdID: "h"}); err == nil {
+		t.Error("empty record ID accepted")
+	}
+	if err := d.AddRecord(&Record{ID: "r1", HouseholdID: ""}); err == nil {
+		t.Error("empty household ID accepted")
+	}
+	if err := d.AddRecord(&Record{ID: "r1", HouseholdID: "h"}); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	if err := d.AddRecord(&Record{ID: "r1", HouseholdID: "h"}); err == nil {
+		t.Error("duplicate record ID accepted")
+	}
+}
+
+func TestAddHouseholdErrors(t *testing.T) {
+	d := NewDataset(1871)
+	if err := d.AddHousehold(&Household{ID: ""}); err == nil {
+		t.Error("empty household ID accepted")
+	}
+	if err := d.AddHousehold(&Household{ID: "h"}); err != nil {
+		t.Fatalf("valid household rejected: %v", err)
+	}
+	if err := d.AddHousehold(&Household{ID: "h"}); err == nil {
+		t.Error("duplicate household ID accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := buildSmallDataset(t)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate on good dataset: %v", err)
+	}
+	// Corrupt: member of two households.
+	d.Household("b").MemberIDs = append(d.Household("b").MemberIDs, "1871_1")
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted record in two households")
+	}
+}
+
+func TestValidateUnknownMember(t *testing.T) {
+	d := NewDataset(1871)
+	if err := d.AddHousehold(&Household{ID: "h", MemberIDs: []string{"ghost"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted unknown member ID")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := buildSmallDataset(t)
+	// Introduce one missing value (occupation is already empty on all 5
+	// records; clear one age too).
+	d.Record("1871_7").Age = AgeMissing
+	s := d.ComputeStats()
+	if s.NumRecords != 5 || s.NumHouseholds != 2 {
+		t.Fatalf("stats counts: %+v", s)
+	}
+	// john ashworth, elizabeth ashworth, alice ashworth, john smith,
+	// elizabeth smith -> 5 unique combos.
+	if s.UniqueNames != 5 {
+		t.Errorf("UniqueNames = %d, want 5", s.UniqueNames)
+	}
+	if s.MeanMembers != 2.5 {
+		t.Errorf("MeanMembers = %v, want 2.5", s.MeanMembers)
+	}
+	// Missing: 5 occupations + 1 age = 6 of 30 slots.
+	if got, want := s.MissingRatio, 6.0/30.0; got != want {
+		t.Errorf("MissingRatio = %v, want %v", got, want)
+	}
+	if s.MaxHousehold != 3 {
+		t.Errorf("MaxHousehold = %d, want 3", s.MaxHousehold)
+	}
+	if s.NameFrequency != 1.0 {
+		t.Errorf("NameFrequency = %v, want 1", s.NameFrequency)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	d1 := NewDataset(1881)
+	d2 := NewDataset(1871)
+	d3 := NewDataset(1891)
+	s := NewSeries(d1, d2, d3)
+	years := s.Years()
+	if len(years) != 3 || years[0] != 1871 || years[1] != 1881 || years[2] != 1891 {
+		t.Fatalf("Years = %v", years)
+	}
+	pairs := s.Pairs()
+	if len(pairs) != 2 {
+		t.Fatalf("Pairs = %d", len(pairs))
+	}
+	if pairs[0][0].Year != 1871 || pairs[0][1].Year != 1881 || pairs[1][1].Year != 1891 {
+		t.Errorf("pair order wrong")
+	}
+	if s.Dataset(1881) != d1 || s.Dataset(1900) != nil {
+		t.Error("Series.Dataset lookup wrong")
+	}
+	if NewSeries(d1).Pairs() != nil {
+		t.Error("single-dataset series should have no pairs")
+	}
+}

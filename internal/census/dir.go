@@ -1,0 +1,79 @@
+package census
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// seriesFile matches the canonical census CSV file name census_<year>.csv.
+var seriesFile = regexp.MustCompile(`^census_(\d{4})\.csv$`)
+
+// SeriesFileName returns the canonical file name for a census year.
+func SeriesFileName(year int) string {
+	return fmt.Sprintf("census_%d.csv", year)
+}
+
+// WriteSeriesDir writes every dataset of a series into dir (creating it) as
+// census_<year>.csv files.
+func WriteSeriesDir(dir string, s *Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("census: %w", err)
+	}
+	for _, d := range s.Datasets {
+		path := filepath.Join(dir, SeriesFileName(d.Year))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("census: %w", err)
+		}
+		if err := WriteCSV(f, d); err != nil {
+			f.Close()
+			return fmt.Errorf("census: %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("census: %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// ReadSeriesDir loads every census_<year>.csv in dir into a series, sorted
+// by year. Files not matching the pattern are ignored.
+func ReadSeriesDir(dir string) (*Series, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var datasets []*Dataset
+	for _, name := range names {
+		m := seriesFile.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		year, _ := strconv.Atoi(m[1])
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("census: %w", err)
+		}
+		d, err := ReadCSV(f, year)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("census: %s: %w", name, err)
+		}
+		datasets = append(datasets, d)
+	}
+	if len(datasets) == 0 {
+		return nil, fmt.Errorf("census: no census_<year>.csv files in %s", dir)
+	}
+	return NewSeries(datasets...), nil
+}

@@ -1,0 +1,60 @@
+package census
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSeriesDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d1 := buildSmallDataset(t)
+	d2 := NewDataset(1881)
+	if err := d2.AddRecord(&Record{ID: "r", HouseholdID: "h", FirstName: "x", Surname: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSeriesDir(dir, NewSeries(d1, d2)); err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated file must be ignored on read.
+	if err := os.WriteFile(filepath.Join(dir, "truth.csv"), []byte("a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeriesDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Datasets) != 2 {
+		t.Fatalf("datasets = %d", len(got.Datasets))
+	}
+	if got.Dataset(1871).NumRecords() != d1.NumRecords() {
+		t.Error("1871 record count changed")
+	}
+	if got.Dataset(1881).NumRecords() != 1 {
+		t.Error("1881 record count changed")
+	}
+}
+
+func TestReadSeriesDirErrors(t *testing.T) {
+	if _, err := ReadSeriesDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	empty := t.TempDir()
+	if _, err := ReadSeriesDir(empty); err == nil {
+		t.Error("directory without census files accepted")
+	}
+	// A malformed census file must fail loudly.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "census_1871.csv"), []byte("nonsense\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSeriesDir(bad); err == nil {
+		t.Error("malformed census file accepted")
+	}
+}
+
+func TestSeriesFileName(t *testing.T) {
+	if got := SeriesFileName(1871); got != "census_1871.csv" {
+		t.Errorf("SeriesFileName = %q", got)
+	}
+}

@@ -1,0 +1,26 @@
+package census
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must never panic; either a dataset or an
+// error comes back, and a returned dataset must satisfy its own invariants.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("record_id,household_id,first_name,surname\nr1,h1,john,ashworth\n")
+	f.Add("record_id,household_id,first_name,surname,age\nr1,h1,a,b,12\n")
+	f.Add("record_id,household_id,first_name,surname,age\nr1,h1,a,b,xx\n")
+	f.Add("")
+	f.Add("a,b\n1")
+	f.Add("record_id,household_id,first_name,surname\n\"unclosed")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input), 1871)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parsed dataset violates invariants: %v", err)
+		}
+	})
+}

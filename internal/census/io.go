@@ -1,0 +1,102 @@
+package census
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the canonical column order for census CSV files.
+var csvHeader = []string{
+	"record_id", "household_id", "first_name", "surname", "sex", "age",
+	"address", "occupation", "birthplace", "role", "truth_id",
+}
+
+// WriteCSV serialises a dataset to CSV with the canonical header. Records
+// are written in insertion order so that round-tripping is lossless.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("census: write header: %w", err)
+	}
+	for _, r := range d.Records() {
+		age := ""
+		if r.Age != AgeMissing {
+			age = strconv.Itoa(r.Age)
+		}
+		row := []string{
+			r.ID, r.HouseholdID, r.FirstName, r.Surname, r.Sex.String(), age,
+			r.Address, r.Occupation, r.Birthplace, string(r.Role), r.TruthID,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("census: write record %q: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset from CSV. The year identifies the census; the
+// header must match the canonical column set (order-insensitive, extra
+// columns are ignored).
+func ReadCSV(r io.Reader, year int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("census: read header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[strings.TrimSpace(strings.ToLower(name))] = i
+	}
+	for _, required := range []string{"record_id", "household_id", "first_name", "surname"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("census: missing required column %q", required)
+		}
+	}
+	field := func(row []string, name string) string {
+		i, ok := col[name]
+		if !ok || i >= len(row) {
+			return ""
+		}
+		return strings.TrimSpace(row[i])
+	}
+
+	d := NewDataset(year)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("census: line %d: %w", line, err)
+		}
+		rec := &Record{
+			ID:          field(row, "record_id"),
+			HouseholdID: field(row, "household_id"),
+			FirstName:   field(row, "first_name"),
+			Surname:     field(row, "surname"),
+			Sex:         ParseSex(field(row, "sex")),
+			Age:         AgeMissing,
+			Address:     field(row, "address"),
+			Occupation:  field(row, "occupation"),
+			Birthplace:  field(row, "birthplace"),
+			Role:        ParseRole(field(row, "role")),
+			TruthID:     field(row, "truth_id"),
+		}
+		if ageStr := field(row, "age"); ageStr != "" {
+			age, err := strconv.Atoi(ageStr)
+			if err != nil {
+				return nil, fmt.Errorf("census: line %d: bad age %q: %w", line, ageStr, err)
+			}
+			rec.Age = age
+		}
+		if err := d.AddRecord(rec); err != nil {
+			return nil, fmt.Errorf("census: line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,83 @@
+package census
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := buildSmallDataset(t)
+	d.Record("1871_2").Age = AgeMissing
+	d.Record("1871_2").TruthID = "p42"
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, 1871)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumRecords() != d.NumRecords() || got.NumHouseholds() != d.NumHouseholds() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			got.NumRecords(), got.NumHouseholds(), d.NumRecords(), d.NumHouseholds())
+	}
+	for _, orig := range d.Records() {
+		rt := got.Record(orig.ID)
+		if rt == nil {
+			t.Fatalf("record %s lost", orig.ID)
+		}
+		if *rt != *orig {
+			t.Errorf("record %s changed:\n got %+v\nwant %+v", orig.ID, rt, orig)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped dataset invalid: %v", err)
+	}
+}
+
+func TestReadCSVHeaderFlexibility(t *testing.T) {
+	// Reordered columns with an extra one must still parse.
+	in := "surname,first_name,record_id,household_id,extra,age,sex,role\n" +
+		"ashworth,john,r1,h1,x,39,m,head\n"
+	d, err := ReadCSV(strings.NewReader(in), 1871)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	r := d.Record("r1")
+	if r == nil || r.Surname != "ashworth" || r.FirstName != "john" || r.Age != 39 ||
+		r.Sex != SexMale || r.Role != RoleHead {
+		t.Errorf("parsed record wrong: %+v", r)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"missing required column", "record_id,first_name,surname\nr1,john,ashworth\n"},
+		{"bad age", "record_id,household_id,first_name,surname,age\nr1,h1,john,ashworth,old\n"},
+		{"duplicate record id", "record_id,household_id,first_name,surname\nr1,h1,a,b\nr1,h1,c,d\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), 1871); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadCSVMissingValues(t *testing.T) {
+	in := "record_id,household_id,first_name,surname,sex,age,address,occupation,role,truth_id\n" +
+		"r1,h1,john,ashworth,,,,,head,\n"
+	d, err := ReadCSV(strings.NewReader(in), 1871)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	r := d.Record("r1")
+	if r.Age != AgeMissing || r.Sex != SexUnknown || r.Address != "" || r.TruthID != "" {
+		t.Errorf("missing values mishandled: %+v", r)
+	}
+}

@@ -1,0 +1,124 @@
+// Package chart renders minimal, dependency-free SVG charts for the
+// experiment harness — enough to regenerate the paper's Figure 6 (a grouped
+// bar chart of evolution pattern counts per census pair) as an image.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarGroup is one cluster of bars sharing an x-axis label.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart is a grouped bar chart.
+type BarChart struct {
+	Title  string
+	Series []string // one name per bar within a group, in order
+	Groups []BarGroup
+	// Width and Height of the SVG canvas; defaults 860x420.
+	Width, Height int
+}
+
+// seriesColors is a color-blind-safe palette.
+var seriesColors = []string{
+	"#0072b2", "#e69f00", "#009e73", "#d55e00", "#cc79a7", "#56b4e9",
+	"#f0e442", "#999999",
+}
+
+// RenderSVG writes the chart as a standalone SVG document.
+func (c *BarChart) RenderSVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 860
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		marginLeft   = 60
+		marginRight  = 20
+		marginTop    = 40
+		marginBottom = 60
+	)
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+
+	maxV := 0.0
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			width/2, escape(c.Title))
+	}
+
+	// Horizontal grid lines and y-axis labels at 5 ticks.
+	for t := 0; t <= 5; t++ {
+		v := maxV * float64(t) / 5
+		y := float64(marginTop+plotH) - float64(plotH)*float64(t)/5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			marginLeft-6, y+4, v)
+	}
+
+	// Bars.
+	nGroups := len(c.Groups)
+	nSeries := len(c.Series)
+	if nGroups > 0 && nSeries > 0 {
+		groupW := float64(plotW) / float64(nGroups)
+		barW := groupW * 0.8 / float64(nSeries)
+		for gi, g := range c.Groups {
+			x0 := float64(marginLeft) + groupW*float64(gi) + groupW*0.1
+			for si, v := range g.Values {
+				if si >= nSeries {
+					break
+				}
+				h := float64(plotH) * v / maxV
+				x := x0 + barW*float64(si)
+				y := float64(marginTop+plotH) - h
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.0f</title></rect>`+"\n",
+					x, y, barW, h, seriesColors[si%len(seriesColors)],
+					escape(g.Label), escape(c.Series[si]), v)
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+				x0+groupW*0.4, marginTop+plotH+18, escape(g.Label))
+		}
+	}
+
+	// Legend.
+	lx := marginLeft
+	ly := height - 18
+	for si, name := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			lx, ly-10, seriesColors[si%len(seriesColors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+16, ly, escape(name))
+		lx += 16 + 8*len(name) + 24
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,61 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoChart() *BarChart {
+	return &BarChart{
+		Title:  "Demo <chart>",
+		Series: []string{"preserve_G", "add_G"},
+		Groups: []BarGroup{
+			{Label: "1851-1861", Values: []float64{171, 112}},
+			{Label: "1861-1871", Values: []float64{236, 87}},
+		},
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	var b strings.Builder
+	if err := demoChart().RenderSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		"Demo &lt;chart&gt;", // escaped title
+		"preserve_G",
+		"1851-1861",
+		"</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two groups x two series = four bars plus legend swatches.
+	if n := strings.Count(out, "<rect"); n < 6 {
+		t.Errorf("too few rects: %d", n)
+	}
+	// Tallest bar belongs to the max value and uses the full plot height.
+	if !strings.Contains(out, `height="320.0"`) {
+		t.Errorf("expected a full-height bar for the max value:\n%s", out)
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	c := &BarChart{Title: "empty"}
+	if err := c.RenderSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "</svg>") {
+		t.Error("empty chart should still be valid SVG")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c`); got != `a&lt;b&gt;&amp;&quot;c` {
+		t.Errorf("escape = %q", got)
+	}
+}

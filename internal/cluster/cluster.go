@@ -1,0 +1,102 @@
+// Package cluster provides union-find based connected-component clustering,
+// used by the pre-matching step to turn pairwise record links into cluster
+// labels (the transitive closure of the match relation).
+package cluster
+
+import "sort"
+
+// UnionFind is a disjoint-set forest over string keys with path compression
+// and union by rank.
+type UnionFind struct {
+	parent map[string]string
+	rank   map[string]int
+	count  int
+}
+
+// NewUnionFind returns an empty union-find structure.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{
+		parent: make(map[string]string),
+		rank:   make(map[string]int),
+	}
+}
+
+// Add registers key as a singleton set if it is not present yet.
+func (u *UnionFind) Add(key string) {
+	if _, ok := u.parent[key]; !ok {
+		u.parent[key] = key
+		u.rank[key] = 0
+		u.count++
+	}
+}
+
+// Find returns the representative of key's set, adding key if necessary.
+func (u *UnionFind) Find(key string) string {
+	u.Add(key)
+	root := key
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[key] != root {
+		u.parent[key], key = root, u.parent[key]
+	}
+	return root
+}
+
+// Union merges the sets of a and b and reports whether a merge happened
+// (false when they were already in the same set).
+func (u *UnionFind) Union(a, b string) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b string) bool {
+	return u.Find(a) == u.Find(b)
+}
+
+// Len returns the number of registered keys.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// NumSets returns the current number of disjoint sets.
+func (u *UnionFind) NumSets() int { return u.count }
+
+// Components returns the disjoint sets as sorted slices, ordered by their
+// smallest element, so the output is deterministic.
+func (u *UnionFind) Components() [][]string {
+	groups := make(map[string][]string)
+	for key := range u.parent {
+		root := u.Find(key)
+		groups[root] = append(groups[root], key)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Labels assigns a dense integer label to every component (ordered as in
+// Components) and returns the key→label map.
+func (u *UnionFind) Labels() map[string]int {
+	labels := make(map[string]int, len(u.parent))
+	for i, comp := range u.Components() {
+		for _, key := range comp {
+			labels[key] = i
+		}
+	}
+	return labels
+}

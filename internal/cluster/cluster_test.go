@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind()
+	u.Add("a")
+	u.Add("b")
+	u.Add("a") // idempotent
+	if u.Len() != 2 || u.NumSets() != 2 {
+		t.Fatalf("Len=%d NumSets=%d", u.Len(), u.NumSets())
+	}
+	if u.Connected("a", "b") {
+		t.Error("a and b should start disconnected")
+	}
+	if !u.Union("a", "b") {
+		t.Error("first union should merge")
+	}
+	if u.Union("a", "b") {
+		t.Error("second union should be a no-op")
+	}
+	if !u.Connected("a", "b") {
+		t.Error("a and b should be connected")
+	}
+	if u.NumSets() != 1 {
+		t.Errorf("NumSets = %d, want 1", u.NumSets())
+	}
+}
+
+func TestFindAddsUnknownKeys(t *testing.T) {
+	u := NewUnionFind()
+	if root := u.Find("x"); root != "x" {
+		t.Errorf("Find(x) = %q", root)
+	}
+	if u.Len() != 1 {
+		t.Errorf("Len = %d", u.Len())
+	}
+}
+
+func TestComponentsDeterministic(t *testing.T) {
+	u := NewUnionFind()
+	u.Union("c", "a")
+	u.Union("b", "d")
+	u.Add("e")
+	comps := u.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	// Ordered by smallest element: [a c], [b d], [e].
+	if comps[0][0] != "a" || comps[0][1] != "c" ||
+		comps[1][0] != "b" || comps[1][1] != "d" || comps[2][0] != "e" {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	u := NewUnionFind()
+	u.Union("r1", "r2")
+	u.Union("r2", "r3")
+	u.Add("r4")
+	labels := u.Labels()
+	if labels["r1"] != labels["r2"] || labels["r2"] != labels["r3"] {
+		t.Errorf("connected keys got different labels: %v", labels)
+	}
+	if labels["r4"] == labels["r1"] {
+		t.Errorf("disconnected keys share a label: %v", labels)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	// Chain of unions must produce one component.
+	u := NewUnionFind()
+	for i := 0; i < 100; i++ {
+		u.Union(fmt.Sprintf("k%d", i), fmt.Sprintf("k%d", i+1))
+	}
+	if u.NumSets() != 1 {
+		t.Errorf("NumSets = %d, want 1", u.NumSets())
+	}
+	if !u.Connected("k0", "k100") {
+		t.Error("chain endpoints not connected")
+	}
+}
+
+// TestUnionFindInvariants checks, under random unions, that NumSets matches
+// the number of components and that component membership is an equivalence
+// relation consistent with Find.
+func TestUnionFindInvariants(t *testing.T) {
+	prop := func(seed int64, nKeys uint8, nUnions uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nKeys%30) + 2
+		u := NewUnionFind()
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", i)
+			u.Add(keys[i])
+		}
+		for i := 0; i < int(nUnions); i++ {
+			u.Union(keys[rng.Intn(n)], keys[rng.Intn(n)])
+		}
+		comps := u.Components()
+		if len(comps) != u.NumSets() {
+			return false
+		}
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+			for _, k := range c {
+				if u.Find(k) != u.Find(c[0]) {
+					return false
+				}
+			}
+		}
+		return total == u.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("rec_%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NewUnionFind()
+		for j := 0; j+1 < len(keys); j += 2 {
+			u.Union(keys[j], keys[j+1])
+		}
+		u.Labels()
+	}
+}

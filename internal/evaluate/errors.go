@@ -1,0 +1,130 @@
+package evaluate
+
+import (
+	"strings"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+)
+
+// ErrorCause classifies why a true link was missed (false negative).
+type ErrorCause int
+
+// Causes, tested in order; the first that applies wins.
+const (
+	// CauseMissingName: the first name or surname is blank on either side.
+	CauseMissingName ErrorCause = iota
+	// CauseSurnameChanged: the surnames differ outright (e.g. marriage).
+	CauseSurnameChanged
+	// CauseFirstNameVariant: the first names differ outright (nickname or
+	// heavy typo).
+	CauseFirstNameVariant
+	// CauseNameTypo: names agree only approximately (small typos).
+	CauseNameTypo
+	// CauseMovedHousehold: names agree but the person changed household
+	// context (address differs), defeating context-based matching.
+	CauseMovedHousehold
+	// CauseOther: none of the above.
+	CauseOther
+	numCauses
+)
+
+// String names the cause.
+func (c ErrorCause) String() string {
+	switch c {
+	case CauseMissingName:
+		return "missing name"
+	case CauseSurnameChanged:
+		return "surname changed"
+	case CauseFirstNameVariant:
+		return "first-name variant"
+	case CauseNameTypo:
+		return "name typo"
+	case CauseMovedHousehold:
+		return "moved household"
+	default:
+		return "other"
+	}
+}
+
+// Breakdown counts false negatives by cause and false positives in total —
+// an error analysis of a record mapping against the truth, showing *why*
+// links were missed (the failure surfaces the paper attributes to changed
+// and erroneous attribute values).
+type Breakdown struct {
+	FalseNegatives map[ErrorCause]int
+	FalsePositives int
+	TruePositives  int
+}
+
+// classify determines the first applicable cause for a missed pair.
+func classify(o, n *census.Record) ErrorCause {
+	ofn := strings.ToLower(strings.TrimSpace(o.FirstName))
+	nfn := strings.ToLower(strings.TrimSpace(n.FirstName))
+	osn := strings.ToLower(strings.TrimSpace(o.Surname))
+	nsn := strings.ToLower(strings.TrimSpace(n.Surname))
+	switch {
+	case ofn == "" || nfn == "" || osn == "" || nsn == "":
+		return CauseMissingName
+	case osn != nsn && !approxEqual(osn, nsn):
+		return CauseSurnameChanged
+	case ofn != nfn && !approxEqual(ofn, nfn):
+		return CauseFirstNameVariant
+	case ofn != nfn || osn != nsn:
+		return CauseNameTypo
+	case o.Address != n.Address:
+		return CauseMovedHousehold
+	default:
+		return CauseOther
+	}
+}
+
+// approxEqual reports whether two values differ by at most ~one edit (a
+// cheap length-insensitive check: long common prefix+suffix).
+func approxEqual(a, b string) bool {
+	if a == b {
+		return true
+	}
+	la, lb := len(a), len(b)
+	if la-lb > 1 || lb-la > 1 {
+		return false
+	}
+	// Strip the common prefix and suffix; at most 2 chars may remain.
+	i := 0
+	for i < la && i < lb && a[i] == b[i] {
+		i++
+	}
+	j := 0
+	for j < la-i && j < lb-i && a[la-1-j] == b[lb-1-j] {
+		j++
+	}
+	return (la-i-j) <= 1 && (lb-i-j) <= 1
+}
+
+// AnalyzeErrors computes the error breakdown of a record mapping.
+func AnalyzeErrors(links []linkage.RecordLink, old, new *census.Dataset) Breakdown {
+	truth := TrueRecordMapping(old, new)
+	pred := make(map[linkage.Pair]bool, len(links))
+	for _, l := range links {
+		pred[linkage.Pair{Old: l.Old, New: l.New}] = true
+	}
+	b := Breakdown{FalseNegatives: make(map[ErrorCause]int)}
+	for p := range pred {
+		if truth[p] {
+			b.TruePositives++
+		} else {
+			b.FalsePositives++
+		}
+	}
+	for p := range truth {
+		if pred[p] {
+			continue
+		}
+		o, n := old.Record(p.Old), new.Record(p.New)
+		if o == nil || n == nil {
+			continue
+		}
+		b.FalseNegatives[classify(o, n)]++
+	}
+	return b
+}

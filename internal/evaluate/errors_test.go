@@ -1,0 +1,97 @@
+package evaluate
+
+import (
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"smith", "smith", true},
+		{"smith", "smyth", true},  // one substitution
+		{"smith", "smiths", true}, // one insertion
+		{"smith", "mith", true},   // one deletion
+		{"smith", "taylor", false},
+		{"ashworth", "smith", false},
+		{"john", "jack", false},
+		{"", "", true},
+		{"a", "", true},
+	}
+	for _, c := range cases {
+		if got := approxEqual(c.a, c.b); got != c.want {
+			t.Errorf("approxEqual(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	mk := func(fn, sn, addr string) *census.Record {
+		return &census.Record{FirstName: fn, Surname: sn, Address: addr}
+	}
+	cases := []struct {
+		o, n *census.Record
+		want ErrorCause
+	}{
+		{mk("", "smith", "a"), mk("john", "smith", "a"), CauseMissingName},
+		{mk("alice", "ashworth", "a"), mk("alice", "smith", "b"), CauseSurnameChanged},
+		{mk("william", "smith", "a"), mk("bill", "smith", "a"), CauseFirstNameVariant},
+		{mk("john", "smith", "a"), mk("john", "smyth", "a"), CauseNameTypo},
+		{mk("john", "smith", "a"), mk("john", "smith", "b"), CauseMovedHousehold},
+		{mk("john", "smith", "a"), mk("john", "smith", "a"), CauseOther},
+	}
+	for i, c := range cases {
+		if got := classify(c.o, c.n); got != c.want {
+			t.Errorf("case %d: classify = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	old, new := truthFixture(t)
+	// Predict two true links (John + Elizabeth Ashworth) and one false one.
+	links := []linkage.RecordLink{
+		{Old: "1871_1", New: "1881_1"},
+		{Old: "1871_2", New: "1881_2"},
+		{Old: "1871_5", New: "1881_9"}, // Riley -> wrong John: FP
+	}
+	b := AnalyzeErrors(links, old, new)
+	if b.TruePositives != 2 || b.FalsePositives != 1 {
+		t.Fatalf("tp=%d fp=%d", b.TruePositives, b.FalsePositives)
+	}
+	totalFN := 0
+	for _, n := range b.FalseNegatives {
+		totalFN += n
+	}
+	if totalFN != 5 {
+		t.Fatalf("fn total = %d, want 5", totalFN)
+	}
+	// Alice married: her miss must classify as surname change.
+	if b.FalseNegatives[CauseSurnameChanged] < 1 {
+		t.Errorf("Alice's miss not classified as surname change: %v", b.FalseNegatives)
+	}
+	// Steve moved with his name intact: moved household.
+	if b.FalseNegatives[CauseMovedHousehold] < 1 {
+		t.Errorf("Steve's miss not classified as move: %v", b.FalseNegatives)
+	}
+}
+
+func TestErrorCauseString(t *testing.T) {
+	want := map[ErrorCause]string{
+		CauseMissingName:      "missing name",
+		CauseSurnameChanged:   "surname changed",
+		CauseFirstNameVariant: "first-name variant",
+		CauseNameTypo:         "name typo",
+		CauseMovedHousehold:   "moved household",
+		CauseOther:            "other",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

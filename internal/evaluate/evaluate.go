@@ -1,0 +1,208 @@
+// Package evaluate computes linkage quality (precision, recall, F-measure)
+// for record and group mappings against ground truth. For synthetic data the
+// truth is derived from the persistent person identifiers the generator
+// stores in census.Record.TruthID; for the paper's setting this plays the
+// role of the manually linked reference mapping.
+package evaluate
+
+import (
+	"math/rand"
+	"sort"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+)
+
+// Metrics holds counts and derived quality measures of one mapping.
+type Metrics struct {
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// Compute derives precision, recall and F-measure from match counts.
+func Compute(tp, fp, fn int) Metrics {
+	m := Metrics{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		m.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		m.Recall = float64(tp) / float64(tp+fn)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// TrueRecordMapping returns the ground-truth record mapping between two
+// datasets: all pairs of records carrying the same non-empty TruthID. The
+// mapping is 1:1 because a person appears at most once per census.
+func TrueRecordMapping(old, new *census.Dataset) map[linkage.Pair]bool {
+	byTruth := make(map[string]string, new.NumRecords())
+	for _, r := range new.Records() {
+		if r.TruthID != "" {
+			byTruth[r.TruthID] = r.ID
+		}
+	}
+	truth := make(map[linkage.Pair]bool)
+	for _, r := range old.Records() {
+		if r.TruthID == "" {
+			continue
+		}
+		if newID, ok := byTruth[r.TruthID]; ok {
+			truth[linkage.Pair{Old: r.ID, New: newID}] = true
+		}
+	}
+	return truth
+}
+
+// TrueGroupMapping returns the ground-truth group mapping: household pairs
+// sharing at least one common person (Eq. 2 of the paper: complete or
+// partial correspondence according to common records).
+func TrueGroupMapping(old, new *census.Dataset) map[linkage.GroupPair]bool {
+	records := TrueRecordMapping(old, new)
+	truth := make(map[linkage.GroupPair]bool)
+	for p := range records {
+		o, n := old.Record(p.Old), new.Record(p.New)
+		if o == nil || n == nil {
+			continue
+		}
+		truth[linkage.GroupPair{Old: o.HouseholdID, New: n.HouseholdID}] = true
+	}
+	return truth
+}
+
+// RecordMetrics scores a predicted record mapping against the truth.
+func RecordMetrics(pred []linkage.RecordLink, truth map[linkage.Pair]bool) Metrics {
+	tp, fp := 0, 0
+	seen := make(map[linkage.Pair]bool, len(pred))
+	for _, l := range pred {
+		p := linkage.Pair{Old: l.Old, New: l.New}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if truth[p] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return Compute(tp, fp, len(truth)-tp)
+}
+
+// GroupMetrics scores a predicted group mapping against the truth.
+func GroupMetrics(pred []linkage.GroupLink, truth map[linkage.GroupPair]bool) Metrics {
+	tp, fp := 0, 0
+	seen := make(map[linkage.GroupPair]bool, len(pred))
+	for _, l := range pred {
+		p := linkage.GroupPair(l)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if truth[p] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return Compute(tp, fp, len(truth)-tp)
+}
+
+// EvaluateResult scores both mappings of a linkage result at once.
+func EvaluateResult(res *linkage.Result, old, new *census.Dataset) (record, group Metrics) {
+	record = RecordMetrics(res.RecordLinks, TrueRecordMapping(old, new))
+	group = GroupMetrics(res.GroupLinks, TrueGroupMapping(old, new))
+	return record, group
+}
+
+// MatchedHouseholds returns the old-dataset households that have at least
+// one member with a true match in the new dataset. This mirrors the
+// construction of the paper's reference mapping, which covers manually
+// linked (i.e. matched) households only: links and truth restricted to this
+// set reproduce the paper's evaluation protocol, under which false links
+// attached to vanished or newly arrived households are invisible.
+func MatchedHouseholds(old, new *census.Dataset) map[string]bool {
+	out := make(map[string]bool)
+	for p := range TrueRecordMapping(old, new) {
+		if r := old.Record(p.Old); r != nil {
+			out[r.HouseholdID] = true
+		}
+	}
+	return out
+}
+
+// SampleReferenceHouseholds mimics the paper's partial reference mapping: it
+// samples a fraction of the old dataset's households (deterministically by
+// seed) and returns the set of sampled household IDs.
+func SampleReferenceHouseholds(old *census.Dataset, fraction float64, seed int64) map[string]bool {
+	if fraction <= 0 {
+		return map[string]bool{}
+	}
+	ids := make([]string, 0, old.NumHouseholds())
+	for _, h := range old.Households() {
+		ids = append(ids, h.ID)
+	}
+	sort.Strings(ids)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	n := int(float64(len(ids)) * fraction)
+	if fraction > 0 && n == 0 {
+		n = 1
+	}
+	out := make(map[string]bool, n)
+	for _, id := range ids[:n] {
+		out[id] = true
+	}
+	return out
+}
+
+// RestrictRecordTruth keeps only truth pairs whose old record belongs to a
+// sampled household.
+func RestrictRecordTruth(truth map[linkage.Pair]bool, old *census.Dataset, sample map[string]bool) map[linkage.Pair]bool {
+	out := make(map[linkage.Pair]bool)
+	for p := range truth {
+		if r := old.Record(p.Old); r != nil && sample[r.HouseholdID] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// RestrictRecordLinks keeps only predicted links whose old record belongs to
+// a sampled household, for evaluation against a restricted truth.
+func RestrictRecordLinks(links []linkage.RecordLink, old *census.Dataset, sample map[string]bool) []linkage.RecordLink {
+	var out []linkage.RecordLink
+	for _, l := range links {
+		if r := old.Record(l.Old); r != nil && sample[r.HouseholdID] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// RestrictGroupTruth keeps only truth pairs whose old household is sampled.
+func RestrictGroupTruth(truth map[linkage.GroupPair]bool, sample map[string]bool) map[linkage.GroupPair]bool {
+	out := make(map[linkage.GroupPair]bool)
+	for p := range truth {
+		if sample[p.Old] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// RestrictGroupLinks keeps only predicted group links with a sampled old
+// household.
+func RestrictGroupLinks(links []linkage.GroupLink, sample map[string]bool) []linkage.GroupLink {
+	var out []linkage.GroupLink
+	for _, l := range links {
+		if sample[l.Old] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package evaluate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+)
+
+func TestComputeMetrics(t *testing.T) {
+	m := Compute(8, 2, 4)
+	if math.Abs(m.Precision-0.8) > 1e-9 {
+		t.Errorf("precision = %v", m.Precision)
+	}
+	if math.Abs(m.Recall-8.0/12.0) > 1e-9 {
+		t.Errorf("recall = %v", m.Recall)
+	}
+	wantF := 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0/12.0)
+	if math.Abs(m.F1-wantF) > 1e-9 {
+		t.Errorf("f1 = %v, want %v", m.F1, wantF)
+	}
+	zero := Compute(0, 0, 0)
+	if zero.Precision != 0 || zero.Recall != 0 || zero.F1 != 0 {
+		t.Errorf("zero counts must yield zero metrics: %+v", zero)
+	}
+}
+
+// truthFixture returns the running-example datasets with TruthIDs assigned
+// according to the paper's true mapping.
+func truthFixture(t *testing.T) (*census.Dataset, *census.Dataset) {
+	t.Helper()
+	old, new := paperexample.Old(), paperexample.New()
+	i := 0
+	for oldID, newID := range paperexample.TrueRecordMapping() {
+		i++
+		id := fmt.Sprintf("t%d", i)
+		old.Record(oldID).TruthID = id
+		new.Record(newID).TruthID = id
+	}
+	n := 0
+	for _, r := range old.Records() {
+		if r.TruthID == "" {
+			n++
+			r.TruthID = fmt.Sprintf("u%d", n)
+		}
+	}
+	for _, r := range new.Records() {
+		if r.TruthID == "" {
+			n++
+			r.TruthID = fmt.Sprintf("u%d", n)
+		}
+	}
+	return old, new
+}
+
+func TestTrueRecordMapping(t *testing.T) {
+	old, new := truthFixture(t)
+	truth := TrueRecordMapping(old, new)
+	if len(truth) != 7 {
+		t.Fatalf("truth pairs = %d, want 7", len(truth))
+	}
+	for oldID, newID := range paperexample.TrueRecordMapping() {
+		if !truth[linkage.Pair{Old: oldID, New: newID}] {
+			t.Errorf("missing truth pair %s -> %s", oldID, newID)
+		}
+	}
+}
+
+func TestTrueGroupMapping(t *testing.T) {
+	old, new := truthFixture(t)
+	truth := TrueGroupMapping(old, new)
+	if len(truth) != 4 {
+		t.Fatalf("group truth = %v, want 4 pairs", truth)
+	}
+	for _, g := range paperexample.TrueGroupMapping() {
+		if !truth[linkage.GroupPair{Old: g[0], New: g[1]}] {
+			t.Errorf("missing group truth %v", g)
+		}
+	}
+}
+
+func TestRecordMetricsPerfect(t *testing.T) {
+	old, new := truthFixture(t)
+	truth := TrueRecordMapping(old, new)
+	var pred []linkage.RecordLink
+	for p := range truth {
+		pred = append(pred, linkage.RecordLink{Old: p.Old, New: p.New, Sim: 1})
+	}
+	m := RecordMetrics(pred, truth)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect prediction scored %+v", m)
+	}
+}
+
+func TestRecordMetricsMixed(t *testing.T) {
+	old, new := truthFixture(t)
+	truth := TrueRecordMapping(old, new)
+	pred := []linkage.RecordLink{
+		{Old: "1871_1", New: "1881_1"}, // TP
+		{Old: "1871_2", New: "1881_2"}, // TP
+		{Old: "1871_1", New: "1881_1"}, // duplicate: counted once
+		{Old: "1871_5", New: "1881_9"}, // FP (Riley died)
+	}
+	m := RecordMetrics(pred, truth)
+	if m.TP != 2 || m.FP != 1 || m.FN != 5 {
+		t.Errorf("counts = %+v", m)
+	}
+}
+
+func TestGroupMetricsMixed(t *testing.T) {
+	old, new := truthFixture(t)
+	truth := TrueGroupMapping(old, new)
+	pred := []linkage.GroupLink{
+		{Old: "1871_a", New: "1881_a"}, // TP
+		{Old: "1871_a", New: "1881_d"}, // FP
+	}
+	m := GroupMetrics(pred, truth)
+	if m.TP != 1 || m.FP != 1 || m.FN != 3 {
+		t.Errorf("counts = %+v", m)
+	}
+}
+
+func TestEvaluateResult(t *testing.T) {
+	old, new := truthFixture(t)
+	res := &linkage.Result{
+		RecordLinks: []linkage.RecordLink{{Old: "1871_1", New: "1881_1"}},
+		GroupLinks:  []linkage.GroupLink{{Old: "1871_a", New: "1881_a"}},
+	}
+	rm, gm := EvaluateResult(res, old, new)
+	if rm.TP != 1 || rm.FP != 0 || gm.TP != 1 || gm.FP != 0 {
+		t.Errorf("rm=%+v gm=%+v", rm, gm)
+	}
+}
+
+func TestSampleReferenceHouseholds(t *testing.T) {
+	old, _ := truthFixture(t)
+	all := SampleReferenceHouseholds(old, 1.0, 1)
+	if len(all) != old.NumHouseholds() {
+		t.Errorf("fraction 1.0 sampled %d of %d", len(all), old.NumHouseholds())
+	}
+	half := SampleReferenceHouseholds(old, 0.5, 1)
+	if len(half) != 1 {
+		t.Errorf("fraction 0.5 of 2 households sampled %d", len(half))
+	}
+	again := SampleReferenceHouseholds(old, 0.5, 1)
+	for id := range half {
+		if !again[id] {
+			t.Error("sampling not deterministic for equal seeds")
+		}
+	}
+	if len(SampleReferenceHouseholds(old, 0, 1)) != 0 {
+		t.Error("fraction 0 should sample nothing")
+	}
+	if len(SampleReferenceHouseholds(old, 0.0001, 1)) != 1 {
+		t.Error("tiny positive fraction should sample at least one household")
+	}
+}
+
+func TestRestriction(t *testing.T) {
+	old, new := truthFixture(t)
+	sample := map[string]bool{"1871_a": true}
+	truth := RestrictRecordTruth(TrueRecordMapping(old, new), old, sample)
+	// Household a of 1871 has 4 surviving members (John, Elizabeth, Alice,
+	// William); Riley died.
+	if len(truth) != 4 {
+		t.Errorf("restricted record truth = %d, want 4", len(truth))
+	}
+	groupTruth := RestrictGroupTruth(TrueGroupMapping(old, new), sample)
+	if len(groupTruth) != 2 { // (a,a) and (a,c)
+		t.Errorf("restricted group truth = %d, want 2", len(groupTruth))
+	}
+	links := []linkage.RecordLink{
+		{Old: "1871_1", New: "1881_1"},
+		{Old: "1871_6", New: "1881_4"}, // household b: filtered out
+	}
+	if got := RestrictRecordLinks(links, old, sample); len(got) != 1 {
+		t.Errorf("restricted links = %v", got)
+	}
+	glinks := []linkage.GroupLink{
+		{Old: "1871_a", New: "1881_a"},
+		{Old: "1871_b", New: "1881_b"},
+	}
+	if got := RestrictGroupLinks(glinks, sample); len(got) != 1 || got[0].Old != "1871_a" {
+		t.Errorf("restricted group links = %v", got)
+	}
+}
+
+func TestMatchedHouseholds(t *testing.T) {
+	old, new := truthFixture(t)
+	matched := MatchedHouseholds(old, new)
+	// Both 1871 households contain at least one person found in 1881.
+	if len(matched) != 2 || !matched["1871_a"] || !matched["1871_b"] {
+		t.Errorf("matched households = %v", matched)
+	}
+	// Remove household b's links: only a remains matched.
+	for _, id := range []string{"1871_6", "1871_7", "1871_8"} {
+		old.Record(id).TruthID = "gone_" + id
+	}
+	matched = MatchedHouseholds(old, new)
+	if len(matched) != 1 || !matched["1871_a"] {
+		t.Errorf("matched households after unlinking b = %v", matched)
+	}
+}

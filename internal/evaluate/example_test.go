@@ -1,0 +1,33 @@
+package evaluate_test
+
+import (
+	"fmt"
+
+	"censuslink/internal/evaluate"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+)
+
+// ExampleRecordMetrics scores a predicted record mapping against ground
+// truth derived from persistent person identifiers.
+func ExampleRecordMetrics() {
+	old, new := paperexample.Old(), paperexample.New()
+	// Assign truth IDs for the running example's seven true links.
+	i := 0
+	for oldID, newID := range paperexample.TrueRecordMapping() {
+		i++
+		old.Record(oldID).TruthID = fmt.Sprintf("p%d", i)
+		new.Record(newID).TruthID = fmt.Sprintf("p%d", i)
+	}
+	truth := evaluate.TrueRecordMapping(old, new)
+
+	pred := []linkage.RecordLink{
+		{Old: "1871_1", New: "1881_1"}, // correct
+		{Old: "1871_2", New: "1881_2"}, // correct
+		{Old: "1871_5", New: "1881_9"}, // wrong: John Riley died
+	}
+	m := evaluate.RecordMetrics(pred, truth)
+	fmt.Printf("P=%.2f R=%.2f F=%.2f\n", m.Precision, m.Recall, m.F1)
+	// Output:
+	// P=0.67 R=0.29 F=0.40
+}

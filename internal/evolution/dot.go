@@ -1,0 +1,74 @@
+package evolution
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the evolution graph in Graphviz DOT format: one cluster
+// per census year with the household vertices, and typed, colour-coded
+// group-pattern edges between successive years. The output is deterministic
+// and can be rendered with `dot -Tsvg`.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "evolution"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	years := append([]int(nil), g.Years...)
+	sort.Ints(years)
+	for _, year := range years {
+		fmt.Fprintf(&b, "  subgraph \"cluster_%d\" {\n    label=\"%d\";\n", year, year)
+		ids := append([]string(nil), g.households[year]...)
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "    %q;\n", vertexID(year, id))
+		}
+		b.WriteString("  }\n")
+	}
+
+	edges := append([]GroupEdge(nil), g.GroupEdges...)
+	sort.Slice(edges, func(i, j int) bool {
+		a, e := edges[i], edges[j]
+		if a.From.Year != e.From.Year {
+			return a.From.Year < e.From.Year
+		}
+		if a.From.Household != e.From.Household {
+			return a.From.Household < e.From.Household
+		}
+		return a.To.Household < e.To.Household
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q, color=%q];\n",
+			vertexID(e.From.Year, e.From.Household),
+			vertexID(e.To.Year, e.To.Household),
+			e.Pattern.String(), patternColor(e.Pattern))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func vertexID(year int, household string) string {
+	return fmt.Sprintf("%d/%s", year, household)
+}
+
+// patternColor assigns a stable Graphviz colour per pattern type.
+func patternColor(p GroupPattern) string {
+	switch p {
+	case PatternPreserve:
+		return "black"
+	case PatternMove:
+		return "blue"
+	case PatternSplit:
+		return "red"
+	case PatternMerge:
+		return "darkgreen"
+	default:
+		return "gray"
+	}
+}

@@ -1,0 +1,48 @@
+package evolution
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := runningExampleGraph(t)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "example"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "example" {`,
+		`subgraph "cluster_1871"`,
+		`subgraph "cluster_1881"`,
+		`"1871/1871_a"`,
+		`"1881/1881_d"`,
+		`"1871/1871_a" -> "1881/1881_a" [label="preserve_G", color="black"];`,
+		`"1871/1871_a" -> "1881/1881_c" [label="move", color="blue"];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT output not closed")
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	g := runningExampleGraph(t)
+	var a, b strings.Builder
+	if err := g.WriteDOT(&a, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("DOT output varies between calls")
+	}
+	if !strings.Contains(a.String(), `digraph "evolution"`) {
+		t.Error("default name not applied")
+	}
+}

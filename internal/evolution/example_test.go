@@ -1,0 +1,51 @@
+package evolution_test
+
+import (
+	"fmt"
+
+	"censuslink/internal/census"
+	"censuslink/internal/evolution"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+)
+
+// exampleMappings packs the running example's true mappings into a result.
+func exampleMappings() *linkage.Result {
+	res := &linkage.Result{}
+	for o, n := range paperexample.TrueRecordMapping() {
+		res.RecordLinks = append(res.RecordLinks, linkage.RecordLink{Old: o, New: n})
+	}
+	for _, g := range paperexample.TrueGroupMapping() {
+		res.GroupLinks = append(res.GroupLinks, linkage.GroupLink{Old: g[0], New: g[1]})
+	}
+	return res
+}
+
+// ExampleAnalyze derives the Fig. 5(a) evolution patterns of the running
+// example.
+func ExampleAnalyze() {
+	old, new := paperexample.Old(), paperexample.New()
+	a := evolution.Analyze(old, new, exampleMappings())
+	fmt.Printf("preserve_R=%d add_R=%d remove_R=%d\n",
+		len(a.PreservedRecords), len(a.AddedRecords), len(a.RemovedRecords))
+	fmt.Printf("preserve_G=%d move=%d add_G=%d\n",
+		len(a.PreservedGroups), len(a.Moves), len(a.AddedGroups))
+	// Output:
+	// preserve_R=7 add_R=4 remove_R=1
+	// preserve_G=2 move=2 add_G=1
+}
+
+// ExampleGraph_PreserveChains runs the Table 8 query on a two-census graph.
+func ExampleGraph_PreserveChains() {
+	series := census.NewSeries(paperexample.Old(), paperexample.New())
+	g, err := evolution.BuildGraph(series, []*linkage.Result{exampleMappings()})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.PreserveChains(1))
+	size, share := g.LargestComponentShare()
+	fmt.Printf("largest component: %d households (%.0f%%)\n", size, share*100)
+	// Output:
+	// 2
+	// largest component: 5 households (83%)
+}

@@ -1,0 +1,147 @@
+package evolution
+
+import (
+	"fmt"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+)
+
+func runningExampleGraph(t *testing.T) *Graph {
+	t.Helper()
+	series := census.NewSeries(paperexample.Old(), paperexample.New())
+	g, err := BuildGraph(series, []*linkage.Result{exampleResult()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildGraphRunningExample(t *testing.T) {
+	g := runningExampleGraph(t)
+	if len(g.Analyses) != 1 || len(g.RecordEdges) != 1 {
+		t.Fatalf("graph shape wrong: %d analyses", len(g.Analyses))
+	}
+	if len(g.RecordEdges[0]) != 7 {
+		t.Errorf("record edges = %d, want 7", len(g.RecordEdges[0]))
+	}
+	// 2 preserve + 2 move edges.
+	counts := map[GroupPattern]int{}
+	for _, e := range g.GroupEdges {
+		counts[e.Pattern]++
+	}
+	if counts[PatternPreserve] != 2 || counts[PatternMove] != 2 {
+		t.Errorf("edges = %v", counts)
+	}
+}
+
+func TestBuildGraphSizeMismatch(t *testing.T) {
+	series := census.NewSeries(paperexample.Old(), paperexample.New())
+	if _, err := BuildGraph(series, nil); err == nil {
+		t.Error("mismatched results length accepted")
+	}
+}
+
+// TestConnectedComponents: the running example's evolution graph has one
+// component of five households (a, b of 1871; a, b, c of 1881) and one
+// isolated household (d), mirroring Fig. 5(b)'s component computation.
+func TestConnectedComponents(t *testing.T) {
+	g := runningExampleGraph(t)
+	sizes := g.ConnectedComponents()
+	if len(sizes) != 2 || sizes[0] != 5 || sizes[1] != 1 {
+		t.Fatalf("component sizes = %v, want [5 1]", sizes)
+	}
+	size, share := g.LargestComponentShare()
+	if size != 5 {
+		t.Errorf("largest = %d", size)
+	}
+	if share < 0.83 || share > 0.84 { // 5/6
+		t.Errorf("share = %v, want 5/6", share)
+	}
+}
+
+func TestPatternCounts(t *testing.T) {
+	g := runningExampleGraph(t)
+	counts := g.PatternCounts()
+	if len(counts) != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	c := counts[0]
+	if c[PatternPreserve] != 2 || c[PatternMove] != 2 || c[PatternAdd] != 1 ||
+		c[PatternRemove] != 0 || c[PatternSplit] != 0 || c[PatternMerge] != 0 {
+		t.Errorf("pattern counts = %v", c)
+	}
+}
+
+// chainSeries builds three tiny censuses where household h1 is preserved
+// across both intervals, h2 only across the first, and h3 appears late.
+func chainSeries(t *testing.T) (*census.Series, []*linkage.Result) {
+	t.Helper()
+	mk := func(year int, households ...string) *census.Dataset {
+		d := census.NewDataset(year)
+		for _, hh := range households {
+			for i := 0; i < 2; i++ {
+				if err := d.AddRecord(&census.Record{
+					ID:          fmt.Sprintf("%d_%s_%d", year, hh, i),
+					HouseholdID: fmt.Sprintf("%d_%s", year, hh),
+					FirstName:   "x", Surname: "y",
+					Role: census.RoleHead,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return d
+	}
+	d1 := mk(1851, "h1", "h2")
+	d2 := mk(1861, "h1", "h2", "h3")
+	d3 := mk(1871, "h1", "h3")
+
+	link := func(oldYear, newYear int, hhs ...string) *linkage.Result {
+		res := &linkage.Result{}
+		for _, hh := range hhs {
+			for i := 0; i < 2; i++ {
+				res.RecordLinks = append(res.RecordLinks, linkage.RecordLink{
+					Old: fmt.Sprintf("%d_%s_%d", oldYear, hh, i),
+					New: fmt.Sprintf("%d_%s_%d", newYear, hh, i),
+				})
+			}
+			res.GroupLinks = append(res.GroupLinks, linkage.GroupLink{
+				Old: fmt.Sprintf("%d_%s", oldYear, hh),
+				New: fmt.Sprintf("%d_%s", newYear, hh),
+			})
+		}
+		return res
+	}
+	return census.NewSeries(d1, d2, d3), []*linkage.Result{
+		link(1851, 1861, "h1", "h2"),
+		link(1861, 1871, "h1", "h3"),
+	}
+}
+
+// TestPreserveChains reproduces the Table 8 query semantics: the one-
+// interval count equals the total number of preserve_G patterns, and longer
+// chains require consecutive preserve edges.
+func TestPreserveChains(t *testing.T) {
+	series, results := chainSeries(t)
+	g, err := BuildGraph(series, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// preserve_G per pair: (h1, h2) then (h1, h3) -> total 4.
+	if got := g.PreserveChains(1); got != 4 {
+		t.Errorf("PreserveChains(1) = %d, want 4", got)
+	}
+	// Only h1 is preserved over both intervals.
+	if got := g.PreserveChains(2); got != 1 {
+		t.Errorf("PreserveChains(2) = %d, want 1", got)
+	}
+	if got := g.PreserveChains(3); got != 0 {
+		t.Errorf("PreserveChains(3) = %d, want 0", got)
+	}
+	if got := g.PreserveChains(0); got != 0 {
+		t.Errorf("PreserveChains(0) = %d, want 0", got)
+	}
+}

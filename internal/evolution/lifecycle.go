@@ -1,0 +1,75 @@
+package evolution
+
+// SurvivalCurve returns, for every interval count k = 1..len(Years)-1, the
+// fraction of households that, given at least k census intervals ahead of
+// them, were preserved through all k: a household survival function over
+// time-in-place. The denominator for k excludes households first observed
+// too late in the series to have k intervals ahead.
+func (g *Graph) SurvivalCurve() []float64 {
+	n := len(g.Years) - 1
+	if n < 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		atRisk := 0
+		for yi := 0; yi+k < len(g.Years); yi++ {
+			atRisk += len(g.households[g.Years[yi]])
+		}
+		if atRisk == 0 {
+			continue
+		}
+		out[k-1] = float64(g.PreserveChains(k)) / float64(atRisk)
+	}
+	return out
+}
+
+// LifespanHistogram returns, for every maximal preserve chain, its length
+// in census intervals, aggregated into a histogram: result[k] is the number
+// of household lineages that were preserved for exactly k consecutive
+// intervals (k = 0 means the household was never preserved into the next
+// census). Lineages still alive at the last census are counted by their
+// observed length (right-censored).
+func (g *Graph) LifespanHistogram() map[int]int {
+	// A chain starts at a household vertex with no preserve predecessor.
+	hasPred := make(map[GroupVertex]bool, len(g.preserveNext))
+	for _, to := range g.preserveNext {
+		hasPred[to] = true
+	}
+	hist := make(map[int]int)
+	for _, year := range g.Years {
+		for _, id := range g.households[year] {
+			v := GroupVertex{Year: year, Household: id}
+			if hasPred[v] {
+				continue
+			}
+			length := 0
+			cur := v
+			for {
+				next, ok := g.preserveNext[cur]
+				if !ok {
+					break
+				}
+				length++
+				cur = next
+			}
+			hist[length]++
+		}
+	}
+	return hist
+}
+
+// MeanLifespan returns the average preserve-chain length in census
+// intervals over all household lineages.
+func (g *Graph) MeanLifespan() float64 {
+	hist := g.LifespanHistogram()
+	total, weighted := 0, 0
+	for length, count := range hist {
+		total += count
+		weighted += length * count
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(total)
+}

@@ -1,0 +1,85 @@
+package evolution
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSurvivalCurve(t *testing.T) {
+	series, results := chainSeries(t)
+	g, err := BuildGraph(series, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := g.SurvivalCurve()
+	if len(curve) != 2 {
+		t.Fatalf("curve = %v", curve)
+	}
+	// k=1: households at risk = 2 (1851) + 3 (1861) = 5; preserved chains
+	// of length 1 = 4 -> 0.8.
+	if math.Abs(curve[0]-0.8) > 1e-9 {
+		t.Errorf("survival(1) = %v, want 0.8", curve[0])
+	}
+	// k=2: at risk = 2 (1851 only); only h1 preserved twice -> 0.5.
+	if math.Abs(curve[1]-0.5) > 1e-9 {
+		t.Errorf("survival(2) = %v, want 0.5", curve[1])
+	}
+	// The curve must be non-increasing.
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-9 {
+			t.Errorf("survival curve increases at %d: %v", i, curve)
+		}
+	}
+}
+
+func TestLifespanHistogram(t *testing.T) {
+	series, results := chainSeries(t)
+	g, err := BuildGraph(series, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := g.LifespanHistogram()
+	// Lineages: h1 (1851->1871, length 2), h2 (1851->1861, length 1; its
+	// 1861 vertex ends a chain of length 0? No: 1861_h2 has a predecessor),
+	// h3 (1861->1871, length 1), plus the chain-final vertices that start
+	// no chain: 1871_h1 and 1871_h3 have predecessors, 1861_h3 starts the
+	// h3 chain. Unpreserved singletons count as length 0.
+	if hist[2] != 1 {
+		t.Errorf("lineages of length 2 = %d, want 1 (h1)", hist[2])
+	}
+	if hist[1] != 2 {
+		t.Errorf("lineages of length 1 = %d, want 2 (h2, h3)", hist[1])
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	// Every household vertex without a preserve predecessor starts exactly
+	// one lineage: 1851: h1, h2; 1861: h3; 1871: none (both have preds)...
+	// plus terminal vertices of other years without predecessors.
+	if total != 3 {
+		t.Errorf("total lineages = %d, want 3 (%v)", total, hist)
+	}
+}
+
+func TestMeanLifespan(t *testing.T) {
+	series, results := chainSeries(t)
+	g, err := BuildGraph(series, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lineages: lengths 2 (h1), 1 (h2), 1 (h3) -> mean 4/3.
+	if got := g.MeanLifespan(); math.Abs(got-4.0/3.0) > 1e-9 {
+		t.Errorf("mean lifespan = %v, want 4/3", got)
+	}
+}
+
+func TestLifecycleEmptyGraph(t *testing.T) {
+	g := &Graph{Years: []int{1851}, households: map[int][]string{1851: {"h"}}}
+	if c := g.SurvivalCurve(); c != nil {
+		t.Errorf("single-census survival curve = %v", c)
+	}
+	if m := g.MeanLifespan(); m != 0 {
+		t.Errorf("mean lifespan = %v", m)
+	}
+}

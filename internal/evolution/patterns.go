@@ -1,0 +1,223 @@
+// Package evolution implements the change analysis of Section 4 of
+// Christen et al. (EDBT 2017): record evolution patterns (preserve, add,
+// remove), group evolution patterns (preserve, add, remove, move, split,
+// merge) derived from the record and group mappings of two successive
+// censuses, and the multi-census evolution graph with its longitudinal
+// queries (connected components, preserve chains).
+package evolution
+
+import (
+	"sort"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+)
+
+// GroupPattern is the type of a group evolution pattern.
+type GroupPattern int
+
+// Group evolution patterns of Section 4.1.
+const (
+	PatternPreserve GroupPattern = iota
+	PatternAdd
+	PatternRemove
+	PatternMove
+	PatternSplit
+	PatternMerge
+)
+
+// String returns the paper's pattern name.
+func (p GroupPattern) String() string {
+	switch p {
+	case PatternPreserve:
+		return "preserve_G"
+	case PatternAdd:
+		return "add_G"
+	case PatternRemove:
+		return "remove_G"
+	case PatternMove:
+		return "move"
+	case PatternSplit:
+		return "split"
+	case PatternMerge:
+		return "merge"
+	default:
+		return "unknown"
+	}
+}
+
+// Split describes one old household splitting into several new households,
+// each receiving at least two of its members.
+type Split struct {
+	Old  string
+	News []string
+}
+
+// Merge describes several old households merging into one new household,
+// each contributing at least two members.
+type Merge struct {
+	Olds []string
+	New  string
+}
+
+// PairAnalysis holds all evolution patterns between two successive censuses.
+type PairAnalysis struct {
+	OldYear, NewYear int
+
+	// Record patterns.
+	PreservedRecords []linkage.Pair // preserve_R
+	AddedRecords     []string       // add_R: new record IDs
+	RemovedRecords   []string       // remove_R: old record IDs
+
+	// Group patterns.
+	PreservedGroups [][2]string // preserve_G: (old household, new household)
+	AddedGroups     []string    // add_G: new household IDs
+	RemovedGroups   []string    // remove_G: old household IDs
+	Moves           [][2]string // move: linked pairs sharing exactly one member
+	Splits          []Split
+	Merges          []Merge
+}
+
+// Count returns the number of occurrences of a group pattern.
+func (a *PairAnalysis) Count(p GroupPattern) int {
+	switch p {
+	case PatternPreserve:
+		return len(a.PreservedGroups)
+	case PatternAdd:
+		return len(a.AddedGroups)
+	case PatternRemove:
+		return len(a.RemovedGroups)
+	case PatternMove:
+		return len(a.Moves)
+	case PatternSplit:
+		return len(a.Splits)
+	case PatternMerge:
+		return len(a.Merges)
+	default:
+		return 0
+	}
+}
+
+// Analyze derives the evolution patterns for one census pair from its
+// linkage result (or ground-truth mappings packed into a linkage.Result).
+func Analyze(old, new *census.Dataset, res *linkage.Result) *PairAnalysis {
+	a := &PairAnalysis{OldYear: old.Year, NewYear: new.Year}
+
+	// Record patterns.
+	linkedOld := make(map[string]bool, len(res.RecordLinks))
+	linkedNew := make(map[string]bool, len(res.RecordLinks))
+	for _, l := range res.RecordLinks {
+		a.PreservedRecords = append(a.PreservedRecords, linkage.Pair{Old: l.Old, New: l.New})
+		linkedOld[l.Old] = true
+		linkedNew[l.New] = true
+	}
+	for _, r := range old.Records() {
+		if !linkedOld[r.ID] {
+			a.RemovedRecords = append(a.RemovedRecords, r.ID)
+		}
+	}
+	for _, r := range new.Records() {
+		if !linkedNew[r.ID] {
+			a.AddedRecords = append(a.AddedRecords, r.ID)
+		}
+	}
+
+	// Shared-member counts per linked group pair.
+	shared := make(map[linkage.GroupPair]int)
+	for _, l := range res.RecordLinks {
+		o, n := old.Record(l.Old), new.Record(l.New)
+		if o == nil || n == nil {
+			continue
+		}
+		shared[linkage.GroupPair{Old: o.HouseholdID, New: n.HouseholdID}]++
+	}
+
+	// Degree of each group in the group mapping, and membership.
+	linkedGroupOld := make(map[string][]string) // old household -> linked new households
+	linkedGroupNew := make(map[string][]string)
+	for _, g := range res.GroupLinks {
+		linkedGroupOld[g.Old] = append(linkedGroupOld[g.Old], g.New)
+		linkedGroupNew[g.New] = append(linkedGroupNew[g.New], g.Old)
+	}
+
+	// add_G / remove_G.
+	for _, h := range old.Households() {
+		if len(linkedGroupOld[h.ID]) == 0 {
+			a.RemovedGroups = append(a.RemovedGroups, h.ID)
+		}
+	}
+	for _, h := range new.Households() {
+		if len(linkedGroupNew[h.ID]) == 0 {
+			a.AddedGroups = append(a.AddedGroups, h.ID)
+		}
+	}
+
+	// preserve_G and move over linked pairs. The 1:1 requirement of
+	// preserve_G is evaluated over "strong" links only (pairs sharing at
+	// least two members): in the paper's own example household a is
+	// preserved while additionally connected to household c by a move, so a
+	// single-member move link must not break the preserve pattern.
+	strongOld := make(map[string]int)
+	strongNew := make(map[string]int)
+	for gp, common := range shared {
+		if common >= 2 {
+			strongOld[gp.Old]++
+			strongNew[gp.New]++
+		}
+	}
+	for _, g := range res.GroupLinks {
+		gp := linkage.GroupPair(g)
+		common := shared[gp]
+		switch {
+		case common == 1:
+			a.Moves = append(a.Moves, [2]string{g.Old, g.New})
+		case common >= 2 && strongOld[g.Old] == 1 && strongNew[g.New] == 1:
+			a.PreservedGroups = append(a.PreservedGroups, [2]string{g.Old, g.New})
+		}
+	}
+
+	// split: an old group linked to >= 2 new groups, each sharing >= 2
+	// members.
+	oldIDs := make([]string, 0, len(linkedGroupOld))
+	for id := range linkedGroupOld {
+		oldIDs = append(oldIDs, id)
+	}
+	sort.Strings(oldIDs)
+	for _, oldID := range oldIDs {
+		var parts []string
+		for _, newID := range linkedGroupOld[oldID] {
+			if shared[linkage.GroupPair{Old: oldID, New: newID}] >= 2 {
+				parts = append(parts, newID)
+			}
+		}
+		if len(parts) >= 2 {
+			sort.Strings(parts)
+			a.Splits = append(a.Splits, Split{Old: oldID, News: parts})
+		}
+	}
+
+	// merge: symmetric.
+	newIDs := make([]string, 0, len(linkedGroupNew))
+	for id := range linkedGroupNew {
+		newIDs = append(newIDs, id)
+	}
+	sort.Strings(newIDs)
+	for _, newID := range newIDs {
+		var parts []string
+		for _, oldID := range linkedGroupNew[newID] {
+			if shared[linkage.GroupPair{Old: oldID, New: newID}] >= 2 {
+				parts = append(parts, oldID)
+			}
+		}
+		if len(parts) >= 2 {
+			sort.Strings(parts)
+			a.Merges = append(a.Merges, Merge{Olds: parts, New: newID})
+		}
+	}
+
+	sort.Strings(a.AddedRecords)
+	sort.Strings(a.RemovedRecords)
+	sort.Strings(a.AddedGroups)
+	sort.Strings(a.RemovedGroups)
+	return a
+}

@@ -1,0 +1,126 @@
+package evolution
+
+import (
+	"sort"
+
+	"censuslink/internal/linkage"
+)
+
+// TimelineEntry is one stop of a person's history: the record that
+// represents them at one census.
+type TimelineEntry struct {
+	Year     int
+	RecordID string
+}
+
+// Timeline is the reconstructed history of one individual across the
+// series: a maximal chain of record links through successive censuses
+// (the paper's Section 4.2 "individual person histories").
+type Timeline struct {
+	Entries []TimelineEntry
+}
+
+// Span returns the number of censuses the person was traced through.
+func (t Timeline) Span() int { return len(t.Entries) }
+
+// PersonTimelines chains the record links of all census pairs into maximal
+// per-person timelines. Only persons traced through at least minSpan
+// censuses are returned; timelines are ordered by descending span, then by
+// their first record ID.
+func (g *Graph) PersonTimelines(minSpan int) []Timeline {
+	if minSpan < 1 {
+		minSpan = 1
+	}
+	// successor[pairIdx][oldRecord] = newRecord.
+	successors := make([]map[string]string, len(g.RecordEdges))
+	hasPred := make([]map[string]bool, len(g.RecordEdges))
+	for i, links := range g.RecordEdges {
+		successors[i] = make(map[string]string, len(links))
+		hasPred[i] = make(map[string]bool, len(links))
+		for _, l := range links {
+			successors[i][l.Old] = l.New
+			hasPred[i][l.New] = true
+		}
+	}
+	var timelines []Timeline
+	// A timeline starts at pair i with a record that has no predecessor in
+	// pair i-1.
+	for i := range g.RecordEdges {
+		starts := make([]string, 0, len(successors[i]))
+		for old := range successors[i] {
+			if i > 0 && hasPred[i-1][old] {
+				continue
+			}
+			starts = append(starts, old)
+		}
+		sort.Strings(starts)
+		for _, start := range starts {
+			tl := Timeline{Entries: []TimelineEntry{{Year: g.Years[i], RecordID: start}}}
+			cur := start
+			for j := i; j < len(successors); j++ {
+				next, ok := successors[j][cur]
+				if !ok {
+					break
+				}
+				tl.Entries = append(tl.Entries, TimelineEntry{Year: g.Years[j+1], RecordID: next})
+				cur = next
+			}
+			if tl.Span() >= minSpan {
+				timelines = append(timelines, tl)
+			}
+		}
+	}
+	sort.SliceStable(timelines, func(i, j int) bool {
+		if timelines[i].Span() != timelines[j].Span() {
+			return timelines[i].Span() > timelines[j].Span()
+		}
+		return timelines[i].Entries[0].RecordID < timelines[j].Entries[0].RecordID
+	})
+	return timelines
+}
+
+// SequenceCount counts occurrences of a consecutive group-pattern sequence
+// along household paths of the evolution graph — a simple instance of the
+// frequent-change-scenario mining the paper proposes on the evolution
+// graph. For example, SequenceCount(PatternPreserve, PatternSplit) counts
+// households that survived one decade intact and split in the next.
+//
+// Because non-preserve patterns can branch (a split has several successor
+// households), every distinct path realising the sequence is counted.
+func (g *Graph) SequenceCount(patterns ...GroupPattern) int {
+	if len(patterns) == 0 {
+		return 0
+	}
+	// Edges by (fromVertex, pattern).
+	type key struct {
+		v GroupVertex
+		p GroupPattern
+	}
+	out := make(map[key][]GroupVertex)
+	for _, e := range g.GroupEdges {
+		k := key{v: e.From, p: e.Pattern}
+		out[k] = append(out[k], e.To)
+	}
+	// Count paths: start from every vertex, follow patterns in order.
+	count := 0
+	var walk func(v GroupVertex, idx int)
+	walk = func(v GroupVertex, idx int) {
+		if idx == len(patterns) {
+			count++
+			return
+		}
+		for _, next := range out[key{v: v, p: patterns[idx]}] {
+			walk(next, idx+1)
+		}
+	}
+	for year, ids := range g.households {
+		for _, id := range ids {
+			walk(GroupVertex{Year: year, Household: id}, 0)
+		}
+	}
+	return count
+}
+
+// RecordPair re-exports the record link type for callers that only import
+// the evolution package.
+type RecordPair = linkage.Pair

@@ -1,0 +1,149 @@
+package evolution
+
+import (
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+)
+
+func TestPersonTimelines(t *testing.T) {
+	series, results := chainSeries(t)
+	g, err := BuildGraph(series, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h1's two members persist over both pairs; h2's over the first pair
+	// only; h3's over the second pair only.
+	all := g.PersonTimelines(1)
+	if len(all) != 6 {
+		t.Fatalf("timelines = %d, want 6", len(all))
+	}
+	long := g.PersonTimelines(3)
+	if len(long) != 2 {
+		t.Fatalf("3-census timelines = %d, want 2 (household h1)", len(long))
+	}
+	tl := long[0]
+	if tl.Span() != 3 {
+		t.Errorf("span = %d", tl.Span())
+	}
+	if tl.Entries[0].Year != 1851 || tl.Entries[2].Year != 1871 {
+		t.Errorf("years = %+v", tl.Entries)
+	}
+	if tl.Entries[0].RecordID != "1851_h1_0" || tl.Entries[2].RecordID != "1871_h1_0" {
+		t.Errorf("records = %+v", tl.Entries)
+	}
+	// A timeline that starts mid-series (h3 appears in 1861).
+	found := false
+	for _, tl := range all {
+		if tl.Entries[0].RecordID == "1861_h3_0" && tl.Span() == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mid-series timeline for h3 missing")
+	}
+}
+
+func TestPersonTimelinesNoDuplicates(t *testing.T) {
+	series, results := chainSeries(t)
+	g, err := BuildGraph(series, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every record may appear in exactly one timeline.
+	seen := map[string]bool{}
+	for _, tl := range g.PersonTimelines(1) {
+		for _, e := range tl.Entries {
+			if seen[e.RecordID] {
+				t.Fatalf("record %s in two timelines", e.RecordID)
+			}
+			seen[e.RecordID] = true
+		}
+	}
+}
+
+func TestSequenceCount(t *testing.T) {
+	series, results := chainSeries(t)
+	g, err := BuildGraph(series, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// preserve_G once: h1 and h2 in pair 1; h1 and h3 in pair 2 -> 4.
+	if got := g.SequenceCount(PatternPreserve); got != 4 {
+		t.Errorf("SequenceCount(preserve) = %d, want 4", got)
+	}
+	// preserve twice in a row: only h1.
+	if got := g.SequenceCount(PatternPreserve, PatternPreserve); got != 1 {
+		t.Errorf("SequenceCount(preserve, preserve) = %d, want 1", got)
+	}
+	if got := g.SequenceCount(PatternPreserve, PatternSplit); got != 0 {
+		t.Errorf("SequenceCount(preserve, split) = %d, want 0", got)
+	}
+	if got := g.SequenceCount(); got != 0 {
+		t.Errorf("empty sequence = %d, want 0", got)
+	}
+}
+
+// TestSequenceCountBranching: a preserve followed by a split into two new
+// households counts each realised path.
+func TestSequenceCountBranching(t *testing.T) {
+	mk := func(year int, households ...string) *census.Dataset {
+		d := census.NewDataset(year)
+		for _, hh := range households {
+			for i := 0; i < 4; i++ {
+				if err := d.AddRecord(&census.Record{
+					ID:          recID(year, hh, i),
+					HouseholdID: hhID(year, hh),
+					FirstName:   "x", Surname: "y", Role: census.RoleHead,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return d
+	}
+	d1 := mk(1851, "a")
+	d2 := mk(1861, "a")
+	d3 := mk(1871, "b", "c")
+
+	// Pair 1: preserve a.
+	res1 := &linkage.Result{}
+	for i := 0; i < 4; i++ {
+		res1.RecordLinks = append(res1.RecordLinks,
+			linkage.RecordLink{Old: recID(1851, "a", i), New: recID(1861, "a", i)})
+	}
+	res1.GroupLinks = []linkage.GroupLink{{Old: hhID(1851, "a"), New: hhID(1861, "a")}}
+	// Pair 2: a splits into b and c, two members each.
+	res2 := &linkage.Result{
+		RecordLinks: []linkage.RecordLink{
+			{Old: recID(1861, "a", 0), New: recID(1871, "b", 0)},
+			{Old: recID(1861, "a", 1), New: recID(1871, "b", 1)},
+			{Old: recID(1861, "a", 2), New: recID(1871, "c", 0)},
+			{Old: recID(1861, "a", 3), New: recID(1871, "c", 1)},
+		},
+		GroupLinks: []linkage.GroupLink{
+			{Old: hhID(1861, "a"), New: hhID(1871, "b")},
+			{Old: hhID(1861, "a"), New: hhID(1871, "c")},
+		},
+	}
+	g, err := BuildGraph(census.NewSeries(d1, d2, d3), []*linkage.Result{res1, res2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SequenceCount(PatternSplit); got != 2 {
+		t.Errorf("SequenceCount(split) = %d, want 2 (two split edges)", got)
+	}
+	// preserve then split: two realised paths (a -> b and a -> c).
+	if got := g.SequenceCount(PatternPreserve, PatternSplit); got != 2 {
+		t.Errorf("SequenceCount(preserve, split) = %d, want 2", got)
+	}
+}
+
+func recID(year int, hh string, i int) string {
+	return hhID(year, hh) + "_" + string(rune('0'+i))
+}
+
+func hhID(year int, hh string) string {
+	return map[int]string{1851: "1851", 1861: "1861", 1871: "1871"}[year] + "_" + hh
+}

@@ -1,0 +1,233 @@
+package hgraph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"censuslink/internal/census"
+)
+
+// paperHousehold builds the running example's household g^b_1871:
+// John Smith (head, 44), Elizabeth Smith (wife, 41), Steve Smith (son, 17).
+func paperHousehold(t *testing.T) (*census.Dataset, *census.Household) {
+	t.Helper()
+	d := census.NewDataset(1871)
+	recs := []*census.Record{
+		{ID: "1871_6", HouseholdID: "b", FirstName: "john", Surname: "smith", Sex: census.SexMale, Age: 44, Role: census.RoleHead},
+		{ID: "1871_7", HouseholdID: "b", FirstName: "elizabeth", Surname: "smith", Sex: census.SexFemale, Age: 41, Role: census.RoleWife},
+		{ID: "1871_8", HouseholdID: "b", FirstName: "steve", Surname: "smith", Sex: census.SexMale, Age: 17, Role: census.RoleSon},
+	}
+	for _, r := range recs {
+		if err := d.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, d.Household("b")
+}
+
+// TestEnrichmentPaperExample reproduces Fig. 2: enrichment of g^b_1871 adds
+// the implicit wife-son edge and annotates all edges with age differences.
+func TestEnrichmentPaperExample(t *testing.T) {
+	d, h := paperHousehold(t)
+	g := Build(d, h)
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Complete graph over 3 members.
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	// head-wife: spouse, age diff 3.
+	typ, diff, ok := g.EdgeBetween("1871_6", "1871_7")
+	if !ok || typ != RelSpouse || diff != 3 {
+		t.Errorf("head-wife edge = %v/%d/%v", typ, diff, ok)
+	}
+	// head-son: parent-child, age diff 27.
+	typ, diff, ok = g.EdgeBetween("1871_6", "1871_8")
+	if !ok || typ != RelParentChild || diff != 27 {
+		t.Errorf("head-son edge = %v/%d/%v", typ, diff, ok)
+	}
+	// Implicit wife-son edge (added by enrichment): parent-child, diff 24.
+	typ, diff, ok = g.EdgeBetween("1871_7", "1871_8")
+	if !ok || typ != RelParentChild || diff != 24 {
+		t.Errorf("wife-son edge = %v/%d/%v", typ, diff, ok)
+	}
+}
+
+func TestEdgeBetweenOrientation(t *testing.T) {
+	d, h := paperHousehold(t)
+	g := Build(d, h)
+	_, fwd, _ := g.EdgeBetween("1871_6", "1871_8")
+	_, rev, _ := g.EdgeBetween("1871_8", "1871_6")
+	if fwd != -rev {
+		t.Errorf("age diff not antisymmetric: %d vs %d", fwd, rev)
+	}
+	if _, _, ok := g.EdgeBetween("1871_6", "1871_6"); ok {
+		t.Error("self edge should not exist")
+	}
+	if _, _, ok := g.EdgeBetween("1871_6", "ghost"); ok {
+		t.Error("edge to non-member should not exist")
+	}
+}
+
+func TestMissingAgeYieldsMissingDiff(t *testing.T) {
+	d := census.NewDataset(1871)
+	if err := d.AddRecord(&census.Record{ID: "r1", HouseholdID: "h", FirstName: "a", Surname: "x", Age: 40, Role: census.RoleHead}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRecord(&census.Record{ID: "r2", HouseholdID: "h", FirstName: "b", Surname: "x", Age: census.AgeMissing, Role: census.RoleWife}); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(d, d.Household("h"))
+	_, diff, ok := g.EdgeBetween("r1", "r2")
+	if !ok || diff != AgeDiffMissing {
+		t.Errorf("missing age edge = %d/%v", diff, ok)
+	}
+}
+
+func TestUnifyRoles(t *testing.T) {
+	cases := []struct {
+		a, b census.Role
+		want RelType
+	}{
+		{census.RoleHead, census.RoleWife, RelSpouse},
+		{census.RoleWife, census.RoleHead, RelSpouse}, // symmetric
+		{census.RoleHead, census.RoleHusband, RelSpouse},
+		{census.RoleHead, census.RoleSon, RelParentChild},
+		{census.RoleDaughter, census.RoleHead, RelParentChild},
+		{census.RoleHead, census.RoleFather, RelParentChild},
+		{census.RoleMother, census.RoleHead, RelParentChild},
+		{census.RoleSon, census.RoleDaughter, RelSibling},
+		{census.RoleSon, census.RoleSon, RelSibling},
+		{census.RoleHead, census.RoleBrother, RelSibling},
+		{census.RoleHead, census.RoleGrandson, RelGrand},
+		{census.RoleWife, census.RoleSon, RelParentChild},
+		{census.RoleWife, census.RoleGranddaughter, RelGrand},
+		{census.RoleFather, census.RoleMother, RelSpouse},
+		{census.RoleFather, census.RoleSon, RelGrand},
+		{census.RoleGrandson, census.RoleGranddaughter, RelSibling},
+		{census.RoleHead, census.RoleServant, RelOther},
+		{census.RoleServant, census.RoleServant, RelOther},
+		{census.RoleBoarder, census.RoleWife, RelOther},
+		{census.RoleNephew, census.RoleNiece, RelOther},
+		{census.RoleHead, census.RoleVisitor, RelOther},
+	}
+	for _, c := range cases {
+		if got := UnifyRoles(c.a, c.b); got != c.want {
+			t.Errorf("UnifyRoles(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestUnifyRolesSymmetric: the unified type must not depend on argument
+// order for any role pair.
+func TestUnifyRolesSymmetric(t *testing.T) {
+	roles := []census.Role{
+		census.RoleHead, census.RoleWife, census.RoleHusband, census.RoleSon,
+		census.RoleDaughter, census.RoleFather, census.RoleMother,
+		census.RoleBrother, census.RoleSister, census.RoleGrandson,
+		census.RoleGranddaughter, census.RoleNephew, census.RoleNiece,
+		census.RoleServant, census.RoleBoarder, census.RoleLodger,
+		census.RoleVisitor, census.RoleOther,
+	}
+	for _, a := range roles {
+		for _, b := range roles {
+			if UnifyRoles(a, b) != UnifyRoles(b, a) {
+				t.Errorf("UnifyRoles(%v,%v) not symmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	d, _ := paperHousehold(t)
+	if err := d.AddRecord(&census.Record{ID: "x1", HouseholdID: "c", FirstName: "q", Surname: "z", Age: 20, Role: census.RoleHead}); err != nil {
+		t.Fatal(err)
+	}
+	graphs := BuildAll(d)
+	if len(graphs) != 2 {
+		t.Fatalf("BuildAll = %d graphs", len(graphs))
+	}
+	if graphs["b"].NumEdges() != 3 || graphs["c"].NumEdges() != 0 {
+		t.Errorf("edge counts: b=%d c=%d", graphs["b"].NumEdges(), graphs["c"].NumEdges())
+	}
+	if !graphs["b"].Contains("1871_8") || graphs["b"].Contains("x1") {
+		t.Error("Contains wrong")
+	}
+}
+
+// TestCompleteGraphProperty: for any household of n members, enrichment
+// produces exactly n(n-1)/2 edges and every member pair has an edge.
+func TestCompleteGraphProperty(t *testing.T) {
+	prop := func(size uint8) bool {
+		n := int(size%12) + 1
+		d := census.NewDataset(1871)
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			ids[i] = fmt.Sprintf("r%d", i)
+			role := census.RoleSon
+			if i == 0 {
+				role = census.RoleHead
+			}
+			if err := d.AddRecord(&census.Record{
+				ID: ids[i], HouseholdID: "h", FirstName: "f", Surname: "s",
+				Age: 20 + i, Role: role,
+			}); err != nil {
+				return false
+			}
+		}
+		g := Build(d, d.Household("h"))
+		if g.NumEdges() != n*(n-1)/2 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				_, _, ok := g.EdgeBetween(ids[i], ids[j])
+				if (i == j) == ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelTypeString(t *testing.T) {
+	want := map[RelType]string{
+		RelSpouse: "spouse", RelParentChild: "parent-child",
+		RelSibling: "sibling", RelGrand: "grandparent-grandchild",
+		RelOther: "other",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	d := census.NewDataset(1871)
+	for i := 0; i < 8; i++ {
+		role := census.RoleSon
+		if i == 0 {
+			role = census.RoleHead
+		} else if i == 1 {
+			role = census.RoleWife
+		}
+		if err := d.AddRecord(&census.Record{
+			ID: fmt.Sprintf("r%d", i), HouseholdID: "h",
+			FirstName: "f", Surname: "s", Age: 40 - i*4, Role: role,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h := d.Household("h")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(d, h)
+	}
+}

@@ -1,0 +1,109 @@
+package linkage
+
+import (
+	"strings"
+
+	"censuslink/internal/census"
+	"censuslink/internal/strsim"
+)
+
+// FrequencyTable holds relative value frequencies of one attribute over a
+// record population, used to scale similarity evidence: agreement on a rare
+// value ("Thistlethwaite") is much stronger evidence for a match than
+// agreement on a frequent one ("Smith"). This is the classical
+// Fellegi-Sunter frequency adjustment, relevant here because the paper
+// identifies frequent names as the core ambiguity problem.
+type FrequencyTable struct {
+	counts map[string]int
+	total  int
+	// maxDamp bounds how much a frequent value's similarity is dampened.
+	maxDamp float64
+}
+
+// NewFrequencyTable counts attribute values over the given datasets.
+// maxDamp in (0, 1] is the strongest dampening applied to the most frequent
+// value (e.g. 0.3: agreement on the most common value is worth only 70% of
+// full agreement).
+func NewFrequencyTable(attr census.Attribute, maxDamp float64, datasets ...*census.Dataset) *FrequencyTable {
+	if maxDamp < 0 {
+		maxDamp = 0
+	}
+	if maxDamp > 1 {
+		maxDamp = 1
+	}
+	t := &FrequencyTable{counts: make(map[string]int), maxDamp: maxDamp}
+	for _, d := range datasets {
+		for _, r := range d.Records() {
+			v := strings.ToLower(strings.TrimSpace(r.Value(attr)))
+			if v == "" {
+				continue
+			}
+			t.counts[v]++
+			t.total++
+		}
+	}
+	return t
+}
+
+// damp returns the dampening factor in [1-maxDamp, 1] for a value: 1 for
+// unseen or unique values, decreasing linearly with the value's share of
+// the most frequent value's count.
+func (t *FrequencyTable) damp(v string) float64 {
+	if t.total == 0 {
+		return 1
+	}
+	c := t.counts[strings.ToLower(strings.TrimSpace(v))]
+	if c <= 1 {
+		return 1
+	}
+	max := 0
+	for _, n := range t.counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max <= 1 {
+		return 1
+	}
+	return 1 - t.maxDamp*float64(c-1)/float64(max-1)
+}
+
+// Scale wraps a string similarity function so that the similarity of two
+// values is dampened by the frequency of the (more frequent) value: exact
+// agreement on "smith" scores below exact agreement on a rare surname. The
+// relative ordering of non-agreeing pairs is preserved.
+func (t *FrequencyTable) Scale(base strsim.Func) strsim.Func {
+	return func(a, b string) float64 {
+		s := base(a, b)
+		if s == 0 {
+			return 0
+		}
+		da, db := t.damp(a), t.damp(b)
+		d := da
+		if db < d {
+			d = db
+		}
+		return s * d
+	}
+}
+
+// FrequencyScaledSim derives a new SimFunc from f where the given
+// attributes' matchers are frequency-scaled over the two datasets.
+func FrequencyScaledSim(f SimFunc, maxDamp float64, attrs []census.Attribute,
+	old, new *census.Dataset) SimFunc {
+	want := make(map[census.Attribute]bool, len(attrs))
+	for _, a := range attrs {
+		want[a] = true
+	}
+	out := f
+	out.Name = f.Name + "+freq"
+	out.Matchers = make([]AttributeMatcher, len(f.Matchers))
+	copy(out.Matchers, f.Matchers)
+	for i, m := range out.Matchers {
+		if want[m.Attr] {
+			table := NewFrequencyTable(m.Attr, maxDamp, old, new)
+			out.Matchers[i].Sim = table.Scale(m.Sim)
+		}
+	}
+	return out
+}

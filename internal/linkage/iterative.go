@@ -1,0 +1,474 @@
+package linkage
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"censuslink/internal/assign"
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/hgraph"
+)
+
+// Config holds all parameters of the iterative record and group linkage
+// (the input list of Algorithm 1).
+type Config struct {
+	// Sim is the record similarity function Sim_func; its Delta field is
+	// overridden by the iteration thresholds below.
+	Sim SimFunc
+	// DeltaHigh, DeltaLow and DeltaStep control the threshold relaxation:
+	// iterations run at δ = DeltaHigh, DeltaHigh-Δ, ... down to DeltaLow.
+	// Setting DeltaHigh == DeltaLow yields the non-iterative one-shot
+	// variant evaluated in Table 5.
+	DeltaHigh, DeltaLow, DeltaStep float64
+	// Alpha and Beta weight avg_sim and e_sim in the aggregated group
+	// similarity (uniqueness gets 1-Alpha-Beta).
+	Alpha, Beta float64
+	// AgeTolerance is τ: the acceptable deviation of edge age differences
+	// and of record age gaps from the census interval.
+	AgeTolerance int
+	// Remainder is Sim_func_rem used to match records left over after the
+	// subgraph-based iterations; its own Delta applies.
+	Remainder SimFunc
+	// Strategies is the blocking configuration for candidate generation.
+	Strategies []block.Strategy
+	// Workers bounds pre-matching parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// StopOnEmpty terminates the loop as soon as an iteration yields no new
+	// group links (the M_G^p = ∅ condition of Algorithm 1). Enabled in the
+	// default configuration.
+	StopOnEmpty bool
+	// DirectVerticesOnly restricts subgraph vertices to directly compared
+	// pairs (ablation; the paper uses cluster labels, see MatchConfig).
+	DirectVerticesOnly bool
+	// VertexGuards enables extra vertex-level sanity guards beyond the
+	// paper (see MatchConfig.VertexGuards).
+	VertexGuards bool
+	// OptimalRemainder solves the leftover 1:1 matching optimally (maximum
+	// total similarity via the Hungarian algorithm) instead of greedily.
+	OptimalRemainder bool
+}
+
+// DefaultConfig returns the paper's best configuration: ω2 pre-matching with
+// δ_high=0.7, Δ=0.05, δ_low=0.5, group-selection weights (α, β)=(0.2, 0.7)
+// and an age tolerance of 3 years.
+func DefaultConfig() Config {
+	return Config{
+		Sim:          OmegaTwo(0.7),
+		DeltaHigh:    0.7,
+		DeltaLow:     0.5,
+		DeltaStep:    0.05,
+		Alpha:        0.2,
+		Beta:         0.7,
+		AgeTolerance: 3,
+		Remainder:    OmegaTwo(0.75),
+		Strategies:   block.DefaultStrategies(),
+		StopOnEmpty:  true,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if err := c.Sim.Validate(); err != nil {
+		return err
+	}
+	if err := c.Remainder.Validate(); err != nil {
+		return fmt.Errorf("linkage: remainder: %w", err)
+	}
+	if c.DeltaHigh < c.DeltaLow {
+		return fmt.Errorf("linkage: delta_high %.3f below delta_low %.3f", c.DeltaHigh, c.DeltaLow)
+	}
+	if c.DeltaHigh > c.DeltaLow && c.DeltaStep <= 0 {
+		return fmt.Errorf("linkage: delta_step must be positive, got %.4f", c.DeltaStep)
+	}
+	if c.Alpha < 0 || c.Beta < 0 || c.Alpha+c.Beta > 1.0001 {
+		return fmt.Errorf("linkage: invalid group weights alpha=%.2f beta=%.2f", c.Alpha, c.Beta)
+	}
+	if c.AgeTolerance < 0 {
+		return fmt.Errorf("linkage: negative age tolerance %d", c.AgeTolerance)
+	}
+	if len(c.Strategies) == 0 {
+		return fmt.Errorf("linkage: no blocking strategies configured")
+	}
+	return nil
+}
+
+// IterationStats reports what one relaxation round contributed.
+type IterationStats struct {
+	Delta          float64
+	ComparedPairs  int
+	CandidateLinks int // pre-matching links above δ
+	GroupPairs     int // candidate group pairs examined
+	NewGroupLinks  int
+	NewRecordLinks int
+	RemainingOld   int // unlinked old records after the round
+	RemainingNew   int
+}
+
+// SourceKind distinguishes how a record link was found.
+type SourceKind int
+
+// Record-link sources.
+const (
+	// SourceSubgraph marks links extracted from an accepted subgraph.
+	SourceSubgraph SourceKind = iota
+	// SourceRemainder marks links from the final Sim_func_rem pass.
+	SourceRemainder
+)
+
+// String names the source kind.
+func (k SourceKind) String() string {
+	if k == SourceRemainder {
+		return "remainder"
+	}
+	return "subgraph"
+}
+
+// LinkSource is the provenance of one record link: the pipeline stage that
+// produced it, the threshold in effect, and (for subgraph links) the
+// supporting group pair and its aggregated similarity.
+type LinkSource struct {
+	Kind  SourceKind
+	Delta float64   // pre-matching δ of the iteration, or Sim_func_rem's δ
+	Group GroupPair // supporting group pair (subgraph links only)
+	GSim  float64   // the supporting subgraph's g_sim (subgraph links only)
+}
+
+// Result is the output of Algorithm 1: the 1:1 record mapping M_R, the N:M
+// group mapping M_G, per-iteration statistics and per-link provenance.
+type Result struct {
+	RecordLinks []RecordLink
+	GroupLinks  []GroupLink
+	Iterations  []IterationStats
+	// Sources records, for every record link, which stage produced it.
+	Sources map[Pair]LinkSource
+	// RemainderRecordLinks counts how many record links came from the final
+	// Sim_func_rem pass rather than from subgraph matching.
+	RemainderRecordLinks int
+	// RemainderGroupLinks counts group links derived from those leftovers.
+	RemainderGroupLinks int
+}
+
+// RecordPairs returns the record mapping as a set of ID pairs.
+func (r *Result) RecordPairs() map[Pair]bool {
+	out := make(map[Pair]bool, len(r.RecordLinks))
+	for _, l := range r.RecordLinks {
+		out[Pair{Old: l.Old, New: l.New}] = true
+	}
+	return out
+}
+
+// GroupPairsSet returns the group mapping as a set of household ID pairs.
+func (r *Result) GroupPairsSet() map[GroupPair]bool {
+	out := make(map[GroupPair]bool, len(r.GroupLinks))
+	for _, l := range r.GroupLinks {
+		out[GroupPair{Old: l.Old, New: l.New}] = true
+	}
+	return out
+}
+
+// Link runs the full iterative record and group linkage (Algorithm 1)
+// between two successive census datasets.
+func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// completeGroups: enrich every household graph once.
+	oldGraphs := hgraph.BuildAll(oldDS)
+	newGraphs := hgraph.BuildAll(newDS)
+
+	matchCfg := MatchConfig{
+		AgeTolerance:       cfg.AgeTolerance,
+		YearGap:            newDS.Year - oldDS.Year,
+		Alpha:              cfg.Alpha,
+		Beta:               cfg.Beta,
+		DirectVerticesOnly: cfg.DirectVerticesOnly,
+		VertexGuards:       cfg.VertexGuards,
+	}
+
+	res := &Result{Sources: make(map[Pair]LinkSource)}
+	remainingOld := append([]*census.Record(nil), oldDS.Records()...)
+	remainingNew := append([]*census.Record(nil), newDS.Records()...)
+	groupSeen := make(map[GroupPair]bool)
+
+	const eps = 1e-9
+	for delta := cfg.DeltaHigh; delta >= cfg.DeltaLow-eps; delta -= cfg.DeltaStep {
+		f := cfg.Sim.WithDelta(delta)
+		pre := PreMatch(remainingOld, oldDS.Year, remainingNew, newDS.Year, f, cfg.Strategies, cfg.Workers)
+		pairs := CandidateGroupPairs(pre, oldDS, newDS)
+		subs := matchGroupsParallel(pairs, oldGraphs, newGraphs, pre, f, matchCfg, cfg.Workers)
+		accepted := SelectGroupLinksDetailed(subs)
+		var groups []GroupLink
+		var records []RecordLink
+		for _, acc := range accepted {
+			groups = append(groups, acc.Group)
+			records = append(records, acc.Records...)
+			for _, l := range acc.Records {
+				res.Sources[Pair{Old: l.Old, New: l.New}] = LinkSource{
+					Kind:  SourceSubgraph,
+					Delta: delta,
+					Group: GroupPair(acc.Group),
+					GSim:  acc.GSim,
+				}
+			}
+		}
+
+		newGroups := 0
+		for _, g := range groups {
+			gp := GroupPair(g)
+			if !groupSeen[gp] {
+				groupSeen[gp] = true
+				res.GroupLinks = append(res.GroupLinks, g)
+				newGroups++
+			}
+		}
+		res.RecordLinks = append(res.RecordLinks, records...)
+		remainingOld = withoutLinked(remainingOld, records, true)
+		remainingNew = withoutLinked(remainingNew, records, false)
+
+		res.Iterations = append(res.Iterations, IterationStats{
+			Delta:          delta,
+			ComparedPairs:  pre.Compared,
+			CandidateLinks: len(pre.Links),
+			GroupPairs:     len(pairs),
+			NewGroupLinks:  newGroups,
+			NewRecordLinks: len(records),
+			RemainingOld:   len(remainingOld),
+			RemainingNew:   len(remainingNew),
+		})
+		if cfg.StopOnEmpty && len(groups) == 0 {
+			break
+		}
+		if cfg.DeltaStep <= 0 {
+			break // single-shot configuration with DeltaHigh == DeltaLow
+		}
+	}
+
+	// Match the remaining records attribute-only (line 17 of Algorithm 1).
+	var remLinks []RecordLink
+	if cfg.OptimalRemainder {
+		remLinks = MatchRemainingOptimal(remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
+	} else {
+		remLinks = MatchRemaining(remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
+	}
+	res.RecordLinks = append(res.RecordLinks, remLinks...)
+	res.RemainderRecordLinks = len(remLinks)
+	for _, l := range remLinks {
+		res.Sources[Pair{Old: l.Old, New: l.New}] = LinkSource{
+			Kind:  SourceRemainder,
+			Delta: cfg.Remainder.Delta,
+		}
+	}
+
+	// extractGroupLinks: group pairs newly connected by the leftover links.
+	for _, l := range remLinks {
+		o, n := oldDS.Record(l.Old), newDS.Record(l.New)
+		if o == nil || n == nil {
+			continue
+		}
+		gp := GroupPair{Old: o.HouseholdID, New: n.HouseholdID}
+		if !groupSeen[gp] {
+			groupSeen[gp] = true
+			res.GroupLinks = append(res.GroupLinks, GroupLink(gp))
+			res.RemainderGroupLinks++
+		}
+	}
+
+	sort.Slice(res.RecordLinks, func(i, j int) bool {
+		if res.RecordLinks[i].Old != res.RecordLinks[j].Old {
+			return res.RecordLinks[i].Old < res.RecordLinks[j].Old
+		}
+		return res.RecordLinks[i].New < res.RecordLinks[j].New
+	})
+	sort.Slice(res.GroupLinks, func(i, j int) bool {
+		if res.GroupLinks[i].Old != res.GroupLinks[j].Old {
+			return res.GroupLinks[i].Old < res.GroupLinks[j].Old
+		}
+		return res.GroupLinks[i].New < res.GroupLinks[j].New
+	})
+	return res, nil
+}
+
+// MatchRemaining links leftover records with the attribute-only similarity
+// function Sim_func_rem: blocked candidates above the threshold that are
+// age-consistent with the census interval, selected greedily into a 1:1
+// mapping by descending similarity.
+func MatchRemaining(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
+	type cand struct {
+		link RecordLink
+	}
+	var cands []cand
+	ix := block.NewIndex(new, newYear, strategies)
+	scratch := make(map[string]struct{})
+	for _, o := range old {
+		for _, n := range ix.Candidates(o, oldYear, scratch) {
+			if !cfg.ageConsistent(o, n) {
+				continue
+			}
+			if s := f.AggSim(o, n); s >= f.Delta {
+				cands = append(cands, cand{RecordLink{Old: o.ID, New: n.ID, Sim: s}})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i].link, cands[j].link
+		if a.Sim != b.Sim {
+			return a.Sim > b.Sim
+		}
+		if a.Old != b.Old {
+			return a.Old < b.Old
+		}
+		return a.New < b.New
+	})
+	usedOld := make(map[string]bool)
+	usedNew := make(map[string]bool)
+	var out []RecordLink
+	for _, c := range cands {
+		if usedOld[c.link.Old] || usedNew[c.link.New] {
+			continue
+		}
+		usedOld[c.link.Old] = true
+		usedNew[c.link.New] = true
+		out = append(out, c.link)
+	}
+	return out
+}
+
+// matchGroupsParallel runs MatchGroups over all candidate group pairs with
+// a bounded worker pool; the output order matches the input pair order, so
+// the result is deterministic.
+func matchGroupsParallel(pairs []GroupPair, oldGraphs, newGraphs map[string]*hgraph.Graph,
+	pre *PreMatchResult, f SimFunc, matchCfg MatchConfig, workers int) []*Subgraph {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	slots := make([]*Subgraph, len(pairs))
+	if workers <= 1 {
+		for i, gp := range pairs {
+			slots[i] = MatchGroups(oldGraphs[gp.Old], newGraphs[gp.New], pre, f, matchCfg)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					gp := pairs[i]
+					slots[i] = MatchGroups(oldGraphs[gp.Old], newGraphs[gp.New], pre, f, matchCfg)
+				}
+			}()
+		}
+		for i := range pairs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	subs := slots[:0]
+	for _, s := range slots {
+		if s != nil {
+			subs = append(subs, s)
+		}
+	}
+	return subs
+}
+
+// MatchRemainingOptimal is MatchRemaining with an optimal 1:1 assignment:
+// instead of greedily taking the highest-similarity candidate first, it
+// maximises the total similarity of the leftover matching with the
+// Hungarian algorithm (per connected candidate component).
+func MatchRemainingOptimal(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
+	oldIdx := make(map[string]int, len(old))
+	for i, r := range old {
+		oldIdx[r.ID] = i
+	}
+	newIdx := make(map[string]int, len(new))
+	for i, r := range new {
+		newIdx[r.ID] = i
+	}
+	var edges []assign.Edge
+	ix := block.NewIndex(new, newYear, strategies)
+	scratch := make(map[string]struct{})
+	for _, o := range old {
+		for _, n := range ix.Candidates(o, oldYear, scratch) {
+			if !cfg.ageConsistent(o, n) {
+				continue
+			}
+			if s := f.AggSim(o, n); s >= f.Delta {
+				edges = append(edges, assign.Edge{Left: oldIdx[o.ID], Right: newIdx[n.ID], Weight: s})
+			}
+		}
+	}
+	match := assign.Max(len(old), len(new), edges)
+	sims := make(map[[2]int]float64, len(edges))
+	for _, e := range edges {
+		k := [2]int{e.Left, e.Right}
+		if e.Weight > sims[k] {
+			sims[k] = e.Weight
+		}
+	}
+	var out []RecordLink
+	for l, r := range match {
+		if r >= 0 {
+			out = append(out, RecordLink{Old: old[l].ID, New: new[r].ID, Sim: sims[[2]int{l, r}]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Old != out[j].Old {
+			return out[i].Old < out[j].Old
+		}
+		return out[i].New < out[j].New
+	})
+	return out
+}
+
+// withoutLinked filters out the records that appear on the given side of any
+// link, preserving order (nonMatchedRecords of Algorithm 1).
+func withoutLinked(recs []*census.Record, links []RecordLink, oldSide bool) []*census.Record {
+	if len(links) == 0 {
+		return recs
+	}
+	linked := make(map[string]bool, len(links))
+	for _, l := range links {
+		if oldSide {
+			linked[l.Old] = true
+		} else {
+			linked[l.New] = true
+		}
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if !linked[r.ID] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LinkSeries links every successive pair of a census series with the same
+// configuration, returning one result per pair (results[i] links
+// Datasets[i] to Datasets[i+1]).
+func LinkSeries(series *census.Series, cfg Config) ([]*Result, error) {
+	pairs := series.Pairs()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("linkage: series has %d datasets, need at least 2", len(series.Datasets))
+	}
+	out := make([]*Result, 0, len(pairs))
+	for _, pair := range pairs {
+		res, err := Link(pair[0], pair[1], cfg)
+		if err != nil {
+			return nil, fmt.Errorf("linkage: pair %d-%d: %w", pair[0].Year, pair[1].Year, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,328 @@
+package linkage
+
+import (
+	"reflect"
+	"testing"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/paperexample"
+)
+
+// runningExampleConfig reproduces the paper's walk-through: Fig. 3
+// pre-matching (name-only, threshold 1) with a single subgraph iteration,
+// then a relaxed name-only pass for the leftover records.
+func runningExampleConfig() Config {
+	return Config{
+		Sim:          NameOnly(1.0),
+		DeltaHigh:    1.0,
+		DeltaLow:     1.0,
+		Alpha:        0.2,
+		Beta:         0.7,
+		AgeTolerance: 3,
+		Remainder:    NameOnly(0.6),
+		Strategies:   block.DefaultStrategies(),
+		Workers:      1,
+		StopOnEmpty:  true,
+	}
+}
+
+// TestLinkRunningExample runs the full Algorithm 1 on the paper's running
+// example and checks the exact record mapping (seven person links) and
+// group mapping (four household links) described in Section 2.
+func TestLinkRunningExample(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := Link(old, new, runningExampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRecords := paperexample.TrueRecordMapping()
+	got := map[string]string{}
+	for _, l := range res.RecordLinks {
+		got[l.Old] = l.New
+	}
+	if !reflect.DeepEqual(got, wantRecords) {
+		t.Errorf("record mapping:\n got %v\nwant %v", got, wantRecords)
+	}
+
+	wantGroups := map[GroupPair]bool{}
+	for _, g := range paperexample.TrueGroupMapping() {
+		wantGroups[GroupPair{Old: g[0], New: g[1]}] = true
+	}
+	gotGroups := res.GroupPairsSet()
+	if len(gotGroups) != len(wantGroups) {
+		t.Fatalf("group mapping = %v, want %v", res.GroupLinks, wantGroups)
+	}
+	for gp := range wantGroups {
+		if !gotGroups[gp] {
+			t.Errorf("missing group link %v", gp)
+		}
+	}
+
+	// Steve's and Alice's links must come from the remainder pass: their
+	// moves cannot be caught by subgraph matching.
+	if res.RemainderRecordLinks != 2 {
+		t.Errorf("remainder record links = %d, want 2 (Alice, Steve)", res.RemainderRecordLinks)
+	}
+	if res.RemainderGroupLinks != 2 {
+		t.Errorf("remainder group links = %d, want 2 (a->c, b->c)", res.RemainderGroupLinks)
+	}
+}
+
+// TestLinkRecordMappingIsOneToOne verifies the cardinality constraint of
+// Eq. 1 on the running example under a relaxed, multi-iteration config.
+func TestLinkRecordMappingIsOneToOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := Link(old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenOld, seenNew := map[string]bool{}, map[string]bool{}
+	for _, l := range res.RecordLinks {
+		if seenOld[l.Old] {
+			t.Errorf("old record %s linked twice", l.Old)
+		}
+		if seenNew[l.New] {
+			t.Errorf("new record %s linked twice", l.New)
+		}
+		seenOld[l.Old] = true
+		seenNew[l.New] = true
+	}
+	// Group links must be unique pairs.
+	seenGroup := map[GroupPair]bool{}
+	for _, g := range res.GroupLinks {
+		gp := GroupPair(g)
+		if seenGroup[gp] {
+			t.Errorf("group link %v duplicated", gp)
+		}
+		seenGroup[gp] = true
+	}
+}
+
+// TestLinkIterationSchedule: thresholds must descend from DeltaHigh to
+// DeltaLow in steps of DeltaStep.
+func TestLinkIterationSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StopOnEmpty = false
+	cfg.Workers = 1
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := Link(old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.7, 0.65, 0.6, 0.55, 0.5}
+	if len(res.Iterations) != len(want) {
+		t.Fatalf("iterations = %d, want %d", len(res.Iterations), len(want))
+	}
+	for i, it := range res.Iterations {
+		if diff := it.Delta - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("iteration %d delta = %v, want %v", i, it.Delta, want[i])
+		}
+	}
+}
+
+// TestLinkNonIterative: DeltaHigh == DeltaLow gives exactly one iteration.
+func TestLinkNonIterative(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeltaHigh, cfg.DeltaLow, cfg.DeltaStep = 0.5, 0.5, 0
+	cfg.Workers = 1
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := Link(old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 1 {
+		t.Errorf("iterations = %d, want 1", len(res.Iterations))
+	}
+}
+
+// TestLinkDeterminism: repeated runs with different worker counts agree.
+func TestLinkDeterminism(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	base, err := Link(old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		cfg.Workers = workers
+		got, err := Link(old, new, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.RecordLinks, base.RecordLinks) {
+			t.Errorf("workers=%d: record links differ", workers)
+		}
+		if !reflect.DeepEqual(got.GroupLinks, base.GroupLinks) {
+			t.Errorf("workers=%d: group links differ", workers)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.DeltaHigh, c.DeltaLow = 0.4, 0.6 },
+		func(c *Config) { c.DeltaStep = 0 },
+		func(c *Config) { c.Alpha, c.Beta = 0.8, 0.5 },
+		func(c *Config) { c.Alpha = -0.1 },
+		func(c *Config) { c.AgeTolerance = -1 },
+		func(c *Config) { c.Strategies = nil },
+		func(c *Config) { c.Sim.Matchers = nil },
+		func(c *Config) { c.Remainder.Matchers = nil },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestMatchRemainingGreedy: the highest-similarity candidate wins and the
+// mapping stays 1:1.
+func TestMatchRemainingGreedy(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	cfg := MatchConfig{AgeTolerance: 3, YearGap: 10}
+	links := MatchRemaining(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(0.9), cfg, block.DefaultStrategies())
+	got := map[string]string{}
+	for _, l := range links {
+		got[l.Old] = l.New
+	}
+	// Exact-name, age-consistent pairs: John Ashworth can match 1881_1 or
+	// 1881_9 (both exact); greedy with ID tie-break picks 1881_1.
+	if got["1871_1"] != "1881_1" {
+		t.Errorf("John Ashworth -> %s", got["1871_1"])
+	}
+	if got["1871_8"] != "1881_6" {
+		t.Errorf("Steve Smith -> %s", got["1871_8"])
+	}
+	seenNew := map[string]bool{}
+	for _, l := range links {
+		if seenNew[l.New] {
+			t.Fatalf("new record %s linked twice", l.New)
+		}
+		seenNew[l.New] = true
+	}
+}
+
+// TestMatchRemainingAgeWindow: an exact-name pair that did not age by the
+// census interval is rejected.
+func TestMatchRemainingAgeWindow(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	// William 1871 (age 2) vs William of household d (age 10): deviates by 2
+	// -> accepted. Shrink the tolerance to 1 to force rejection.
+	cfg := MatchConfig{AgeTolerance: 1, YearGap: 10}
+	links := MatchRemaining(
+		[]*census.Record{old.Record("1871_4")}, old.Year,
+		[]*census.Record{new.Record("1881_11")}, new.Year,
+		NameOnly(0.9), cfg, block.DefaultStrategies())
+	if len(links) != 0 {
+		t.Errorf("age-inconsistent remainder link accepted: %v", links)
+	}
+}
+
+// TestLinkProvenance: every record link carries a source; Alice and Steve
+// come from the remainder pass, the rest from subgraphs with the supporting
+// group pair recorded.
+func TestLinkProvenance(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := Link(old, new, runningExampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) != len(res.RecordLinks) {
+		t.Fatalf("sources = %d for %d links", len(res.Sources), len(res.RecordLinks))
+	}
+	src, ok := res.Sources[Pair{Old: "1871_1", New: "1881_1"}]
+	if !ok || src.Kind != SourceSubgraph {
+		t.Errorf("John Ashworth source = %+v", src)
+	}
+	if src.Group != (GroupPair{Old: "1871_a", New: "1881_a"}) {
+		t.Errorf("John Ashworth supporting group = %+v", src.Group)
+	}
+	if src.GSim <= 0 || src.Delta != 1.0 {
+		t.Errorf("subgraph source scores = %+v", src)
+	}
+	for _, id := range []string{"1871_3", "1871_8"} {
+		found := false
+		for p, s := range res.Sources {
+			if p.Old == id {
+				found = true
+				if s.Kind != SourceRemainder {
+					t.Errorf("%s source = %v, want remainder", id, s.Kind)
+				}
+				if s.Delta != 0.6 {
+					t.Errorf("%s remainder delta = %v", id, s.Delta)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no source for %s", id)
+		}
+	}
+	if SourceSubgraph.String() != "subgraph" || SourceRemainder.String() != "remainder" {
+		t.Error("source kind names wrong")
+	}
+}
+
+// TestMatchRemainingOptimal: the Hungarian variant resolves the classic
+// greedy trap — two olds competing for two news where the greedy top pick
+// starves the other — and never totals less similarity than greedy.
+func TestMatchRemainingOptimal(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	cfg := MatchConfig{AgeTolerance: 3, YearGap: 10}
+	greedy := MatchRemaining(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(0.6), cfg, block.DefaultStrategies())
+	optimal := MatchRemainingOptimal(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(0.6), cfg, block.DefaultStrategies())
+	sum := func(links []RecordLink) float64 {
+		s := 0.0
+		for _, l := range links {
+			s += l.Sim
+		}
+		return s
+	}
+	if sum(optimal) < sum(greedy)-1e-9 {
+		t.Errorf("optimal total %.4f below greedy %.4f", sum(optimal), sum(greedy))
+	}
+	// Both stay 1:1.
+	seen := map[string]bool{}
+	for _, l := range optimal {
+		if seen[l.Old] || seen["n"+l.New] {
+			t.Fatalf("not 1:1: %v", l)
+		}
+		seen[l.Old] = true
+		seen["n"+l.New] = true
+	}
+}
+
+// TestLinkOptimalRemainderConfig: the pipeline accepts the option and still
+// reproduces the running example.
+func TestLinkOptimalRemainderConfig(t *testing.T) {
+	cfg := runningExampleConfig()
+	cfg.OptimalRemainder = true
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := Link(old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, l := range res.RecordLinks {
+		got[l.Old] = l.New
+	}
+	for o, n := range paperexample.TrueRecordMapping() {
+		if got[o] != n {
+			t.Errorf("link %s -> %s missing under optimal remainder", o, n)
+		}
+	}
+}

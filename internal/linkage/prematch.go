@@ -1,0 +1,120 @@
+package linkage
+
+import (
+	"runtime"
+	"sync"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/cluster"
+)
+
+// Pair identifies a record pair across the two datasets by record ID.
+type Pair struct {
+	Old, New string
+}
+
+// PreMatchResult is the outcome of the pre-matching step (Section 3.2):
+// the candidate record links above δ with their aggregated similarities, the
+// cluster labels of the transitive closure, and the per-label record counts
+// used by the uniqueness score.
+type PreMatchResult struct {
+	// Sims holds agg_sim for every candidate pair with agg_sim >= δ.
+	Sims map[Pair]float64
+	// Links lists the candidate pairs in deterministic order.
+	Links []Pair
+	// Labels assigns a cluster label to every record (of either dataset)
+	// that appeared in the pre-matching input. Records without any link get
+	// a singleton label.
+	Labels map[string]int
+	// LabelSize counts the records carrying each label across both
+	// datasets (|label(r)| in Eq. 7).
+	LabelSize map[int]int
+	// Compared is the number of candidate pairs compared (for reporting).
+	Compared int
+}
+
+// Label returns the cluster label of a record ID and whether it has one.
+func (p *PreMatchResult) Label(id string) (int, bool) {
+	l, ok := p.Labels[id]
+	return l, ok
+}
+
+// PreMatch applies the similarity function to every blocked candidate pair
+// between the old records (from the dataset of year oldYear) and the new
+// records (year newYear), keeps pairs reaching δ, and clusters records via
+// the transitive closure of those links. workers <= 0 selects GOMAXPROCS.
+func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, strategies []block.Strategy, workers int) *PreMatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ix := block.NewIndex(new, newYear, strategies)
+
+	type chunkResult struct {
+		pairs []Pair
+		sims  []float64
+		n     int
+	}
+	// Split the old records into contiguous chunks, one result slot per
+	// chunk, so the merged output is deterministic regardless of scheduling.
+	chunkSize := (len(old) + workers - 1) / workers
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	var chunks [][]*census.Record
+	for i := 0; i < len(old); i += chunkSize {
+		end := i + chunkSize
+		if end > len(old) {
+			end = len(old)
+		}
+		chunks = append(chunks, old[i:end])
+	}
+	results := make([]chunkResult, len(chunks))
+	var wg sync.WaitGroup
+	for ci, chunk := range chunks {
+		wg.Add(1)
+		go func(ci int, chunk []*census.Record) {
+			defer wg.Done()
+			scratch := make(map[string]struct{})
+			var res chunkResult
+			for _, o := range chunk {
+				for _, n := range ix.Candidates(o, oldYear, scratch) {
+					res.n++
+					if s := f.AggSim(o, n); s >= f.Delta {
+						res.pairs = append(res.pairs, Pair{Old: o.ID, New: n.ID})
+						res.sims = append(res.sims, s)
+					}
+				}
+			}
+			results[ci] = res
+		}(ci, chunk)
+	}
+	wg.Wait()
+
+	out := &PreMatchResult{
+		Sims:      make(map[Pair]float64),
+		Labels:    make(map[string]int, len(old)+len(new)),
+		LabelSize: make(map[int]int),
+	}
+	uf := cluster.NewUnionFind()
+	for _, r := range old {
+		uf.Add(r.ID)
+	}
+	for _, r := range new {
+		uf.Add(r.ID)
+	}
+	for _, res := range results {
+		out.Compared += res.n
+		for i, p := range res.pairs {
+			out.Links = append(out.Links, p)
+			out.Sims[p] = res.sims[i]
+			uf.Union(p.Old, p.New)
+		}
+	}
+	out.Labels = uf.Labels()
+	for _, l := range out.Labels {
+		out.LabelSize[l]++
+	}
+	return out
+}

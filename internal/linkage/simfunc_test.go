@@ -1,0 +1,138 @@
+package linkage
+
+import (
+	"math"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/strsim"
+)
+
+func TestSimFuncValidate(t *testing.T) {
+	if err := OmegaOne(0.5).Validate(); err != nil {
+		t.Errorf("OmegaOne invalid: %v", err)
+	}
+	if err := OmegaTwo(0.5).Validate(); err != nil {
+		t.Errorf("OmegaTwo invalid: %v", err)
+	}
+	if err := NameOnly(0.5).Validate(); err != nil {
+		t.Errorf("NameOnly invalid: %v", err)
+	}
+
+	bad := SimFunc{Name: "empty"}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty SimFunc accepted")
+	}
+	bad = SimFunc{Name: "sum", Matchers: []AttributeMatcher{
+		{Attr: census.AttrFirstName, Sim: strsim.Bigram, Weight: 0.7},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("weights not summing to 1 accepted")
+	}
+	bad = SimFunc{Name: "neg", Matchers: []AttributeMatcher{
+		{Attr: census.AttrFirstName, Sim: strsim.Bigram, Weight: 1.5},
+		{Attr: census.AttrSurname, Sim: strsim.Bigram, Weight: -0.5},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	bad = SimFunc{Name: "nilsim", Matchers: []AttributeMatcher{
+		{Attr: census.AttrFirstName, Sim: nil, Weight: 1},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil similarity accepted")
+	}
+	bad = OmegaOne(1.5)
+	if err := bad.Validate(); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+}
+
+func TestAggSimIdenticalRecords(t *testing.T) {
+	r := &census.Record{FirstName: "john", Surname: "ashworth", Sex: census.SexMale,
+		Address: "3 mill lane", Occupation: "weaver"}
+	for _, f := range []SimFunc{OmegaOne(0), OmegaTwo(0), NameOnly(0)} {
+		if got := f.AggSim(r, r); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s.AggSim(r, r) = %v, want 1", f.Name, got)
+		}
+	}
+}
+
+func TestAggSimWeighting(t *testing.T) {
+	a := &census.Record{FirstName: "john", Surname: "ashworth", Sex: census.SexMale,
+		Address: "3 mill lane", Occupation: "weaver"}
+	// Same name and sex, different address and occupation.
+	b := &census.Record{FirstName: "john", Surname: "ashworth", Sex: census.SexMale,
+		Address: "99 york terrace", Occupation: "grocer"}
+	// ω2 weights address+occupation less, so it must score the pair higher.
+	s1 := OmegaOne(0).AggSim(a, b)
+	s2 := OmegaTwo(0).AggSim(a, b)
+	if s2 <= s1 {
+		t.Errorf("omega2 (%v) should exceed omega1 (%v) for stable-attribute agreement", s2, s1)
+	}
+}
+
+func TestAggSimMissingValues(t *testing.T) {
+	a := &census.Record{FirstName: "john", Surname: "ashworth", Sex: census.SexMale}
+	b := &census.Record{FirstName: "john", Surname: "ashworth"}
+	// Sex missing on b (and address/occupation empty on both): only first
+	// name (0.4) and surname (0.2) contribute, so ω2 yields 0.6.
+	if got := OmegaTwo(0).AggSim(a, b); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("AggSim with missing sex = %v, want 0.6", got)
+	}
+}
+
+func TestSimVector(t *testing.T) {
+	f := NameOnly(0)
+	a := &census.Record{FirstName: "john", Surname: "smith"}
+	b := &census.Record{FirstName: "john", Surname: "smyth"}
+	v := f.SimVector(a, b)
+	if len(v) != 2 || v[0] != 1 || v[1] <= 0 || v[1] >= 1 {
+		t.Errorf("SimVector = %v", v)
+	}
+}
+
+func TestMatchesAndWithDelta(t *testing.T) {
+	a := &census.Record{FirstName: "john", Surname: "smith"}
+	b := &census.Record{FirstName: "john", Surname: "smyth"}
+	f := NameOnly(0.99)
+	if f.Matches(a, b) {
+		t.Error("should not match at delta 0.99")
+	}
+	if !f.WithDelta(0.5).Matches(a, b) {
+		t.Error("should match at delta 0.5")
+	}
+	if f.Delta != 0.99 {
+		t.Error("WithDelta must not mutate the receiver")
+	}
+}
+
+func TestTable2Weights(t *testing.T) {
+	// The ω vectors must match Table 2 of the paper exactly.
+	w1 := map[census.Attribute]float64{}
+	for _, m := range OmegaOne(0).Matchers {
+		w1[m.Attr] = m.Weight
+	}
+	for _, attr := range []census.Attribute{census.AttrFirstName, census.AttrSex,
+		census.AttrSurname, census.AttrAddress, census.AttrOccupation} {
+		if w1[attr] != 0.2 {
+			t.Errorf("omega1 weight for %v = %v, want 0.2", attr, w1[attr])
+		}
+	}
+	w2 := map[census.Attribute]float64{}
+	for _, m := range OmegaTwo(0).Matchers {
+		w2[m.Attr] = m.Weight
+	}
+	want := map[census.Attribute]float64{
+		census.AttrFirstName:  0.4,
+		census.AttrSex:        0.2,
+		census.AttrSurname:    0.2,
+		census.AttrAddress:    0.1,
+		census.AttrOccupation: 0.1,
+	}
+	for attr, w := range want {
+		if w2[attr] != w {
+			t.Errorf("omega2 weight for %v = %v, want %v", attr, w2[attr], w)
+		}
+	}
+}

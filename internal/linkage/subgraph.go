@@ -1,0 +1,331 @@
+package linkage
+
+import (
+	"sort"
+
+	"censuslink/internal/census"
+	"censuslink/internal/hgraph"
+)
+
+// VertexPair is one vertex of a matched subgraph: a pair of equally
+// labelled (similar) records from the old and new group.
+type VertexPair struct {
+	Old, New *census.Record
+	// Sim is agg_sim of the record pair (from pre-matching, or recomputed
+	// for pairs linked only transitively).
+	Sim float64
+}
+
+// SubEdge connects two vertex pairs of a subgraph whose underlying records
+// are related by the same unified relationship type with similar age
+// differences in both groups. I and J index Subgraph.Vertices.
+type SubEdge struct {
+	I, J  int
+	RpSim float64 // relationship-property similarity in [0,1]
+}
+
+// Subgraph is the common subgraph of one candidate group pair together with
+// its selection scores (Section 3.4).
+type Subgraph struct {
+	OldGroup, NewGroup string
+	Vertices           []VertexPair
+	Edges              []SubEdge
+
+	AvgSim float64 // average record similarity (Eq. 5)
+	ESim   float64 // Dice-style edge similarity (Eq. 6)
+	Unique float64 // uniqueness of the involved cluster labels (Eq. 7)
+	GSim   float64 // aggregated similarity (Eq. 4)
+}
+
+// OldRecordIDs returns the old-side record IDs of the subgraph vertices.
+func (s *Subgraph) OldRecordIDs() []string {
+	out := make([]string, len(s.Vertices))
+	for i, v := range s.Vertices {
+		out[i] = v.Old.ID
+	}
+	return out
+}
+
+// NewRecordIDs returns the new-side record IDs of the subgraph vertices.
+func (s *Subgraph) NewRecordIDs() []string {
+	out := make([]string, len(s.Vertices))
+	for i, v := range s.Vertices {
+		out[i] = v.New.ID
+	}
+	return out
+}
+
+// MatchConfig bundles the parameters of subgraph matching and group scoring.
+type MatchConfig struct {
+	// AgeTolerance τ is the maximum acceptable deviation, in years, both
+	// between the age differences of corresponding edges and between a
+	// record pair's age gap and the census interval (paper footnote 2).
+	AgeTolerance int
+	// YearGap is the interval between the two censuses (newYear - oldYear).
+	YearGap int
+	// Alpha and Beta weight avg_sim and e_sim in g_sim (Eq. 4); the
+	// uniqueness weight is 1 - Alpha - Beta.
+	Alpha, Beta float64
+	// DirectVerticesOnly restricts subgraph vertices to directly compared
+	// record pairs above δ. The paper's definition admits every equally
+	// labelled pair (the transitive closure of the match relation), which
+	// is the default; the restriction is a stricter ablation variant.
+	DirectVerticesOnly bool
+	// VertexGuards enables extra sanity guards on transitive vertex pairs
+	// (sex agreement and a similarity floor of δ/2) that go beyond the
+	// paper. The record-pair age window always applies: the paper's
+	// footnote 2 states that subgraph matching rejects pairs whose
+	// normalised age difference exceeds the tolerance.
+	VertexGuards bool
+}
+
+// rpSim converts an age-difference deviation into the relationship-property
+// similarity: 1 for exact agreement, decaying linearly, 0 beyond tolerance.
+func (c MatchConfig) rpSim(dOld, dNew int) (float64, bool) {
+	if dOld == hgraph.AgeDiffMissing || dNew == hgraph.AgeDiffMissing {
+		return 0, false
+	}
+	dev := dOld - dNew
+	if dev < 0 {
+		dev = -dev
+	}
+	if dev > c.AgeTolerance {
+		return 0, false
+	}
+	return 1 - float64(dev)/float64(c.AgeTolerance+1), true
+}
+
+// ageConsistent reports whether a record pair's ages are consistent with the
+// census interval: the person must have aged by YearGap ± AgeTolerance
+// years. Missing ages pass (no evidence against the pair).
+func (c MatchConfig) ageConsistent(o, n *census.Record) bool {
+	if o.Age == census.AgeMissing || n.Age == census.AgeMissing {
+		return true
+	}
+	dev := (n.Age - o.Age) - c.YearGap
+	if dev < 0 {
+		dev = -dev
+	}
+	return dev <= c.AgeTolerance
+}
+
+// MatchGroups computes the common subgraph of one group pair (Section 3.3)
+// and its selection scores. It returns nil when the groups share no
+// structurally supported subgraph (fewer than two compatible vertices or no
+// compatible edge).
+//
+// Vertex candidates are the record pairs with equal cluster labels that are
+// age-consistent with the census interval. Because one label can admit
+// conflicting pairs (duplicate names inside a household), a 1:1 assignment
+// is chosen greedily by (edge support, record similarity). Vertices left
+// without any compatible edge are dropped, following the reduction shown in
+// Fig. 4 of the paper.
+func MatchGroups(gOld, gNew *hgraph.Graph, pre *PreMatchResult, f SimFunc, cfg MatchConfig) *Subgraph {
+	// Collect candidate vertex pairs: equally labelled (i.e. similar)
+	// record pairs that are age-consistent with the census interval. For
+	// pairs that were only linked transitively, the aggregated similarity
+	// is computed on demand.
+	var cands []VertexPair
+	for _, o := range gOld.Members() {
+		lo, okO := pre.Label(o.ID)
+		if !okO {
+			continue
+		}
+		for _, n := range gNew.Members() {
+			sim, direct := pre.Sims[Pair{Old: o.ID, New: n.ID}]
+			if !direct {
+				if cfg.DirectVerticesOnly {
+					continue
+				}
+				ln, okN := pre.Label(n.ID)
+				if !okN || lo != ln {
+					continue
+				}
+				// Transitively linked pair: the records sit in one cluster
+				// but were never compared directly. With VertexGuards on,
+				// chains of barely-similar records are cut: contradictory
+				// sex values and pairs below half of the direct threshold
+				// are rejected.
+				if cfg.VertexGuards {
+					if o.Sex != census.SexUnknown && n.Sex != census.SexUnknown && o.Sex != n.Sex {
+						continue
+					}
+				}
+				sim = f.AggSim(o, n)
+				if cfg.VertexGuards && sim < f.Delta/2 {
+					continue
+				}
+			}
+			if !cfg.ageConsistent(o, n) {
+				continue
+			}
+			cands = append(cands, VertexPair{Old: o, New: n, Sim: sim})
+		}
+	}
+	if len(cands) < 2 {
+		return nil
+	}
+
+	// Edge compatibility between candidate vertex pairs.
+	compatible := func(a, b VertexPair) (float64, bool) {
+		if a.Old.ID == b.Old.ID || a.New.ID == b.New.ID {
+			return 0, false
+		}
+		tOld, dOld, okOld := gOld.EdgeBetween(a.Old.ID, b.Old.ID)
+		tNew, dNew, okNew := gNew.EdgeBetween(a.New.ID, b.New.ID)
+		if !okOld || !okNew || tOld != tNew {
+			return 0, false
+		}
+		return cfg.rpSim(dOld, dNew)
+	}
+	support := make([]int, len(cands))
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if _, ok := compatible(cands[i], cands[j]); ok {
+				support[i]++
+				support[j]++
+			}
+		}
+	}
+
+	// Greedy 1:1 assignment: highest edge support first, then similarity,
+	// then IDs for determinism.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if support[i] != support[j] {
+			return support[i] > support[j]
+		}
+		if cands[i].Sim != cands[j].Sim {
+			return cands[i].Sim > cands[j].Sim
+		}
+		if cands[i].Old.ID != cands[j].Old.ID {
+			return cands[i].Old.ID < cands[j].Old.ID
+		}
+		return cands[i].New.ID < cands[j].New.ID
+	})
+	usedOld := make(map[string]bool, len(cands))
+	usedNew := make(map[string]bool, len(cands))
+	var chosen []VertexPair
+	for _, i := range order {
+		v := cands[i]
+		if usedOld[v.Old.ID] || usedNew[v.New.ID] {
+			continue
+		}
+		usedOld[v.Old.ID] = true
+		usedNew[v.New.ID] = true
+		chosen = append(chosen, v)
+	}
+	// Restore member order for deterministic output.
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Old.ID < chosen[j].Old.ID })
+
+	// Final edges among the chosen vertices.
+	var edges []SubEdge
+	degree := make([]int, len(chosen))
+	for i := 0; i < len(chosen); i++ {
+		for j := i + 1; j < len(chosen); j++ {
+			if rp, ok := compatible(chosen[i], chosen[j]); ok {
+				edges = append(edges, SubEdge{I: i, J: j, RpSim: rp})
+				degree[i]++
+				degree[j]++
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+
+	// Drop vertices without edge support (Fig. 4 reduction) and remap edges.
+	remap := make([]int, len(chosen))
+	var kept []VertexPair
+	for i, v := range chosen {
+		if degree[i] > 0 {
+			remap[i] = len(kept)
+			kept = append(kept, v)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i := range edges {
+		edges[i].I = remap[edges[i].I]
+		edges[i].J = remap[edges[i].J]
+	}
+
+	sub := &Subgraph{
+		OldGroup: gOld.HouseholdID,
+		NewGroup: gNew.HouseholdID,
+		Vertices: kept,
+		Edges:    edges,
+	}
+	sub.score(gOld, gNew, pre, cfg)
+	return sub
+}
+
+// score fills in avg_sim (Eq. 5), e_sim (Eq. 6), unique (Eq. 7) and the
+// aggregated g_sim (Eq. 4).
+func (s *Subgraph) score(gOld, gNew *hgraph.Graph, pre *PreMatchResult, cfg MatchConfig) {
+	simSum := 0.0
+	labelSum := 0
+	for _, v := range s.Vertices {
+		simSum += v.Sim
+		if l, ok := pre.Label(v.Old.ID); ok {
+			labelSum += pre.LabelSize[l]
+		}
+	}
+	s.AvgSim = simSum / float64(len(s.Vertices))
+
+	rpSum := 0.0
+	for _, e := range s.Edges {
+		rpSum += e.RpSim
+	}
+	if total := gOld.NumEdges() + gNew.NumEdges(); total > 0 {
+		s.ESim = 2 * rpSum / float64(total)
+	}
+
+	if labelSum > 0 {
+		s.Unique = 2 * float64(len(s.Vertices)) / float64(labelSum)
+	}
+	s.GSim = cfg.Alpha*s.AvgSim + cfg.Beta*s.ESim + (1-cfg.Alpha-cfg.Beta)*s.Unique
+}
+
+// GroupPair identifies a candidate household pair by household IDs.
+type GroupPair struct {
+	Old, New string
+}
+
+// CandidateGroupPairs derives the distinct group pairs connected by at least
+// one pre-matching record link (Section 3.3: subgraph matching is only
+// applied to pairs of groups sharing a similar record). Order follows the
+// first occurrence in the deterministic link list.
+func CandidateGroupPairs(pre *PreMatchResult, oldDS, newDS *census.Dataset) []GroupPair {
+	seen := make(map[GroupPair]bool)
+	var out []GroupPair
+	for _, link := range pre.Links {
+		o := oldDS.Record(link.Old)
+		n := newDS.Record(link.New)
+		if o == nil || n == nil {
+			continue
+		}
+		gp := GroupPair{Old: o.HouseholdID, New: n.HouseholdID}
+		if !seen[gp] {
+			seen[gp] = true
+			out = append(out, gp)
+		}
+	}
+	return out
+}
+
+// AgeConsistent is the exported form of the record-pair age window check
+// (paper footnote 2), for diagnostic tooling.
+func (c MatchConfig) AgeConsistent(o, n *census.Record) bool {
+	return c.ageConsistent(o, n)
+}
+
+// RelPropSim is the exported form of the edge age-difference similarity:
+// it returns rp_sim and whether the two differences are compatible.
+func (c MatchConfig) RelPropSim(dOld, dNew int) (float64, bool) {
+	return c.rpSim(dOld, dNew)
+}

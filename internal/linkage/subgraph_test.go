@@ -1,0 +1,255 @@
+package linkage
+
+import (
+	"math"
+	"testing"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/hgraph"
+	"censuslink/internal/paperexample"
+)
+
+func paperMatchConfig() MatchConfig {
+	return MatchConfig{AgeTolerance: 3, YearGap: 10, Alpha: 0.2, Beta: 0.7}
+}
+
+// paperSubgraphs builds the enriched graphs and pre-matching of the running
+// example and returns a helper to match any group pair.
+func paperSubgraphs(t *testing.T) (func(oldHH, newHH string) *Subgraph, *PreMatchResult) {
+	t.Helper()
+	old, new := paperexample.Old(), paperexample.New()
+	oldGraphs := hgraph.BuildAll(old)
+	newGraphs := hgraph.BuildAll(new)
+	pre := figure3PreMatch(1)
+	f := NameOnly(1.0)
+	cfg := paperMatchConfig()
+	return func(oldHH, newHH string) *Subgraph {
+		return MatchGroups(oldGraphs[oldHH], newGraphs[newHH], pre, f, cfg)
+	}, pre
+}
+
+// TestSubgraphPaperEq8A reproduces the paper's hand-computed scores for the
+// group pair (g^a_1871, g^a_1881): avg_sim = 1, e_sim = 2*3/13 ≈ 0.46,
+// unique = 2*3/9 ≈ 0.66.
+func TestSubgraphPaperEq8A(t *testing.T) {
+	match, _ := paperSubgraphs(t)
+	s := match("1871_a", "1881_a")
+	if s == nil {
+		t.Fatal("subgraph (a, a) not found")
+	}
+	if len(s.Vertices) != 3 {
+		t.Fatalf("vertices = %d, want 3 (labels A, B, C)", len(s.Vertices))
+	}
+	if len(s.Edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(s.Edges))
+	}
+	if math.Abs(s.AvgSim-1) > 1e-9 {
+		t.Errorf("avg_sim = %v, want 1", s.AvgSim)
+	}
+	if math.Abs(s.ESim-2.0*3.0/13.0) > 1e-9 {
+		t.Errorf("e_sim = %v, want %v", s.ESim, 2.0*3.0/13.0)
+	}
+	if math.Abs(s.Unique-2.0/3.0) > 1e-9 {
+		t.Errorf("unique = %v, want 2/3", s.Unique)
+	}
+	wantG := 0.2*1 + 0.7*(6.0/13.0) + 0.1*(2.0/3.0)
+	if math.Abs(s.GSim-wantG) > 1e-9 {
+		t.Errorf("g_sim = %v, want %v", s.GSim, wantG)
+	}
+}
+
+// TestSubgraphPaperEq8D reproduces the scores for the ambiguous pair
+// (g^a_1871, g^d_1881): the William vertex loses both of its edges (Fig. 4)
+// and is dropped, leaving avg_sim = 1, e_sim = 2*1/13 ≈ 0.15,
+// unique = 2*2/6 ≈ 0.66.
+func TestSubgraphPaperEq8D(t *testing.T) {
+	match, _ := paperSubgraphs(t)
+	s := match("1871_a", "1881_d")
+	if s == nil {
+		t.Fatal("subgraph (a, d) not found")
+	}
+	if len(s.Vertices) != 2 {
+		t.Fatalf("vertices = %d, want 2 after Fig. 4 reduction", len(s.Vertices))
+	}
+	if len(s.Edges) != 1 {
+		t.Fatalf("edges = %d, want 1", len(s.Edges))
+	}
+	if math.Abs(s.AvgSim-1) > 1e-9 {
+		t.Errorf("avg_sim = %v, want 1", s.AvgSim)
+	}
+	if math.Abs(s.ESim-2.0/13.0) > 1e-9 {
+		t.Errorf("e_sim = %v, want %v", s.ESim, 2.0/13.0)
+	}
+	if math.Abs(s.Unique-2.0/3.0) > 1e-9 {
+		t.Errorf("unique = %v, want 2/3", s.Unique)
+	}
+	// The paper concludes g_sim(a,a) > g_sim(a,d) because of edge similarity.
+	a := match("1871_a", "1881_a")
+	if a.GSim <= s.GSim {
+		t.Errorf("g_sim(a,a)=%v should exceed g_sim(a,d)=%v", a.GSim, s.GSim)
+	}
+}
+
+// TestSubgraphSmithPair: the Smith household pair shares two members with
+// one fully matching spouse edge and unique labels.
+func TestSubgraphSmithPair(t *testing.T) {
+	match, _ := paperSubgraphs(t)
+	s := match("1871_b", "1881_b")
+	if s == nil {
+		t.Fatal("subgraph (b, b) not found")
+	}
+	if len(s.Vertices) != 2 || len(s.Edges) != 1 {
+		t.Fatalf("subgraph shape: %d vertices, %d edges", len(s.Vertices), len(s.Edges))
+	}
+	if math.Abs(s.Unique-1) > 1e-9 {
+		t.Errorf("unique = %v, want 1 (labels D, E are unambiguous)", s.Unique)
+	}
+	// e_sim = 2*1/(3+1).
+	if math.Abs(s.ESim-0.5) > 1e-9 {
+		t.Errorf("e_sim = %v, want 0.5", s.ESim)
+	}
+}
+
+// TestSubgraphSingleSharedMember: a single shared record (Steve moving to
+// household c) yields no subgraph; such links are left to Sim_func_rem.
+func TestSubgraphSingleSharedMember(t *testing.T) {
+	match, _ := paperSubgraphs(t)
+	if s := match("1871_b", "1881_c"); s != nil {
+		t.Errorf("single-member overlap should give no subgraph, got %+v", s)
+	}
+}
+
+// TestSubgraphAgeConsistencyFilter: a vertex pair whose ages do not fit the
+// census interval is rejected even when the labels agree.
+func TestSubgraphAgeConsistencyFilter(t *testing.T) {
+	old := census.NewDataset(1871)
+	new := census.NewDataset(1881)
+	for _, r := range []*census.Record{
+		{ID: "o1", HouseholdID: "oh", FirstName: "john", Surname: "lord", Sex: census.SexMale, Age: 30, Role: census.RoleHead},
+		{ID: "o2", HouseholdID: "oh", FirstName: "ann", Surname: "lord", Sex: census.SexFemale, Age: 28, Role: census.RoleWife},
+	} {
+		if err := old.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []*census.Record{
+		// Same names, but ages did not advance by ~10 years: a different
+		// generation (e.g. son with the father's name).
+		{ID: "n1", HouseholdID: "nh", FirstName: "john", Surname: "lord", Sex: census.SexMale, Age: 31, Role: census.RoleHead},
+		{ID: "n2", HouseholdID: "nh", FirstName: "ann", Surname: "lord", Sex: census.SexFemale, Age: 29, Role: census.RoleWife},
+	} {
+		if err := new.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := PreMatch(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(1.0), block.DefaultStrategies(), 1)
+	s := MatchGroups(hgraph.Build(old, old.Household("oh")),
+		hgraph.Build(new, new.Household("nh")), pre, NameOnly(1.0), paperMatchConfig())
+	if s != nil {
+		t.Errorf("age-inconsistent pair matched: %+v", s)
+	}
+}
+
+// TestSubgraphDuplicateNamesOneToOne: two same-named children must map 1:1,
+// guided by edge support.
+func TestSubgraphDuplicateNamesOneToOne(t *testing.T) {
+	old := census.NewDataset(1871)
+	new := census.NewDataset(1881)
+	for _, r := range []*census.Record{
+		{ID: "o1", HouseholdID: "oh", FirstName: "john", Surname: "holt", Sex: census.SexMale, Age: 40, Role: census.RoleHead},
+		{ID: "o2", HouseholdID: "oh", FirstName: "thomas", Surname: "holt", Sex: census.SexMale, Age: 15, Role: census.RoleSon},
+		{ID: "o3", HouseholdID: "oh", FirstName: "thomas", Surname: "holt", Sex: census.SexMale, Age: 2, Role: census.RoleSon},
+	} {
+		if err := old.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []*census.Record{
+		{ID: "n1", HouseholdID: "nh", FirstName: "john", Surname: "holt", Sex: census.SexMale, Age: 50, Role: census.RoleHead},
+		{ID: "n2", HouseholdID: "nh", FirstName: "thomas", Surname: "holt", Sex: census.SexMale, Age: 25, Role: census.RoleSon},
+		{ID: "n3", HouseholdID: "nh", FirstName: "thomas", Surname: "holt", Sex: census.SexMale, Age: 12, Role: census.RoleSon},
+	} {
+		if err := new.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := PreMatch(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(1.0), block.DefaultStrategies(), 1)
+	s := MatchGroups(hgraph.Build(old, old.Household("oh")),
+		hgraph.Build(new, new.Household("nh")), pre, NameOnly(1.0), paperMatchConfig())
+	if s == nil {
+		t.Fatal("no subgraph for duplicate-name household")
+	}
+	if len(s.Vertices) != 3 {
+		t.Fatalf("vertices = %d, want 3", len(s.Vertices))
+	}
+	got := map[string]string{}
+	for _, v := range s.Vertices {
+		got[v.Old.ID] = v.New.ID
+	}
+	want := map[string]string{"o1": "n1", "o2": "n2", "o3": "n3"}
+	for o, n := range want {
+		if got[o] != n {
+			t.Errorf("vertex %s -> %s, want %s (age structure should disambiguate)", o, got[o], n)
+		}
+	}
+}
+
+func TestCandidateGroupPairs(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	pre := figure3PreMatch(1)
+	pairs := CandidateGroupPairs(pre, old, new)
+	want := map[GroupPair]bool{
+		{Old: "1871_a", New: "1881_a"}: true,
+		{Old: "1871_a", New: "1881_d"}: true,
+		{Old: "1871_b", New: "1881_b"}: true,
+		{Old: "1871_b", New: "1881_c"}: true, // via Steve
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected group pair %v", p)
+		}
+	}
+}
+
+func TestRpSim(t *testing.T) {
+	cfg := paperMatchConfig()
+	if rp, ok := cfg.rpSim(5, 5); !ok || rp != 1 {
+		t.Errorf("exact agreement: %v/%v", rp, ok)
+	}
+	if rp, ok := cfg.rpSim(5, 7); !ok || math.Abs(rp-0.5) > 1e-9 {
+		t.Errorf("deviation 2: %v/%v, want 0.5", rp, ok)
+	}
+	if _, ok := cfg.rpSim(5, 9); ok {
+		t.Error("deviation beyond tolerance accepted")
+	}
+	if _, ok := cfg.rpSim(hgraph.AgeDiffMissing, 5); ok {
+		t.Error("missing age difference accepted")
+	}
+	// Sign matters: a reversed difference is a different structure.
+	if _, ok := cfg.rpSim(5, -5); ok {
+		t.Error("sign-flipped difference accepted")
+	}
+}
+
+func TestAgeConsistent(t *testing.T) {
+	cfg := paperMatchConfig()
+	mk := func(age int) *census.Record { return &census.Record{Age: age} }
+	if !cfg.ageConsistent(mk(30), mk(40)) {
+		t.Error("exact ten-year gap rejected")
+	}
+	if !cfg.ageConsistent(mk(30), mk(43)) {
+		t.Error("gap within tolerance rejected")
+	}
+	if cfg.ageConsistent(mk(30), mk(44)) {
+		t.Error("gap outside tolerance accepted")
+	}
+	if !cfg.ageConsistent(mk(census.AgeMissing), mk(44)) {
+		t.Error("missing age should pass")
+	}
+}

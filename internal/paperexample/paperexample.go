@@ -1,0 +1,93 @@
+// Package paperexample builds the running example of Christen et al.
+// (EDBT 2017), Figs. 1-4: two Rawtenstall-style census snapshots from 1871
+// and 1881 with the Ashworth, Smith and Riley families.
+//
+// Between the two censuses: Alice Ashworth married Steve Smith and both
+// moved into the new household c; John Riley died; Mary Smith was born; and
+// a second, unrelated Ashworth family (household d) with the same first
+// names moved into the district. Ages in household d are chosen so that,
+// as in Fig. 4 of the paper, exactly one of its enriched edges (the spouse
+// edge) is compatible with household a of 1871.
+package paperexample
+
+import "censuslink/internal/census"
+
+// Old returns the 1871 dataset: household a (five members, ten enriched
+// edges) and household b (three members).
+func Old() *census.Dataset {
+	d := census.NewDataset(1871)
+	recs := []*census.Record{
+		// Household a: the Ashworth family plus the lodger John Riley.
+		{ID: "1871_1", HouseholdID: "1871_a", FirstName: "john", Surname: "ashworth", Sex: census.SexMale, Age: 39, Role: census.RoleHead, Address: "3 mill lane", Occupation: "weaver"},
+		{ID: "1871_2", HouseholdID: "1871_a", FirstName: "elizabeth", Surname: "ashworth", Sex: census.SexFemale, Age: 37, Role: census.RoleWife, Address: "3 mill lane", Occupation: "winder"},
+		{ID: "1871_3", HouseholdID: "1871_a", FirstName: "alice", Surname: "ashworth", Sex: census.SexFemale, Age: 8, Role: census.RoleDaughter, Address: "3 mill lane", Occupation: "scholar"},
+		{ID: "1871_4", HouseholdID: "1871_a", FirstName: "william", Surname: "ashworth", Sex: census.SexMale, Age: 2, Role: census.RoleSon, Address: "3 mill lane"},
+		{ID: "1871_5", HouseholdID: "1871_a", FirstName: "john", Surname: "riley", Sex: census.SexMale, Age: 71, Role: census.RoleLodger, Address: "3 mill lane", Occupation: "retired"},
+		// Household b: the Smith family.
+		{ID: "1871_6", HouseholdID: "1871_b", FirstName: "john", Surname: "smith", Sex: census.SexMale, Age: 44, Role: census.RoleHead, Address: "7 bury road", Occupation: "spinner"},
+		{ID: "1871_7", HouseholdID: "1871_b", FirstName: "elizabeth", Surname: "smith", Sex: census.SexFemale, Age: 41, Role: census.RoleWife, Address: "7 bury road"},
+		{ID: "1871_8", HouseholdID: "1871_b", FirstName: "steve", Surname: "smith", Sex: census.SexMale, Age: 17, Role: census.RoleSon, Address: "7 bury road", Occupation: "piecer"},
+	}
+	for _, r := range recs {
+		if err := d.AddRecord(r); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// New returns the 1881 dataset: the continued households a and b, the newly
+// formed household c (Steve and Alice Smith with newborn Mary) and the
+// newly arrived household d (the second Ashworth family).
+func New() *census.Dataset {
+	d := census.NewDataset(1881)
+	recs := []*census.Record{
+		// Household a, ten years on; Alice has left, John Riley has died.
+		{ID: "1881_1", HouseholdID: "1881_a", FirstName: "john", Surname: "ashworth", Sex: census.SexMale, Age: 49, Role: census.RoleHead, Address: "3 mill lane", Occupation: "weaver"},
+		{ID: "1881_2", HouseholdID: "1881_a", FirstName: "elizabeth", Surname: "ashworth", Sex: census.SexFemale, Age: 47, Role: census.RoleWife, Address: "3 mill lane", Occupation: "winder"},
+		{ID: "1881_3", HouseholdID: "1881_a", FirstName: "william", Surname: "ashworth", Sex: census.SexMale, Age: 12, Role: census.RoleSon, Address: "3 mill lane", Occupation: "scholar"},
+		// Household b: the Smith parents.
+		{ID: "1881_4", HouseholdID: "1881_b", FirstName: "john", Surname: "smith", Sex: census.SexMale, Age: 54, Role: census.RoleHead, Address: "7 bury road", Occupation: "spinner"},
+		{ID: "1881_5", HouseholdID: "1881_b", FirstName: "elizabeth", Surname: "smith", Sex: census.SexFemale, Age: 51, Role: census.RoleWife, Address: "7 bury road"},
+		// Household c: Steve married Alice; daughter Mary was born.
+		{ID: "1881_6", HouseholdID: "1881_c", FirstName: "steve", Surname: "smith", Sex: census.SexMale, Age: 27, Role: census.RoleHead, Address: "2 hall street", Occupation: "spinner"},
+		{ID: "1881_7", HouseholdID: "1881_c", FirstName: "alice", Surname: "smith", Sex: census.SexFemale, Age: 18, Role: census.RoleWife, Address: "2 hall street"},
+		{ID: "1881_8", HouseholdID: "1881_c", FirstName: "mary", Surname: "smith", Sex: census.SexFemale, Age: 0, Role: census.RoleDaughter, Address: "2 hall street"},
+		// Household d: an unrelated Ashworth family with the same first
+		// names. The spouse age difference (2) matches household a of 1871,
+		// but the parent-child differences (42 and 40 vs. 37 and 35) do not.
+		{ID: "1881_9", HouseholdID: "1881_d", FirstName: "john", Surname: "ashworth", Sex: census.SexMale, Age: 52, Role: census.RoleHead, Address: "9 hall street", Occupation: "grocer"},
+		{ID: "1881_10", HouseholdID: "1881_d", FirstName: "elizabeth", Surname: "ashworth", Sex: census.SexFemale, Age: 50, Role: census.RoleWife, Address: "9 hall street"},
+		{ID: "1881_11", HouseholdID: "1881_d", FirstName: "william", Surname: "ashworth", Sex: census.SexMale, Age: 10, Role: census.RoleSon, Address: "9 hall street", Occupation: "scholar"},
+	}
+	for _, r := range recs {
+		if err := d.AddRecord(r); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// TrueRecordMapping returns the seven person links of the running example
+// (old record ID -> new record ID).
+func TrueRecordMapping() map[string]string {
+	return map[string]string{
+		"1871_1": "1881_1", // John Ashworth
+		"1871_2": "1881_2", // Elizabeth Ashworth
+		"1871_3": "1881_7", // Alice Ashworth -> Alice Smith
+		"1871_4": "1881_3", // William Ashworth
+		"1871_6": "1881_4", // John Smith
+		"1871_7": "1881_5", // Elizabeth Smith
+		"1871_8": "1881_6", // Steve Smith
+	}
+}
+
+// TrueGroupMapping returns the four household links of the running example.
+func TrueGroupMapping() [][2]string {
+	return [][2]string{
+		{"1871_a", "1881_a"},
+		{"1871_a", "1881_c"}, // Alice moved
+		{"1871_b", "1881_b"},
+		{"1871_b", "1881_c"}, // Steve moved
+	}
+}

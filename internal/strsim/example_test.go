@@ -1,0 +1,46 @@
+package strsim_test
+
+import (
+	"fmt"
+
+	"censuslink/internal/strsim"
+)
+
+// ExampleQGram shows bigram (Dice) similarity on name variants.
+func ExampleQGram() {
+	sim := strsim.QGram(2)
+	fmt.Printf("%.2f\n", sim("smith", "smith"))
+	fmt.Printf("%.2f\n", sim("smith", "smyth"))
+	fmt.Printf("%.2f\n", sim("smith", "ashworth"))
+	// Output:
+	// 1.00
+	// 0.67
+	// 0.27
+}
+
+// ExampleSoundex shows phonetic codes used as blocking keys.
+func ExampleSoundex() {
+	fmt.Println(strsim.Soundex("Ashworth"))
+	fmt.Println(strsim.Soundex("Smith"), strsim.Soundex("Smyth"))
+	// Output:
+	// A263
+	// S530 S530
+}
+
+// ExampleJaroWinkler shows the prefix-boosted Jaro similarity.
+func ExampleJaroWinkler() {
+	fmt.Printf("%.3f\n", strsim.JaroWinkler("martha", "marhta"))
+	fmt.Printf("%.3f\n", strsim.JaroWinkler("elizabeth", "eliza"))
+	// Output:
+	// 0.961
+	// 0.911
+}
+
+// ExampleTokenDice shows token-level matching for multi-word values.
+func ExampleTokenDice() {
+	fmt.Printf("%.2f\n", strsim.TokenDice("3 mill lane", "mill lane"))
+	fmt.Printf("%.2f\n", strsim.TokenDice("cotton weaver", "weaver of cotton"))
+	// Output:
+	// 0.80
+	// 0.80
+}

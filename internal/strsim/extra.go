@@ -1,0 +1,287 @@
+package strsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// DamerauLevenshtein returns the edit distance counting transpositions of
+// adjacent characters as a single operation (restricted Damerau variant),
+// the standard model for typing errors in name data.
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rolling rows: i-2, i-1, i.
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < m {
+					m = t
+				}
+			}
+			cur[j] = m
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// DamerauSim is the normalised Damerau-Levenshtein similarity.
+func DamerauSim(a, b string) float64 {
+	na, nb := normalize(a), normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	la, lb := len([]rune(na)), len([]rune(nb))
+	m := max2(la, lb)
+	if m == 0 {
+		return 0
+	}
+	return 1 - float64(DamerauLevenshtein(na, nb))/float64(m)
+}
+
+// TokenDice splits both strings into whitespace tokens and returns the Dice
+// coefficient over the token multisets. Useful for multi-word values such
+// as addresses ("3 mill lane" vs "mill lane") and occupations.
+func TokenDice(a, b string) float64 {
+	ta := strings.Fields(normalize(a))
+	tb := strings.Fields(normalize(b))
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(ta))
+	for _, t := range ta {
+		counts[t]++
+	}
+	common := 0
+	for _, t := range tb {
+		if counts[t] > 0 {
+			counts[t]--
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(ta)+len(tb))
+}
+
+// MongeElkan returns the Monge-Elkan similarity: every token of a is
+// matched to its most similar token of b under the inner function, and the
+// maxima are averaged. The result is asymmetric; SymmetricMongeElkan
+// averages both directions.
+func MongeElkan(inner Func) Func {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	return func(a, b string) float64 {
+		ta := strings.Fields(normalize(a))
+		tb := strings.Fields(normalize(b))
+		if len(ta) == 0 || len(tb) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, x := range ta {
+			best := 0.0
+			for _, y := range tb {
+				if s := inner(x, y); s > best {
+					best = s
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(ta))
+	}
+}
+
+// SymmetricMongeElkan averages MongeElkan in both directions so the result
+// is a symmetric similarity.
+func SymmetricMongeElkan(inner Func) Func {
+	me := MongeElkan(inner)
+	return func(a, b string) float64 {
+		return (me(a, b) + me(b, a)) / 2
+	}
+}
+
+// NYSIIS returns the NYSIIS phonetic code of s (New York State
+// Identification and Intelligence System), a census-domain standard that
+// retains more distinctions than Soundex. Returns "" for input without
+// letters. The code is truncated to 6 characters as in the original system.
+func NYSIIS(s string) string {
+	// Keep ASCII letters only, upper-cased.
+	var b []byte
+	for _, r := range strings.ToUpper(strings.TrimSpace(s)) {
+		if r >= 'A' && r <= 'Z' {
+			b = append(b, byte(r))
+		} else if r > unicode.MaxASCII && unicode.IsLetter(r) {
+			continue // non-ASCII letters are dropped
+		}
+	}
+	if len(b) == 0 {
+		return ""
+	}
+	w := string(b)
+
+	// First-character transcoding.
+	switch {
+	case strings.HasPrefix(w, "MAC"):
+		w = "MCC" + w[3:]
+	case strings.HasPrefix(w, "KN"):
+		w = "NN" + w[2:]
+	case strings.HasPrefix(w, "K"):
+		w = "C" + w[1:]
+	case strings.HasPrefix(w, "PH"), strings.HasPrefix(w, "PF"):
+		w = "FF" + w[2:]
+	case strings.HasPrefix(w, "SCH"):
+		w = "SSS" + w[3:]
+	}
+	// Last-character transcoding.
+	switch {
+	case strings.HasSuffix(w, "EE"), strings.HasSuffix(w, "IE"):
+		w = w[:len(w)-2] + "Y"
+	case strings.HasSuffix(w, "DT"), strings.HasSuffix(w, "RT"),
+		strings.HasSuffix(w, "RD"), strings.HasSuffix(w, "NT"),
+		strings.HasSuffix(w, "ND"):
+		w = w[:len(w)-2] + "D"
+	}
+
+	isVowel := func(c byte) bool {
+		return c == 'A' || c == 'E' || c == 'I' || c == 'O' || c == 'U'
+	}
+	key := []byte{w[0]}
+	prev := w[0]
+	for i := 1; i < len(w); i++ {
+		c := w[i]
+		var repl string
+		switch {
+		case isVowel(c):
+			if c == 'E' && i+1 < len(w) && w[i+1] == 'V' {
+				repl = "AF"
+			} else {
+				repl = "A"
+			}
+		case c == 'Q':
+			repl = "G"
+		case c == 'Z':
+			repl = "S"
+		case c == 'M':
+			repl = "N"
+		case c == 'K':
+			if i+1 < len(w) && w[i+1] == 'N' {
+				repl = "N"
+			} else {
+				repl = "C"
+			}
+		case c == 'S' && strings.HasPrefix(w[i:], "SCH"):
+			repl = "SSS"
+		case c == 'P' && i+1 < len(w) && w[i+1] == 'H':
+			repl = "FF"
+		case c == 'H' && (!isVowel(prev) || (i+1 < len(w) && !isVowel(w[i+1])) || i+1 == len(w)):
+			repl = string(prev)
+		case c == 'W' && isVowel(prev):
+			repl = string(prev)
+		default:
+			repl = string(c)
+		}
+		for k := 0; k < len(repl); k++ {
+			rc := repl[k]
+			if key[len(key)-1] != rc {
+				key = append(key, rc)
+			}
+		}
+		prev = c
+	}
+	// Suffix cleanup: trailing S, trailing AY -> Y, trailing A dropped.
+	out := string(key)
+	if len(out) > 1 && strings.HasSuffix(out, "S") {
+		out = out[:len(out)-1]
+	}
+	if strings.HasSuffix(out, "AY") {
+		out = out[:len(out)-2] + "Y"
+	}
+	if len(out) > 1 && strings.HasSuffix(out, "A") {
+		out = out[:len(out)-1]
+	}
+	if len(out) > 6 {
+		out = out[:6]
+	}
+	return out
+}
+
+// LCSSim is the repeated longest-common-substring similarity used in record
+// linkage toolkits (Christen 2012): common substrings of at least minLen
+// characters are repeatedly removed from both strings and their total
+// length is related to the mean string length. Robust to token swaps
+// ("john peter" vs "peter john").
+func LCSSim(minLen int) Func {
+	if minLen < 2 {
+		minLen = 2
+	}
+	return func(a, b string) float64 {
+		na, nb := normalize(a), normalize(b)
+		if na == "" || nb == "" {
+			return 0
+		}
+		origLen := float64(len([]rune(na))+len([]rune(nb))) / 2
+		ra, rb := []rune(na), []rune(nb)
+		total := 0
+		for {
+			s, ai, bi := longestCommonSubstring(ra, rb)
+			if s < minLen {
+				break
+			}
+			total += s
+			ra = append(append([]rune{}, ra[:ai]...), ra[ai+s:]...)
+			rb = append(append([]rune{}, rb[:bi]...), rb[bi+s:]...)
+		}
+		if origLen == 0 {
+			return 0
+		}
+		sim := float64(total) / origLen
+		if sim > 1 {
+			sim = 1
+		}
+		return sim
+	}
+}
+
+// longestCommonSubstring returns the length and start offsets of the
+// longest common substring of a and b.
+func longestCommonSubstring(a, b []rune) (length, ai, bi int) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > length {
+					length = cur[j]
+					ai = i - length
+					bi = j - length
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return length, ai, bi
+}

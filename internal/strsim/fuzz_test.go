@@ -1,0 +1,33 @@
+package strsim
+
+import "testing"
+
+// FuzzEncoders: phonetic encoders and similarity functions must never panic
+// and must respect their output contracts for arbitrary input.
+func FuzzEncoders(f *testing.F) {
+	f.Add("smith", "smyth")
+	f.Add("", "x")
+	f.Add("日本語", "nihongo")
+	f.Add("a b c", "   ")
+	f.Add("MacDonald", "McDonald")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if code := Soundex(a); code != "" && len(code) != 4 {
+			t.Fatalf("Soundex(%q) = %q", a, code)
+		}
+		if code := NYSIIS(a); len(code) > 6 {
+			t.Fatalf("NYSIIS(%q) = %q", a, code)
+		}
+		for _, fn := range []Func{Bigram, QGram(3), Jaro, JaroWinkler, EditSim, DamerauSim, TokenDice} {
+			s := fn(a, b)
+			if s < 0 || s > 1 {
+				t.Fatalf("similarity out of range for (%q, %q): %v", a, b, s)
+			}
+		}
+		if d := Levenshtein(a, b); d < 0 {
+			t.Fatalf("negative distance for (%q, %q)", a, b)
+		}
+		if d := DamerauLevenshtein(a, b); d < 0 {
+			t.Fatalf("negative damerau distance for (%q, %q)", a, b)
+		}
+	})
+}

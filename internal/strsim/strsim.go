@@ -1,0 +1,306 @@
+// Package strsim provides the approximate string comparison functions used
+// for census record matching: q-gram (Dice) similarity, Jaro and
+// Jaro-Winkler, normalised Levenshtein similarity, exact matching, numeric
+// distance similarity and the Soundex phonetic encoding.
+//
+// All similarity functions return values in [0, 1] where 1 means identical.
+// Comparisons are case-insensitive; callers should not need to normalise.
+package strsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Func is a string similarity function returning a value in [0, 1].
+type Func func(a, b string) float64
+
+// normalize lower-cases and trims a value for comparison.
+func normalize(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+// Exact returns 1 if the normalised strings are equal and both non-empty,
+// otherwise 0.
+func Exact(a, b string) float64 {
+	na, nb := normalize(a), normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if na == nb {
+		return 1
+	}
+	return 0
+}
+
+// QGram returns the Dice coefficient over padded q-grams of length q.
+// Padding with q-1 sentinel runes gives extra weight to matching prefixes
+// and suffixes, the standard setup in record linkage (Christen 2012).
+func QGram(q int) Func {
+	if q < 1 {
+		q = 2
+	}
+	return func(a, b string) float64 {
+		na, nb := normalize(a), normalize(b)
+		if na == "" || nb == "" {
+			return 0
+		}
+		if na == nb {
+			return 1
+		}
+		ga := qgrams(na, q)
+		gb := qgrams(nb, q)
+		if len(ga) == 0 || len(gb) == 0 {
+			return 0
+		}
+		common := 0
+		counts := make(map[string]int, len(ga))
+		for _, g := range ga {
+			counts[g]++
+		}
+		for _, g := range gb {
+			if counts[g] > 0 {
+				counts[g]--
+				common++
+			}
+		}
+		return 2 * float64(common) / float64(len(ga)+len(gb))
+	}
+}
+
+// Bigram is QGram(2), the default matcher for name attributes.
+var Bigram = QGram(2)
+
+// qgrams returns the padded q-grams of s.
+func qgrams(s string, q int) []string {
+	if q == 1 {
+		out := make([]string, 0, len(s))
+		for _, r := range s {
+			out = append(out, string(r))
+		}
+		return out
+	}
+	pad := strings.Repeat("\x00", q-1)
+	padded := []rune(pad + s + pad)
+	if len(padded) < q {
+		return nil
+	}
+	out := make([]string, 0, len(padded)-q+1)
+	for i := 0; i+q <= len(padded); i++ {
+		out = append(out, string(padded[i:i+q]))
+	}
+	return out
+}
+
+// Levenshtein returns the edit distance between a and b (unicode-aware).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// EditSim is the normalised Levenshtein similarity:
+// 1 - dist/max(len(a), len(b)).
+func EditSim(a, b string) float64 {
+	na, nb := normalize(a), normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	la, lb := len([]rune(na)), len([]rune(nb))
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0
+	}
+	return 1 - float64(Levenshtein(na, nb))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	na, nb := normalize(a), normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if na == nb {
+		return 1
+	}
+	ra, rb := []rune(na), []rune(nb)
+	window := max2(len(ra), len(rb))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(ra))
+	matchB := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := max2(0, i-window)
+		hi := min2(len(rb)-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale 0.1 over at most 4 common prefix characters.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	na, nb := normalize(a), normalize(b)
+	ra, rb := []rune(na), []rune(nb)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NumericSim returns a similarity for two integers that decays linearly
+// with their absolute difference: 1 - |a-b|/maxDiff, floored at 0.
+func NumericSim(maxDiff int) func(a, b int) float64 {
+	if maxDiff < 1 {
+		maxDiff = 1
+	}
+	return func(a, b int) float64 {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if d >= maxDiff {
+			return 0
+		}
+		return 1 - float64(d)/float64(maxDiff)
+	}
+}
+
+// Soundex returns the 4-character American Soundex code of s, or "" for an
+// input without any letter. Used as a phonetic blocking key.
+func Soundex(s string) string {
+	n := normalize(s)
+	var first rune
+	var code strings.Builder
+	var lastDigit byte
+	started := false
+	for _, r := range n {
+		if !unicode.IsLetter(r) || r > unicode.MaxASCII {
+			continue
+		}
+		d := soundexDigit(byte(r))
+		if !started {
+			first = unicode.ToUpper(r)
+			started = true
+			lastDigit = d
+			continue
+		}
+		if d == 0 {
+			// Vowels (and y) reset the run so repeated consonants separated
+			// by a vowel encode twice; h and w do not reset.
+			if r != 'h' && r != 'w' {
+				lastDigit = 0
+			}
+			continue
+		}
+		if d != lastDigit {
+			code.WriteByte('0' + d)
+			lastDigit = d
+			if code.Len() == 3 {
+				break
+			}
+		}
+	}
+	if !started {
+		return ""
+	}
+	out := string(first) + code.String()
+	for len(out) < 4 {
+		out += "0"
+	}
+	return out
+}
+
+// soundexDigit maps a lower-case ASCII letter to its Soundex digit
+// (0 for vowels and the ignored letters h, w, y).
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'b', 'f', 'p', 'v':
+		return 1
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return 2
+	case 'd', 't':
+		return 3
+	case 'l':
+		return 4
+	case 'm', 'n':
+		return 5
+	case 'r':
+		return 6
+	default:
+		return 0
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }

@@ -1,0 +1,237 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestExact(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"m", "m", 1}, {"m", "f", 0}, {"M", " m ", 1},
+		{"", "", 0}, {"a", "", 0}, {"", "a", 0},
+	}
+	for _, c := range cases {
+		if got := Exact(c.a, c.b); got != c.want {
+			t.Errorf("Exact(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQGramKnownValues(t *testing.T) {
+	sim := QGram(2)
+	if got := sim("peter", "peter"); got != 1 {
+		t.Errorf("identical strings: %v", got)
+	}
+	if got := sim("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint strings: %v", got)
+	}
+	// "smith" vs "smyth": padded bigrams of smith: _s sm mi it th h_;
+	// smyth: _s sm my yt th h_; common = _s, sm, th, h_ = 4; 2*4/12 = 2/3.
+	if got := sim("smith", "smyth"); !almostEqual(got, 2.0/3.0) {
+		t.Errorf("smith/smyth = %v, want 2/3", got)
+	}
+}
+
+func TestQGramEmptyAndCase(t *testing.T) {
+	sim := QGram(2)
+	if sim("", "abc") != 0 || sim("abc", "") != 0 {
+		t.Error("empty input should score 0")
+	}
+	if sim("Ashworth", "ashworth") != 1 {
+		t.Error("comparison should be case-insensitive")
+	}
+}
+
+func TestQGramDefaultsQ(t *testing.T) {
+	sim := QGram(0) // invalid -> defaults to 2
+	if got, want := sim("smith", "smyth"), 2.0/3.0; !almostEqual(got, want) {
+		t.Errorf("QGram(0) should behave as QGram(2): got %v", got)
+	}
+}
+
+func TestQGramUnigrams(t *testing.T) {
+	sim := QGram(1)
+	// "ab" vs "ba": unigrams {a,b} both; common 2; 2*2/4 = 1.
+	if got := sim("ab", "ba"); got != 1 {
+		t.Errorf("QGram(1)(ab, ba) = %v, want 1", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"kitten", "sitting", 3}, {"flaw", "lawn", 2},
+		{"ashworth", "ashworth", 0}, {"smith", "smyth", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditSim(t *testing.T) {
+	if got := EditSim("smith", "smyth"); !almostEqual(got, 0.8) {
+		t.Errorf("EditSim(smith, smyth) = %v, want 0.8", got)
+	}
+	if EditSim("", "abc") != 0 {
+		t.Error("EditSim with empty input should be 0")
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	// Classic values from the literature.
+	if got := Jaro("martha", "marhta"); !almostEqual(got, 0.944444444444444) {
+		t.Errorf("Jaro(martha, marhta) = %v", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); !almostEqual(got, 0.766666666666667) {
+		t.Errorf("Jaro(dixon, dicksonx) = %v", got)
+	}
+	if Jaro("abc", "abc") != 1 || Jaro("", "abc") != 0 || Jaro("abc", "xyz") != 0 {
+		t.Error("Jaro edge cases wrong")
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); !almostEqual(got, 0.961111111111111) {
+		t.Errorf("JaroWinkler(martha, marhta) = %v", got)
+	}
+	if got := JaroWinkler("dwayne", "duane"); !almostEqual(got, 0.84) {
+		t.Errorf("JaroWinkler(dwayne, duane) = %v", got)
+	}
+	if JaroWinkler("abc", "xyz") != 0 {
+		t.Error("JaroWinkler of disjoint strings should be 0")
+	}
+}
+
+func TestNumericSim(t *testing.T) {
+	sim := NumericSim(4)
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{10, 10, 1}, {10, 12, 0.5}, {12, 10, 0.5}, {10, 14, 0}, {10, 20, 0},
+	}
+	for _, c := range cases {
+		if got := sim(c.a, c.b); !almostEqual(got, c.want) {
+			t.Errorf("NumericSim(4)(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if NumericSim(0)(1, 1) != 1 {
+		t.Error("NumericSim with invalid maxDiff should still work")
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"}, {"Rupert", "R163"}, {"Ashcraft", "A261"},
+		{"Ashcroft", "A261"}, {"Tymczak", "T522"}, {"Pfister", "P236"},
+		{"Honeyman", "H555"}, {"Smith", "S530"}, {"Smyth", "S530"},
+		{"Ashworth", "A263"}, {"", ""}, {"123", ""}, {"a", "A000"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property tests.
+
+func TestSimilarityProperties(t *testing.T) {
+	funcs := map[string]Func{
+		"qgram2":      QGram(2),
+		"qgram3":      QGram(3),
+		"jaro":        Jaro,
+		"jarowinkler": JaroWinkler,
+		"editsim":     EditSim,
+		"exact":       Exact,
+	}
+	for name, f := range funcs {
+		f := f
+		// Range [0,1] and symmetry.
+		prop := func(a, b string) bool {
+			s1, s2 := f(a, b), f(b, a)
+			return s1 >= 0 && s1 <= 1 && almostEqual(s1, s2)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s range/symmetry: %v", name, err)
+		}
+		// Identity: non-empty string compared to itself scores 1.
+		ident := func(a string) bool {
+			if len(a) == 0 {
+				return true
+			}
+			return almostEqual(f(a+"x", a+"x"), 1)
+		}
+		if err := quick.Check(ident, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s identity: %v", name, err)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	// Triangle inequality and symmetry.
+	prop := func(a, b, c string) bool {
+		ab, ba := Levenshtein(a, b), Levenshtein(b, a)
+		if ab != ba {
+			return false
+		}
+		return Levenshtein(a, c) <= ab+Levenshtein(b, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("levenshtein properties: %v", err)
+	}
+}
+
+func TestSoundexProperties(t *testing.T) {
+	prop := func(s string) bool {
+		code := Soundex(s)
+		if code == "" {
+			return true
+		}
+		if len(code) != 4 {
+			return false
+		}
+		if code[0] < 'A' || code[0] > 'Z' {
+			return false
+		}
+		for _, c := range code[1:] {
+			if c < '0' || c > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("soundex shape: %v", err)
+	}
+}
+
+func BenchmarkQGram(b *testing.B) {
+	sim := QGram(2)
+	for i := 0; i < b.N; i++ {
+		sim("elizabeth", "elisabeth")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		JaroWinkler("elizabeth", "elisabeth")
+	}
+}
+
+func BenchmarkSoundex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Soundex("ashworth")
+	}
+}

@@ -1,0 +1,236 @@
+package synth
+
+import "fmt"
+
+// PaperHouseholdTargets are the household counts of the six Rawtenstall
+// censuses (Table 1 of the paper); the generator calibrates its immigration
+// volume to track them (scaled by Config.Scale).
+var PaperHouseholdTargets = map[int]int{
+	1851: 3298, 1861: 4570, 1871: 5576, 1881: 6025, 1891: 6378, 1901: 6842,
+}
+
+// PaperYears are the six census years of the paper's evaluation.
+var PaperYears = []int{1851, 1861, 1871, 1881, 1891, 1901}
+
+// Rates bundles the demographic probabilities of one simulated decade.
+// All probabilities are per decade unless stated otherwise.
+type Rates struct {
+	// MortalityChild etc. are death probabilities per decade by age band
+	// (0-9, 10-39, 40-59, 60-74, 75+ at the end of the decade).
+	MortalityChild  float64
+	MortalityAdult  float64
+	MortalityMiddle float64
+	MortalityOld    float64
+	MortalityAged   float64
+
+	// Marriage is the probability that an eligible unmarried adult marries
+	// within the decade.
+	Marriage float64
+	// MarriageJoinParents is the probability a new couple moves into the
+	// husband's parents' household instead of founding a new one.
+	MarriageJoinParents float64
+
+	// BirthsPerDecade is the expected number of children born to a married
+	// fertile couple per decade.
+	BirthsPerDecade float64
+	// NamedAfterParent is the probability a child receives the first name
+	// of the same-sex parent (the "John Smith junior" ambiguity).
+	NamedAfterParent float64
+
+	// HouseholdEmigration is the probability that an entire household
+	// leaves the district during a decade.
+	HouseholdEmigration float64
+	// AddressMove is the probability a household changes address.
+	AddressMove float64
+	// Renumber is the probability that a household's house number is
+	// re-drawn between censuses without a move (street re-enumeration was
+	// pervasive in 19th-century districts).
+	Renumber float64
+	// OccupationChange is the probability an adult's occupation changes.
+	OccupationChange float64
+
+	// Split is the probability that a large household (6+ members) sheds a
+	// subfamily of at least two members into a new household.
+	Split float64
+	// WidowMerge is the probability that a small widowed household merges
+	// into another household.
+	WidowMerge float64
+	// LodgerTurnover is the probability that a lodger/servant leaves their
+	// household for another one.
+	LodgerTurnover float64
+}
+
+// DefaultRates returns rates calibrated to 19th-century Lancashire
+// demographics and the household-dynamics volumes of the paper's Fig. 6.
+func DefaultRates() Rates {
+	return Rates{
+		MortalityChild:      0.08,
+		MortalityAdult:      0.08,
+		MortalityMiddle:     0.20,
+		MortalityOld:        0.45,
+		MortalityAged:       0.80,
+		Marriage:            0.45,
+		MarriageJoinParents: 0.12,
+		BirthsPerDecade:     3.0,
+		NamedAfterParent:    0.28,
+		HouseholdEmigration: 0.28,
+		AddressMove:         0.25,
+		Renumber:            0.50,
+		OccupationChange:    0.30,
+		Split:               0.015,
+		WidowMerge:          0.08,
+		LodgerTurnover:      0.18,
+	}
+}
+
+// Corruption configures the census recording error model. All values are
+// probabilities per recorded value.
+type Corruption struct {
+	// Typo probabilities introduce a single random edit (substitution,
+	// deletion, insertion or transposition).
+	FirstNameTypo float64
+	SurnameTypo   float64
+	// Nickname is the probability a first name is recorded as a variant.
+	Nickname float64
+	// Age errors: OffByOne / OffByTwo misstate the age, RoundToFive rounds
+	// an adult age to the nearest multiple of five.
+	AgeOffByOne float64
+	AgeOffByTwo float64
+	RoundToFive float64
+	// AddressVariant records the address without the house number.
+	AddressVariant float64
+	// OccupationVariant swaps in a synonymous occupation description.
+	OccupationVariant float64
+	// BirthplaceVariant records only the county instead of the town.
+	BirthplaceVariant float64
+	// Missing-value probabilities per attribute.
+	MissingFirstName  float64
+	MissingSurname    float64
+	MissingSex        float64
+	MissingAge        float64
+	MissingAddress    float64
+	MissingOccupation float64
+	MissingBirthplace float64
+}
+
+// DefaultCorruption returns the error model calibrated to the paper's
+// Table 1: an overall missing-value ratio of roughly 3-6.5% and enough name
+// noise to make exact matching insufficient.
+func DefaultCorruption() Corruption {
+	return Corruption{
+		FirstNameTypo:     0.035,
+		SurnameTypo:       0.035,
+		Nickname:          0.035,
+		AgeOffByOne:       0.12,
+		AgeOffByTwo:       0.04,
+		RoundToFive:       0.05,
+		AddressVariant:    0.30,
+		OccupationVariant: 0.08,
+		BirthplaceVariant: 0.07,
+		MissingFirstName:  0.004,
+		MissingSurname:    0.004,
+		MissingSex:        0.012,
+		MissingAge:        0.02,
+		MissingAddress:    0.04,
+		MissingOccupation: 0.16,
+		MissingBirthplace: 0.08,
+	}
+}
+
+// Config controls series generation.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal series.
+	Seed int64
+	// Years lists the census years (ascending, equal intervals expected).
+	// Defaults to PaperYears.
+	Years []int
+	// Scale multiplies the paper-sized population (3,298 initial
+	// households). Scale 1.0 reproduces Table 1 magnitudes; tests use much
+	// smaller values.
+	Scale float64
+	// TargetHouseholds optionally overrides the per-year household targets
+	// (before scaling). Defaults to PaperHouseholdTargets.
+	TargetHouseholds map[int]int
+	// Rates are the demographic rates; zero value means DefaultRates.
+	Rates Rates
+	// Corruption is the recording error model; zero value means
+	// DefaultCorruption.
+	Corruption Corruption
+}
+
+// DefaultConfig returns a full-scale paper-profile configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1871,
+		Years:            append([]int(nil), PaperYears...),
+		Scale:            1.0,
+		TargetHouseholds: PaperHouseholdTargets,
+		Rates:            DefaultRates(),
+		Corruption:       DefaultCorruption(),
+	}
+}
+
+// TestConfig returns a small, fast configuration (about scale% of the paper
+// size) for tests and examples.
+func TestConfig(scale float64, seed int64) Config {
+	c := DefaultConfig()
+	c.Scale = scale
+	c.Seed = seed
+	return c
+}
+
+// normalize fills zero values with defaults and validates the config.
+func (c *Config) normalize() error {
+	if len(c.Years) == 0 {
+		c.Years = append([]int(nil), PaperYears...)
+	}
+	for i := 1; i < len(c.Years); i++ {
+		if c.Years[i] <= c.Years[i-1] {
+			return fmt.Errorf("synth: years must be strictly ascending, got %v", c.Years)
+		}
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.TargetHouseholds == nil {
+		c.TargetHouseholds = PaperHouseholdTargets
+	}
+	if c.Rates == (Rates{}) {
+		c.Rates = DefaultRates()
+	}
+	if c.Corruption == (Corruption{}) {
+		c.Corruption = DefaultCorruption()
+	}
+	return nil
+}
+
+// target returns the scaled household target for a census year; if the year
+// has no explicit target the last known target grows by 8% per decade.
+func (c *Config) target(year int) int {
+	if t, ok := c.TargetHouseholds[year]; ok {
+		n := int(float64(t) * c.Scale)
+		if n < 4 {
+			n = 4
+		}
+		return n
+	}
+	// Fallback: nearest earlier target compounded by 8% per decade.
+	best, bestYear := 0, -1
+	for y, t := range c.TargetHouseholds {
+		if y <= year && y > bestYear {
+			bestYear, best = y, t
+		}
+	}
+	if bestYear < 0 {
+		best, bestYear = 3298, year
+	}
+	n := float64(best)
+	for y := bestYear; y < year; y += 10 {
+		n *= 1.08
+	}
+	t := int(n * c.Scale)
+	if t < 4 {
+		t = 4
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"censuslink/internal/census"
+)
+
+// Demography summarises the population structure of one census dataset,
+// used to sanity-check the generator against 19th-century expectations.
+type Demography struct {
+	Year int
+	// AgePyramid counts records per 10-year age band (index 0 = ages 0-9);
+	// records with missing age are excluded.
+	AgePyramid []int
+	// SexRatio is males per female (records with known sex).
+	SexRatio float64
+	// HouseholdSizes counts households by member count (index = size,
+	// capped at the last bucket).
+	HouseholdSizes []int
+	// ChildShare is the fraction of records aged under 15.
+	ChildShare float64
+	// MarriedShare is the fraction of adults (15+) recorded as head with a
+	// spouse present, wife or husband.
+	MarriedShare float64
+}
+
+// Demographics computes the summary for a dataset.
+func Demographics(d *census.Dataset) Demography {
+	const maxBand = 9    // 0-9 ... 80-89, 90+
+	const maxHHSize = 12 // 1..11, 12+
+	dem := Demography{
+		Year:           d.Year,
+		AgePyramid:     make([]int, maxBand+1),
+		HouseholdSizes: make([]int, maxHHSize+1),
+	}
+	males, females := 0, 0
+	children, withAge := 0, 0
+	adults, married := 0, 0
+	spouses := make(map[string]bool) // household IDs with a spouse present
+	for _, r := range d.Records() {
+		if r.Role == census.RoleWife || r.Role == census.RoleHusband {
+			spouses[r.HouseholdID] = true
+		}
+	}
+	for _, r := range d.Records() {
+		switch r.Sex {
+		case census.SexMale:
+			males++
+		case census.SexFemale:
+			females++
+		}
+		if r.Age != census.AgeMissing {
+			withAge++
+			band := r.Age / 10
+			if band > maxBand {
+				band = maxBand
+			}
+			if band >= 0 {
+				dem.AgePyramid[band]++
+			}
+			if r.Age < 15 {
+				children++
+			} else {
+				adults++
+				if r.Role == census.RoleWife || r.Role == census.RoleHusband ||
+					(r.Role == census.RoleHead && spouses[r.HouseholdID]) {
+					married++
+				}
+			}
+		}
+	}
+	if females > 0 {
+		dem.SexRatio = float64(males) / float64(females)
+	}
+	if withAge > 0 {
+		dem.ChildShare = float64(children) / float64(withAge)
+	}
+	if adults > 0 {
+		dem.MarriedShare = float64(married) / float64(adults)
+	}
+	for _, h := range d.Households() {
+		size := h.Size()
+		if size > maxHHSize {
+			size = maxHHSize
+		}
+		dem.HouseholdSizes[size]++
+	}
+	return dem
+}

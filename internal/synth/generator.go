@@ -1,0 +1,64 @@
+package synth
+
+import (
+	"fmt"
+
+	"censuslink/internal/census"
+)
+
+// Generate simulates the district over all configured census years and
+// returns the recorded series. The emitted datasets carry ground-truth
+// person identifiers in Record.TruthID.
+func Generate(cfg Config) (*census.Series, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	pop := newPopulation(&cfg, cfg.Years[0])
+	datasets := make([]*census.Dataset, 0, len(cfg.Years))
+	for i, year := range cfg.Years {
+		if i > 0 {
+			pop.advance(cfg.Years[i-1], year)
+		}
+		d, err := pop.record(year)
+		if err != nil {
+			return nil, fmt.Errorf("synth: recording %d: %w", year, err)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("synth: %d: %w", year, err)
+		}
+		datasets = append(datasets, d)
+	}
+	return census.NewSeries(datasets...), nil
+}
+
+// GeneratePair is a convenience wrapper generating only two successive
+// censuses (by simulating from the first configured year up to the second).
+func GeneratePair(cfg Config, oldYear, newYear int) (*census.Dataset, *census.Dataset, error) {
+	cfg.Years = yearsUpTo(cfg.Years, newYear)
+	series, err := Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	old := series.Dataset(oldYear)
+	new := series.Dataset(newYear)
+	if old == nil || new == nil {
+		return nil, nil, fmt.Errorf("synth: years %d/%d not in configured series", oldYear, newYear)
+	}
+	return old, new, nil
+}
+
+// yearsUpTo truncates a year list after the given year (defaulting to
+// PaperYears when empty).
+func yearsUpTo(years []int, last int) []int {
+	if len(years) == 0 {
+		years = PaperYears
+	}
+	var out []int
+	for _, y := range years {
+		out = append(out, y)
+		if y >= last {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package synth generates synthetic longitudinal census data modelled on
+// the Rawtenstall (North-East Lancashire) district used in the evaluation
+// of Christen et al. (EDBT 2017). A closed population of households evolves
+// decade by decade — births, deaths, marriages, household formation, splits,
+// merges, moves, emigration and immigration — and each census year is
+// "recorded" through an error model that reproduces the data-quality issues
+// the paper describes: highly frequent names, changed surnames at marriage,
+// typos, age misstatements and missing values.
+//
+// Because every person carries a persistent identifier into the emitted
+// records (census.Record.TruthID), the generator provides exact ground
+// truth for both record and group mappings.
+package synth
+
+// weightedName is a name with a relative sampling weight. The weights are
+// deliberately very skewed: the paper reports an average frequency of up to
+// 2.23 records per (first name, surname) combination with frequent surnames
+// such as Ashworth and Smith dominating.
+type weightedName struct {
+	name   string
+	weight int
+}
+
+// surnames of the simulated district. Weights approximate the concentrated
+// surname distribution of a Lancashire mill town.
+var surnames = []weightedName{
+	{"ashworth", 220}, {"smith", 190}, {"taylor", 140}, {"holt", 110},
+	{"lord", 100}, {"barnes", 85}, {"hargreaves", 80}, {"pickup", 72},
+	{"whittaker", 65}, {"riley", 60}, {"heys", 52}, {"nuttall", 50},
+	{"howarth", 45}, {"ormerod", 40}, {"haworth", 38}, {"greenwood", 34},
+	{"duckworth", 22}, {"brierley", 20}, {"schofield", 20}, {"walmsley", 18},
+	{"entwistle", 18}, {"ratcliffe", 16}, {"cronshaw", 15}, {"barcroft", 14},
+	{"tattersall", 14}, {"shepherd", 13}, {"hindle", 12}, {"aspden", 12},
+	{"ingham", 12}, {"kershaw", 11}, {"clegg", 11}, {"butterworth", 10},
+	{"crawshaw", 10}, {"grimshaw", 10}, {"rothwell", 9}, {"yates", 9},
+	{"walker", 9}, {"parker", 8}, {"hoyle", 8}, {"dearden", 8},
+	{"ogden", 7}, {"ramsbottom", 7}, {"warburton", 7}, {"chadwick", 6},
+	{"fenton", 6}, {"mitchell", 6}, {"sutcliffe", 6}, {"stott", 5},
+	{"hamer", 5}, {"turner", 5}, {"collinge", 5}, {"whitehead", 5},
+	{"hudson", 4}, {"brown", 4}, {"wilson", 4}, {"jackson", 4},
+	{"bridge", 4}, {"crabtree", 3}, {"driver", 3}, {"emmott", 3},
+	{"farrar", 3}, {"gregson", 3}, {"hartley", 3}, {"kenyon", 3},
+	{"leach", 2}, {"midgley", 2}, {"nowell", 2}, {"pilkington", 2},
+	{"redman", 2}, {"slater", 2}, {"thorp", 2}, {"varley", 2},
+	{"wadsworth", 2}, {"birtwistle", 2}, {"catlow", 1}, {"demaine", 1},
+	{"eastwood", 1}, {"fielden", 1}, {"gorton", 1}, {"heap", 1},
+	{"isherwood", 1}, {"jepson", 1}, {"kay", 1}, {"lonsdale", 1},
+	{"marsden", 1}, {"norcross", 1}, {"oldham", 1}, {"proctor", 1},
+	{"quarmby", 1}, {"rushton", 1}, {"seddon", 1}, {"thistlethwaite", 1},
+	{"utley", 1}, {"veevers", 1}, {"womersley", 1}, {"ainsworth", 1},
+	{"bleazard", 1}, {"cowpe", 1}, {"dugdale", 1}, {"eccles", 1},
+}
+
+// tailSurnames extends the surname pool with a long tail of rare names,
+// generated from Lancashire toponymic syllables. Real census districts show
+// exactly this shape: a few very frequent surnames plus thousands of rare
+// ones (Table 1 of the paper: 13,198 distinct name combinations among
+// 26,229 records in 1871). Without the tail, a fixed pool would saturate
+// and make large-scale populations far more ambiguous than the real data.
+func tailSurnames() []weightedName {
+	prefixes := []string{
+		"ash", "birch", "black", "booth", "brad", "brier", "clough", "crow",
+		"dean", "edge", "fearn", "green", "hag", "halli", "hard", "heath",
+		"high", "holl", "holm", "hor", "kirk", "lang", "law", "lock", "long",
+		"marsh", "mead", "mill", "moor", "new", "oaken", "old", "pick", "ram",
+		"read", "rish", "rock", "row", "shaw", "small", "snow", "spring",
+		"stan", "stone", "sud", "thorn", "town", "under", "wal", "ward",
+		"water", "weather", "well", "west", "whit", "wild", "wind", "wood",
+		"wool", "yate",
+	}
+	suffixes := []string{
+		"acre", "bank", "bottom", "bridge", "brook", "burn", "bury", "by",
+		"cliffe", "cote", "croft", "dale", "den", "field", "fold", "ford",
+		"gate", "greave", "ham", "head", "hey", "hill", "holme", "house",
+		"hurst", "ing", "lands", "ley", "low", "man", "mere", "more", "royd",
+		"side", "stall", "stead", "stock", "ton", "tree", "wall", "wick",
+		"worth",
+	}
+	var out []weightedName
+	// A deterministic subset of the syllable product, weight 2 each.
+	for i, p := range prefixes {
+		for j, s := range suffixes {
+			if (i*31+j*17)%3 != 0 { // keep roughly one third
+				continue
+			}
+			if p == s {
+				continue
+			}
+			out = append(out, weightedName{name: p + s, weight: 2})
+		}
+	}
+	return out
+}
+
+func init() {
+	surnames = append(surnames, tailSurnames()...)
+}
+
+// maleNames with 19th-century frequencies: John, William and Thomas alone
+// cover a large share of all men.
+var maleNames = []weightedName{
+	{"john", 240}, {"william", 200}, {"thomas", 150}, {"james", 130},
+	{"george", 85}, {"joseph", 65}, {"robert", 52}, {"henry", 46},
+	{"richard", 22}, {"edward", 18}, {"samuel", 14}, {"charles", 13},
+	{"david", 10}, {"peter", 9}, {"daniel", 8}, {"edwin", 7},
+	{"alfred", 7}, {"abraham", 6}, {"isaac", 5}, {"benjamin", 5},
+	{"matthew", 4}, {"walter", 4}, {"fred", 4}, {"harry", 4},
+	{"albert", 3}, {"arthur", 3}, {"ernest", 3}, {"frank", 3},
+	{"herbert", 2}, {"lawrence", 2}, {"luke", 2}, {"mark", 2},
+	{"moses", 1}, {"noah", 1}, {"percy", 1}, {"ralph", 1},
+	{"simeon", 1}, {"stephen", 2}, {"steve", 1}, {"titus", 1},
+}
+
+// femaleNames with matching skew: Mary, Elizabeth and Sarah dominate.
+var femaleNames = []weightedName{
+	{"mary", 240}, {"elizabeth", 190}, {"sarah", 140}, {"alice", 100},
+	{"ann", 92}, {"jane", 80}, {"ellen", 70}, {"margaret", 58},
+	{"hannah", 28}, {"martha", 24}, {"emma", 20}, {"betty", 16},
+	{"grace", 14}, {"esther", 12}, {"nancy", 11}, {"susannah", 10},
+	{"harriet", 9}, {"agnes", 8}, {"catherine", 8}, {"charlotte", 7},
+	{"emily", 7}, {"fanny", 6}, {"isabella", 5}, {"lucy", 5},
+	{"rachel", 4}, {"rebecca", 4}, {"ruth", 4}, {"clara", 3},
+	{"dorothy", 3}, {"edith", 3}, {"florence", 3}, {"frances", 2},
+	{"helen", 2}, {"janet", 2}, {"lydia", 2}, {"matilda", 2},
+	{"phoebe", 1}, {"priscilla", 1}, {"rosanna", 1}, {"winifred", 1},
+}
+
+// nicknames maps formal first names to common recorded variants; the
+// corruption model substitutes them to model inconsistent enumeration.
+var nicknames = map[string][]string{
+	"william":   {"wm", "will", "bill"},
+	"john":      {"jno", "jack"},
+	"thomas":    {"thos", "tom"},
+	"james":     {"jas", "jim"},
+	"joseph":    {"jos", "joe"},
+	"robert":    {"robt", "bob"},
+	"george":    {"geo"},
+	"richard":   {"richd", "dick"},
+	"samuel":    {"saml", "sam"},
+	"charles":   {"chas", "charlie"},
+	"benjamin":  {"ben"},
+	"edward":    {"ed", "ted"},
+	"henry":     {"harry"},
+	"frederick": {"fred"},
+	"elizabeth": {"eliza", "betsy", "lizzie", "bess"},
+	"mary":      {"polly", "molly"},
+	"sarah":     {"sally"},
+	"margaret":  {"maggie", "peggy"},
+	"hannah":    {"anna"},
+	"catherine": {"kate", "kitty"},
+	"ann":       {"annie", "nanny"},
+	"martha":    {"mattie", "patty"},
+	"susannah":  {"susan", "sukey"},
+	"isabella":  {"bella"},
+	"harriet":   {"hatty"},
+	"frances":   {"fanny"},
+	"emily":     {"em"},
+}
+
+// maleOccupations of a cotton-milling district, weighted.
+var maleOccupations = []weightedName{
+	{"cotton weaver", 60}, {"cotton spinner", 40}, {"power loom weaver", 30},
+	{"labourer", 28}, {"farmer", 20}, {"coal miner", 18}, {"woollen weaver", 16},
+	{"stone mason", 12}, {"carter", 10}, {"joiner", 10}, {"shoemaker", 9},
+	{"blacksmith", 8}, {"grocer", 8}, {"tailor", 7}, {"overlooker", 7},
+	{"warehouseman", 6}, {"mechanic", 6}, {"butcher", 5}, {"clogger", 5},
+	{"quarryman", 5}, {"engine tenter", 4}, {"book keeper", 3}, {"draper", 3},
+	{"publican", 3}, {"plumber", 2}, {"printer", 2}, {"schoolmaster", 2},
+	{"iron turner", 2}, {"baker", 2}, {"cabinet maker", 1}, {"clerk", 1},
+	{"hatter", 1}, {"machine fitter", 1}, {"painter", 1}, {"wheelwright", 1},
+}
+
+// femaleOccupations; many women have no recorded occupation, which the
+// corruption model handles through a high missing rate.
+var femaleOccupations = []weightedName{
+	{"cotton weaver", 60}, {"winder", 30}, {"power loom weaver", 25},
+	{"housekeeper", 18}, {"dressmaker", 14}, {"cotton reeler", 10},
+	{"domestic servant", 10}, {"milliner", 6}, {"washerwoman", 5},
+	{"tailoress", 4}, {"charwoman", 3}, {"schoolmistress", 2},
+	{"shopkeeper", 2}, {"nurse", 2}, {"sempstress", 1},
+}
+
+// childOccupations for working children (ages 10-15 in a mill town).
+var childOccupations = []weightedName{
+	{"scholar", 60}, {"cotton piecer", 25}, {"doffer", 10},
+	{"half timer", 10}, {"errand boy", 4}, {"bobbin winder", 4},
+}
+
+// streets of the simulated district; household addresses combine a house
+// number with one of these.
+var streets = []string{
+	"bury road", "bank street", "burnley road", "haslingden old road",
+	"newchurch road", "mill lane", "hall street", "grane road",
+	"bacup road", "church street", "market street", "dale street",
+	"springside", "holly mount", "cloughfold", "waterfoot road",
+	"peel street", "albert terrace", "victoria street", "queen street",
+	"king street", "york street", "spring gardens", "hollin lane",
+	"heightside", "oakenhead wood", "longholme road", "schofield road",
+	"whitewell bottom", "lumb lane", "goodshaw lane", "crawshawbooth road",
+	"sunnyside terrace", "rockliffe road", "fallbarn road", "hardman street",
+	"unity street", "prospect terrace", "garden street", "chapel street",
+	"bridge end", "tup bridge", "higher mill", "lower mill",
+	"reedsholme", "balladen", "horncliffe", "townsendfold",
+}
+
+// villages are the hamlets and townships of the simulated district,
+// recorded as birthplaces of the native-born.
+var villages = []weightedName{
+	{"rawtenstall", 40}, {"newchurch", 25}, {"waterfoot", 22},
+	{"crawshawbooth", 16}, {"goodshaw", 12}, {"lumb", 10}, {"cowpe", 8},
+	{"balladen", 6}, {"reedsholme", 5}, {"cloughfold", 10},
+	{"whitewell bottom", 6}, {"townsendfold", 4},
+}
+
+// elsewherePlaces are birthplaces of in-migrants from outside the district.
+var elsewherePlaces = []weightedName{
+	{"haslingden", 20}, {"bacup", 18}, {"burnley", 15}, {"bury", 12},
+	{"rochdale", 10}, {"accrington", 9}, {"blackburn", 8}, {"manchester", 7},
+	{"todmorden", 5}, {"colne", 4}, {"preston", 4}, {"halifax", 3},
+	{"yorkshire", 6}, {"cheshire", 3}, {"ireland", 8}, {"scotland", 3},
+	{"wales", 2}, {"derbyshire", 2}, {"westmorland", 1}, {"london", 1},
+}
+
+// sampler draws names from a weighted list using a precomputed cumulative
+// distribution.
+type sampler struct {
+	names []string
+	cum   []int
+	total int
+}
+
+func newSampler(list []weightedName) *sampler {
+	s := &sampler{
+		names: make([]string, len(list)),
+		cum:   make([]int, len(list)),
+	}
+	for i, wn := range list {
+		s.total += wn.weight
+		s.names[i] = wn.name
+		s.cum[i] = s.total
+	}
+	return s
+}
+
+// pick returns a name; r must be uniform in [0, total).
+func (s *sampler) pick(r int) string {
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] <= r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.names[lo]
+}

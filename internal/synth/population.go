@@ -1,0 +1,803 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"censuslink/internal/census"
+)
+
+// person is a simulated individual with persistent identity and family
+// pointers. The pointers (spouse, mother, father) refer to person IDs and
+// are the source of the household roles recorded at census time.
+type person struct {
+	id         int
+	sex        census.Sex
+	birthYear  int
+	firstName  string
+	surname    string
+	occupation string
+	birthplace string
+	spouse     int // person ID, 0 if unmarried/widowed
+	mother     int // person ID, 0 if unknown (e.g. immigrants)
+	father     int
+	household  int // household ID
+}
+
+// household is a simulated co-residing group.
+type household struct {
+	id      int
+	address string
+	head    int // person ID
+	members []int
+}
+
+// population is the evolving closed population of the district.
+type population struct {
+	cfg *Config
+	rng *rand.Rand
+
+	persons    map[int]*person
+	households map[int]*household
+	nextPerson int
+	nextHH     int
+
+	surnameS, maleS, femaleS       *sampler
+	maleOccS, femaleOccS, childOcc *sampler
+	villageS, elsewhereS           *sampler
+}
+
+// newPopulation creates the founding population of the first census year.
+func newPopulation(cfg *Config, year int) *population {
+	p := &population{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		persons:    make(map[int]*person),
+		households: make(map[int]*household),
+		nextPerson: 1,
+		nextHH:     1,
+		surnameS:   newSampler(surnames),
+		maleS:      newSampler(maleNames),
+		femaleS:    newSampler(femaleNames),
+		maleOccS:   newSampler(maleOccupations),
+		femaleOccS: newSampler(femaleOccupations),
+		childOcc:   newSampler(childOccupations),
+		villageS:   newSampler(villages),
+		elsewhereS: newSampler(elsewherePlaces),
+	}
+	for i := 0; i < cfg.target(year); i++ {
+		p.foundHousehold(year, false)
+	}
+	return p
+}
+
+// --- deterministic iteration helpers ---
+
+func (p *population) personIDs() []int {
+	ids := make([]int, 0, len(p.persons))
+	for id := range p.persons {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (p *population) householdIDs() []int {
+	ids := make([]int, 0, len(p.households))
+	for id := range p.households {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// --- sampling helpers ---
+
+func (p *population) chance(prob float64) bool { return p.rng.Float64() < prob }
+
+func (p *population) pickSurname() string { return p.surnameS.pick(p.rng.Intn(p.surnameS.total)) }
+
+func (p *population) pickFirstName(sex census.Sex) string {
+	if sex == census.SexFemale {
+		return p.femaleS.pick(p.rng.Intn(p.femaleS.total))
+	}
+	return p.maleS.pick(p.rng.Intn(p.maleS.total))
+}
+
+func (p *population) pickAddress() string {
+	street := streets[p.rng.Intn(len(streets))]
+	return itoa(1+p.rng.Intn(120)) + " " + street
+}
+
+// pickBirthplace draws a birthplace: a district village for locals, an
+// outside town for in-migrants.
+func (p *population) pickBirthplace(local bool) string {
+	if local {
+		return p.villageS.pick(p.rng.Intn(p.villageS.total))
+	}
+	return p.elsewhereS.pick(p.rng.Intn(p.elsewhereS.total))
+}
+
+// poisson draws a Poisson(lambda) variate (Knuth's method; lambda is small).
+func (p *population) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	prod := 1.0
+	for {
+		prod *= p.rng.Float64()
+		if prod <= l {
+			return k
+		}
+		k++
+		if k > 20 {
+			return k
+		}
+	}
+}
+
+// occupationFor assigns an occupation appropriate to sex and age.
+func (p *population) occupationFor(sex census.Sex, age int) string {
+	switch {
+	case age < 5:
+		return ""
+	case age < 10:
+		if p.chance(0.6) {
+			return "scholar"
+		}
+		return ""
+	case age < 15:
+		return p.childOcc.pick(p.rng.Intn(p.childOcc.total))
+	case sex == census.SexFemale:
+		return p.femaleOccS.pick(p.rng.Intn(p.femaleOccS.total))
+	default:
+		return p.maleOccS.pick(p.rng.Intn(p.maleOccS.total))
+	}
+}
+
+// --- structural mutations ---
+
+func (p *population) addPerson(per *person) *person {
+	per.id = p.nextPerson
+	p.nextPerson++
+	p.persons[per.id] = per
+	return per
+}
+
+func (p *population) addToHousehold(per *person, hh *household) {
+	per.household = hh.id
+	hh.members = append(hh.members, per.id)
+}
+
+// removeFromHousehold detaches a person from their household (the household
+// may become empty; callers clean up via pruneEmptyHouseholds).
+func (p *population) removeFromHousehold(per *person) {
+	hh := p.households[per.household]
+	if hh == nil {
+		return
+	}
+	for i, id := range hh.members {
+		if id == per.id {
+			hh.members = append(hh.members[:i], hh.members[i+1:]...)
+			break
+		}
+	}
+	per.household = 0
+}
+
+// kill removes a person permanently, fixing spouse pointers.
+func (p *population) kill(per *person) {
+	if sp := p.persons[per.spouse]; sp != nil {
+		sp.spouse = 0
+	}
+	p.removeFromHousehold(per)
+	delete(p.persons, per.id)
+}
+
+// emigrateHousehold removes a household and all its members.
+func (p *population) emigrateHousehold(hh *household) {
+	for _, id := range append([]int(nil), hh.members...) {
+		per := p.persons[id]
+		if per == nil {
+			continue
+		}
+		if sp := p.persons[per.spouse]; sp != nil && sp.household != hh.id {
+			sp.spouse = 0
+		}
+		delete(p.persons, id)
+	}
+	delete(p.households, hh.id)
+}
+
+func (p *population) newHousehold(head *person) *household {
+	hh := &household{id: p.nextHH, address: p.pickAddress(), head: head.id}
+	p.nextHH++
+	p.households[hh.id] = hh
+	p.addToHousehold(head, hh)
+	return hh
+}
+
+// movePerson relocates a person into another household.
+func (p *population) movePerson(per *person, to *household) {
+	p.removeFromHousehold(per)
+	p.addToHousehold(per, to)
+}
+
+// foundHousehold creates a complete family household (used for the initial
+// population and, with migrant=true, for immigration: migrant households
+// were mostly born outside the district).
+func (p *population) foundHousehold(year int, migrant bool) *household {
+	surname := p.pickSurname()
+	localProb := 0.75
+	if migrant {
+		localProb = 0.15
+	}
+	headAge := 23 + p.rng.Intn(34) // 23-56
+	head := p.addPerson(&person{
+		sex:        census.SexMale,
+		birthYear:  year - headAge,
+		firstName:  p.pickFirstName(census.SexMale),
+		surname:    surname,
+		birthplace: p.pickBirthplace(p.chance(localProb)),
+	})
+	head.occupation = p.occupationFor(head.sex, headAge)
+	hh := p.newHousehold(head)
+
+	var wife *person
+	if p.chance(0.85) {
+		wifeAge := headAge - p.rng.Intn(7)
+		if wifeAge < 18 {
+			wifeAge = 18
+		}
+		wife = p.addPerson(&person{
+			sex:        census.SexFemale,
+			birthYear:  year - wifeAge,
+			firstName:  p.pickFirstName(census.SexFemale),
+			surname:    surname,
+			spouse:     head.id,
+			birthplace: p.pickBirthplace(p.chance(localProb)),
+		})
+		head.spouse = wife.id
+		wife.occupation = p.occupationFor(wife.sex, wifeAge)
+		p.addToHousehold(wife, hh)
+
+		// Children: 0-6, ages bounded by the mother's fertile window.
+		maxChildAge := wifeAge - 19
+		if maxChildAge > 24 {
+			maxChildAge = 24
+		}
+		if maxChildAge >= 0 {
+			n := p.poisson(3.2)
+			if n > 8 {
+				n = 8
+			}
+			for c := 0; c < n; c++ {
+				childAge := p.rng.Intn(maxChildAge + 1)
+				sex := census.SexMale
+				if p.chance(0.5) {
+					sex = census.SexFemale
+				}
+				child := p.addPerson(&person{
+					sex:       sex,
+					birthYear: year - childAge,
+					surname:   surname,
+					mother:    wife.id,
+					father:    head.id,
+					// Young children of migrants were often born before
+					// the move.
+					birthplace: p.pickBirthplace(p.chance(localProb + 0.15)),
+				})
+				child.firstName = p.childName(sex, head, wife)
+				child.occupation = p.occupationFor(sex, childAge)
+				p.addToHousehold(child, hh)
+			}
+		}
+	}
+
+	// Occasionally an extra member: widowed parent, lodger or servant.
+	if p.chance(0.22) {
+		switch p.rng.Intn(3) {
+		case 0: // widowed mother of the head
+			age := headAge + 24 + p.rng.Intn(8)
+			par := p.addPerson(&person{
+				sex:        census.SexFemale,
+				birthYear:  year - age,
+				firstName:  p.pickFirstName(census.SexFemale),
+				surname:    surname,
+				birthplace: p.pickBirthplace(p.chance(localProb)),
+			})
+			head.mother = par.id
+			par.occupation = ""
+			p.addToHousehold(par, hh)
+		case 1: // lodger
+			age := 18 + p.rng.Intn(40)
+			sex := census.SexMale
+			if p.chance(0.35) {
+				sex = census.SexFemale
+			}
+			lod := p.addPerson(&person{
+				sex:        sex,
+				birthYear:  year - age,
+				firstName:  p.pickFirstName(sex),
+				surname:    p.pickSurname(),
+				birthplace: p.pickBirthplace(p.chance(0.5)),
+			})
+			lod.occupation = p.occupationFor(sex, age)
+			p.addToHousehold(lod, hh)
+		default: // young domestic servant
+			age := 14 + p.rng.Intn(12)
+			srv := p.addPerson(&person{
+				sex:        census.SexFemale,
+				birthYear:  year - age,
+				firstName:  p.pickFirstName(census.SexFemale),
+				surname:    p.pickSurname(),
+				occupation: "domestic servant",
+				birthplace: p.pickBirthplace(p.chance(0.5)),
+			})
+			p.addToHousehold(srv, hh)
+		}
+	}
+	return hh
+}
+
+// childName picks a newborn's first name, sometimes inheriting the
+// same-sex parent's name (a major source of ambiguity in real census data).
+func (p *population) childName(sex census.Sex, father, mother *person) string {
+	if p.chance(p.cfg.Rates.NamedAfterParent) {
+		if sex == census.SexMale && father != nil {
+			return father.firstName
+		}
+		if sex == census.SexFemale && mother != nil {
+			return mother.firstName
+		}
+	}
+	return p.pickFirstName(sex)
+}
+
+// --- decade transition ---
+
+// advance evolves the population from one census year to the next.
+func (p *population) advance(fromYear, toYear int) {
+	p.applyMortality(toYear)
+	p.succeedHeads(toYear)
+	p.applyMarriages(toYear)
+	p.applyBirths(fromYear, toYear)
+	p.applySplits(toYear)
+	p.applyWidowMerges(toYear)
+	p.applyLodgerTurnover(toYear)
+	p.applyEmigration()
+	p.applyMovesAndOccupations(toYear)
+	// Marriages and splits can leave a household whose head moved away;
+	// repair heads once more after all moves.
+	p.succeedHeads(toYear)
+	p.pruneEmptyHouseholds()
+	p.applyImmigration(toYear)
+}
+
+// mortality probability per decade by age at the end of the decade.
+func (p *population) mortalityProb(age int) float64 {
+	r := p.cfg.Rates
+	switch {
+	case age < 10:
+		return r.MortalityChild
+	case age < 40:
+		return r.MortalityAdult
+	case age < 60:
+		return r.MortalityMiddle
+	case age < 75:
+		return r.MortalityOld
+	default:
+		return r.MortalityAged
+	}
+}
+
+func (p *population) applyMortality(toYear int) {
+	for _, id := range p.personIDs() {
+		per := p.persons[id]
+		if per == nil {
+			continue
+		}
+		if p.chance(p.mortalityProb(toYear - per.birthYear)) {
+			p.kill(per)
+		}
+	}
+}
+
+// succeedHeads repairs households whose head died: the widowed spouse, or
+// the eldest adult, takes over. Households reduced to young children are
+// dissolved into other households (the members become boarders).
+func (p *population) succeedHeads(toYear int) {
+	hhIDs := p.householdIDs()
+	for _, hid := range hhIDs {
+		hh := p.households[hid]
+		if hh == nil || len(hh.members) == 0 {
+			continue
+		}
+		if p.persons[hh.head] != nil && p.persons[hh.head].household == hid {
+			continue
+		}
+		// Pick a successor: eldest member of age >= 16, preferring the
+		// late head's spouse implicitly through age.
+		best := 0
+		bestAge := -1
+		for _, mid := range hh.members {
+			m := p.persons[mid]
+			if m == nil {
+				continue
+			}
+			if age := toYear - m.birthYear; age >= 16 && age > bestAge {
+				best, bestAge = mid, age
+			}
+		}
+		if best != 0 {
+			hh.head = best
+			continue
+		}
+		// Orphan household: relocate the children elsewhere.
+		target := p.anyOtherHousehold(hid)
+		for _, mid := range append([]int(nil), hh.members...) {
+			m := p.persons[mid]
+			if m == nil {
+				continue
+			}
+			if target != nil {
+				p.movePerson(m, target)
+			} else {
+				p.kill(m)
+			}
+		}
+		delete(p.households, hid)
+	}
+}
+
+// anyOtherHousehold returns a pseudo-random household other than the given
+// one, or nil if none exists.
+func (p *population) anyOtherHousehold(exclude int) *household {
+	ids := p.householdIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	start := p.rng.Intn(len(ids))
+	for i := 0; i < len(ids); i++ {
+		id := ids[(start+i)%len(ids)]
+		if id != exclude {
+			return p.households[id]
+		}
+	}
+	return nil
+}
+
+func (p *population) applyMarriages(toYear int) {
+	var grooms, brides []*person
+	for _, id := range p.personIDs() {
+		per := p.persons[id]
+		if per == nil || per.spouse != 0 {
+			continue
+		}
+		age := toYear - per.birthYear
+		if age < 19 || age > 45 {
+			continue
+		}
+		if !p.chance(p.cfg.Rates.Marriage) {
+			continue
+		}
+		if per.sex == census.SexMale {
+			grooms = append(grooms, per)
+		} else {
+			brides = append(brides, per)
+		}
+	}
+	p.rng.Shuffle(len(grooms), func(i, j int) { grooms[i], grooms[j] = grooms[j], grooms[i] })
+	p.rng.Shuffle(len(brides), func(i, j int) { brides[i], brides[j] = brides[j], brides[i] })
+	n := len(grooms)
+	if len(brides) < n {
+		n = len(brides)
+	}
+	for i := 0; i < n; i++ {
+		g, b := grooms[i], brides[i]
+		if g.household == b.household { // avoid within-household marriages
+			continue
+		}
+		ageDiff := (toYear - g.birthYear) - (toYear - b.birthYear)
+		if ageDiff < -10 || ageDiff > 15 {
+			continue
+		}
+		g.spouse, b.spouse = b.id, g.id
+		b.surname = g.surname // the bride takes the groom's surname
+		if p.chance(p.cfg.Rates.MarriageJoinParents) {
+			// The couple stays in the groom's household.
+			if hh := p.households[g.household]; hh != nil {
+				p.movePerson(b, hh)
+				continue
+			}
+		}
+		// Found a new household.
+		p.removeFromHousehold(g)
+		hh := p.newHousehold(g)
+		p.movePerson(b, hh)
+		g.occupation = p.occupationFor(g.sex, toYear-g.birthYear)
+	}
+}
+
+func (p *population) applyBirths(fromYear, toYear int) {
+	for _, id := range p.personIDs() {
+		mother := p.persons[id]
+		if mother == nil || mother.sex != census.SexFemale || mother.spouse == 0 {
+			continue
+		}
+		father := p.persons[mother.spouse]
+		if father == nil || father.household != mother.household {
+			continue
+		}
+		// Fertile share of the decade: mother aged 18-44.
+		fertileYears := 0
+		for y := fromYear + 1; y <= toYear; y++ {
+			if age := y - mother.birthYear; age >= 18 && age <= 44 {
+				fertileYears++
+			}
+		}
+		if fertileYears == 0 {
+			continue
+		}
+		n := p.poisson(p.cfg.Rates.BirthsPerDecade * float64(fertileYears) / 10.0)
+		hh := p.households[mother.household]
+		if hh == nil {
+			continue
+		}
+		for c := 0; c < n; c++ {
+			birthYear := fromYear + 1 + p.rng.Intn(toYear-fromYear)
+			if age := birthYear - mother.birthYear; age < 17 || age > 45 {
+				continue
+			}
+			sex := census.SexMale
+			if p.chance(0.5) {
+				sex = census.SexFemale
+			}
+			child := p.addPerson(&person{
+				sex:        sex,
+				birthYear:  birthYear,
+				surname:    father.surname,
+				mother:     mother.id,
+				father:     father.id,
+				birthplace: p.pickBirthplace(true), // born in the district
+			})
+			child.firstName = p.childName(sex, father, mother)
+			child.occupation = p.occupationFor(sex, toYear-birthYear)
+			p.addToHousehold(child, hh)
+		}
+	}
+}
+
+// applySplits lets large households shed a subfamily of at least two
+// members into a new household (the paper's split pattern).
+func (p *population) applySplits(toYear int) {
+	for _, hid := range p.householdIDs() {
+		hh := p.households[hid]
+		if hh == nil || len(hh.members) < 6 || !p.chance(p.cfg.Rates.Split) {
+			continue
+		}
+		// Move a subfamily of at least two members together: preferably a
+		// married couple living in the household, otherwise the two eldest
+		// non-head adults. Couples are never split apart.
+		head := p.persons[hh.head]
+		var adults []*person
+		for _, mid := range hh.members {
+			m := p.persons[mid]
+			if m == nil || m.id == hh.head || (head != nil && m.id == head.spouse) {
+				continue
+			}
+			if toYear-m.birthYear >= 17 {
+				adults = append(adults, m)
+			}
+		}
+		var movers []*person
+		for _, a := range adults {
+			if a.spouse == 0 {
+				continue
+			}
+			if sp := p.persons[a.spouse]; sp != nil && sp.household == hh.id && sp.id != hh.head {
+				movers = []*person{a, sp}
+				break
+			}
+		}
+		if movers == nil {
+			var single []*person
+			for _, a := range adults {
+				if a.spouse == 0 {
+					single = append(single, a)
+				}
+			}
+			if len(single) < 2 {
+				continue
+			}
+			sort.Slice(single, func(i, j int) bool { return single[i].birthYear < single[j].birthYear })
+			movers = single[:2]
+		}
+		p.removeFromHousehold(movers[0])
+		nh := p.newHousehold(movers[0])
+		p.movePerson(movers[1], nh)
+	}
+}
+
+// applyWidowMerges merges small widowed households into other households
+// (the paper's merge pattern).
+func (p *population) applyWidowMerges(toYear int) {
+	for _, hid := range p.householdIDs() {
+		hh := p.households[hid]
+		if hh == nil || len(hh.members) == 0 || len(hh.members) > 2 {
+			continue
+		}
+		head := p.persons[hh.head]
+		if head == nil || head.spouse != 0 {
+			continue
+		}
+		// Elderly widowed households merge most often; lone younger
+		// households occasionally do too.
+		prob := p.cfg.Rates.WidowMerge
+		if toYear-head.birthYear < 55 {
+			if len(hh.members) > 1 {
+				continue
+			}
+			prob /= 2
+		}
+		if !p.chance(prob) {
+			continue
+		}
+		// Prefer a household containing one of the widow's children.
+		var target *household
+		for _, id := range p.personIDs() {
+			c := p.persons[id]
+			if c == nil || (c.mother != head.id && c.father != head.id) {
+				continue
+			}
+			if c.household != hid {
+				target = p.households[c.household]
+				break
+			}
+		}
+		if target == nil {
+			target = p.anyOtherHousehold(hid)
+		}
+		if target == nil {
+			continue
+		}
+		for _, mid := range append([]int(nil), hh.members...) {
+			if m := p.persons[mid]; m != nil {
+				p.movePerson(m, target)
+			}
+		}
+		delete(p.households, hid)
+	}
+}
+
+// applyLodgerTurnover moves unrelated members (lodgers, servants) between
+// households, a frequent source of the paper's move pattern.
+func (p *population) applyLodgerTurnover(toYear int) {
+	for _, id := range p.personIDs() {
+		per := p.persons[id]
+		if per == nil || per.spouse != 0 {
+			continue
+		}
+		hh := p.households[per.household]
+		if hh == nil || hh.head == per.id {
+			continue
+		}
+		head := p.persons[hh.head]
+		if head == nil || p.related(per, head) {
+			continue
+		}
+		if toYear-per.birthYear < 15 || !p.chance(p.cfg.Rates.LodgerTurnover) {
+			continue
+		}
+		if p.chance(0.3) {
+			// The lodger founds their own household.
+			p.removeFromHousehold(per)
+			p.newHousehold(per)
+		} else if target := p.anyOtherHousehold(per.household); target != nil {
+			p.movePerson(per, target)
+		}
+	}
+}
+
+// related reports whether two persons share a direct family pointer.
+func (p *population) related(a, b *person) bool {
+	if a.spouse == b.id || b.spouse == a.id {
+		return true
+	}
+	if a.mother == b.id || a.father == b.id || b.mother == a.id || b.father == a.id {
+		return true
+	}
+	if a.mother != 0 && (a.mother == b.mother || a.mother == b.father) {
+		return true
+	}
+	if a.father != 0 && (a.father == b.father || a.father == b.mother) {
+		return true
+	}
+	return false
+}
+
+func (p *population) applyEmigration() {
+	for _, hid := range p.householdIDs() {
+		hh := p.households[hid]
+		if hh == nil {
+			continue
+		}
+		if p.chance(p.cfg.Rates.HouseholdEmigration) {
+			p.emigrateHousehold(hh)
+		}
+	}
+}
+
+func (p *population) applyMovesAndOccupations(toYear int) {
+	for _, hid := range p.householdIDs() {
+		hh := p.households[hid]
+		if hh == nil {
+			continue
+		}
+		if p.chance(p.cfg.Rates.AddressMove) {
+			hh.address = p.pickAddress()
+		} else if p.chance(p.cfg.Rates.Renumber) {
+			// Street re-enumeration: the number changes, the street stays.
+			if i := indexByte(hh.address, ' '); i > 0 {
+				hh.address = itoa(1+p.rng.Intn(120)) + hh.address[i:]
+			}
+		}
+	}
+	for _, id := range p.personIDs() {
+		per := p.persons[id]
+		if per == nil {
+			continue
+		}
+		age := toYear - per.birthYear
+		// Children grow into work; adults occasionally change occupation.
+		if per.occupation == "" || per.occupation == "scholar" ||
+			age < 18 || p.chance(p.cfg.Rates.OccupationChange) {
+			per.occupation = p.occupationFor(per.sex, age)
+		}
+	}
+}
+
+func (p *population) pruneEmptyHouseholds() {
+	for _, hid := range p.householdIDs() {
+		if hh := p.households[hid]; hh != nil && len(hh.members) == 0 {
+			delete(p.households, hid)
+		}
+	}
+}
+
+// applyImmigration founds new households until the scaled target for the
+// census year is reached.
+func (p *population) applyImmigration(toYear int) {
+	target := p.cfg.target(toYear)
+	for len(p.households) < target {
+		p.foundHousehold(toYear, true)
+	}
+}
+
+// indexByte returns the index of c in s, or -1.
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// itoa converts a non-negative int to decimal without strconv.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

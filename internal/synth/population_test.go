@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"censuslink/internal/census"
+)
+
+// checkPopulationInvariants verifies the structural conservation laws of
+// the simulator: households partition the persons, every member pointer is
+// consistent, spouse pointers are mutual, heads exist and live in their
+// household, and parent pointers never reference younger persons.
+func checkPopulationInvariants(t *testing.T, p *population, year int) {
+	t.Helper()
+	seen := map[int]int{} // person ID -> household ID
+	for hid, hh := range p.households {
+		if hid != hh.id {
+			t.Fatalf("household map key %d != id %d", hid, hh.id)
+		}
+		if len(hh.members) == 0 {
+			t.Fatalf("household %d is empty", hid)
+		}
+		headFound := false
+		for _, mid := range hh.members {
+			per := p.persons[mid]
+			if per == nil {
+				t.Fatalf("household %d lists dead person %d", hid, mid)
+			}
+			if per.household != hid {
+				t.Fatalf("person %d in household %d claims %d", mid, hid, per.household)
+			}
+			if prev, dup := seen[mid]; dup {
+				t.Fatalf("person %d in households %d and %d", mid, prev, hid)
+			}
+			seen[mid] = hid
+			if mid == hh.head {
+				headFound = true
+			}
+		}
+		if !headFound {
+			t.Fatalf("household %d head %d is not a member", hid, hh.head)
+		}
+	}
+	if len(seen) != len(p.persons) {
+		t.Fatalf("year %d: %d persons but %d household memberships", year, len(p.persons), len(seen))
+	}
+	for id, per := range p.persons {
+		if per.id != id {
+			t.Fatalf("person map key %d != id %d", id, per.id)
+		}
+		if per.spouse != 0 {
+			sp := p.persons[per.spouse]
+			if sp != nil && sp.spouse != per.id {
+				t.Fatalf("person %d spouse %d does not point back", id, per.spouse)
+			}
+		}
+		for _, parentID := range []int{per.mother, per.father} {
+			if parent := p.persons[parentID]; parent != nil {
+				if parent.birthYear >= per.birthYear {
+					t.Fatalf("person %d (born %d) has parent %d born %d",
+						id, per.birthYear, parentID, parent.birthYear)
+				}
+			}
+		}
+		if per.sex != census.SexMale && per.sex != census.SexFemale {
+			t.Fatalf("person %d has no sex", id)
+		}
+	}
+}
+
+// TestPopulationInvariantsAcrossDecades: the conservation laws must hold
+// after every simulated decade, across several seeds.
+func TestPopulationInvariantsAcrossDecades(t *testing.T) {
+	prop := func(seed uint8) bool {
+		cfg := TestConfig(0.02, int64(seed))
+		if err := cfg.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		pop := newPopulation(&cfg, 1851)
+		checkPopulationInvariants(t, pop, 1851)
+		years := []int{1861, 1871, 1881, 1891, 1901}
+		prev := 1851
+		for _, y := range years {
+			pop.advance(prev, y)
+			checkPopulationInvariants(t, pop, y)
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMarriageMutualityAfterAdvance: all married couples live together and
+// the bride carries the groom's surname at formation time.
+func TestMarriageMutualityAfterAdvance(t *testing.T) {
+	cfg := TestConfig(0.03, 5)
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	pop := newPopulation(&cfg, 1851)
+	pop.advance(1851, 1861)
+	couples := 0
+	for _, per := range pop.persons {
+		if per.spouse == 0 || per.sex != census.SexFemale {
+			continue
+		}
+		husband := pop.persons[per.spouse]
+		if husband == nil {
+			continue
+		}
+		couples++
+		if husband.household != per.household {
+			// Spouses may be split only transiently; the simulator keeps
+			// married couples together.
+			t.Errorf("married couple %d/%d in different households", per.id, husband.id)
+		}
+		if per.surname != husband.surname {
+			t.Errorf("wife %d surname %q != husband's %q", per.id, per.surname, husband.surname)
+		}
+	}
+	if couples == 0 {
+		t.Fatal("no married couples after a decade")
+	}
+}

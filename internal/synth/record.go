@@ -1,0 +1,261 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+
+	"censuslink/internal/census"
+)
+
+// occupationSynonyms lists alternative recordings of the same occupation,
+// used by the corruption model.
+var occupationSynonyms = map[string][]string{
+	"cotton weaver":     {"weaver", "weaver of cotton", "cotton weaver (power loom)"},
+	"cotton spinner":    {"spinner", "spinner of cotton"},
+	"power loom weaver": {"weaver", "loom weaver"},
+	"labourer":          {"general labourer", "lab"},
+	"domestic servant":  {"servant", "general servant"},
+	"scholar":           {"at school"},
+	"winder":            {"cotton winder"},
+	"housekeeper":       {"house keeper"},
+	"farmer":            {"farmer of 12 acres"},
+	"coal miner":        {"collier"},
+}
+
+// roleOf derives the head-relative census role of a member from the family
+// pointers of the simulated population.
+func (p *population) roleOf(per *person, hh *household) census.Role {
+	head := p.persons[hh.head]
+	if head == nil || per.id == head.id {
+		return census.RoleHead
+	}
+	if per.id == head.spouse {
+		if per.sex == census.SexFemale {
+			return census.RoleWife
+		}
+		return census.RoleHusband
+	}
+	spouse := p.persons[head.spouse]
+	isChildOf := func(child *person, parent *person) bool {
+		return parent != nil && (child.mother == parent.id || child.father == parent.id)
+	}
+	if isChildOf(per, head) || isChildOf(per, spouse) {
+		if per.sex == census.SexFemale {
+			return census.RoleDaughter
+		}
+		return census.RoleSon
+	}
+	if isChildOf(head, per) || (spouse != nil && isChildOf(spouse, per)) {
+		if per.sex == census.SexFemale {
+			return census.RoleMother
+		}
+		return census.RoleFather
+	}
+	// Sibling: shares a parent with the head.
+	if (per.mother != 0 && per.mother == head.mother) || (per.father != 0 && per.father == head.father) {
+		if per.sex == census.SexFemale {
+			return census.RoleSister
+		}
+		return census.RoleBrother
+	}
+	// Grandchild: child of a child of the head (or of the head's spouse).
+	if mom := p.persons[per.mother]; mom != nil && (isChildOf(mom, head) || isChildOf(mom, spouse)) {
+		if per.sex == census.SexFemale {
+			return census.RoleGranddaughter
+		}
+		return census.RoleGrandson
+	}
+	if dad := p.persons[per.father]; dad != nil && (isChildOf(dad, head) || isChildOf(dad, spouse)) {
+		if per.sex == census.SexFemale {
+			return census.RoleGranddaughter
+		}
+		return census.RoleGrandson
+	}
+	// Nephew/niece: child of a sibling of the head.
+	for _, parentID := range []int{per.mother, per.father} {
+		parent := p.persons[parentID]
+		if parent == nil {
+			continue
+		}
+		if (parent.mother != 0 && parent.mother == head.mother) ||
+			(parent.father != 0 && parent.father == head.father) {
+			if per.sex == census.SexFemale {
+				return census.RoleNiece
+			}
+			return census.RoleNephew
+		}
+	}
+	if per.occupation == "domestic servant" {
+		return census.RoleServant
+	}
+	if per.id%2 == 0 {
+		return census.RoleBoarder
+	}
+	return census.RoleLodger
+}
+
+// record emits the census dataset of one year, applying the corruption
+// model. A dedicated RNG (derived from the config seed and the year) keeps
+// recording noise independent of the demographic randomness.
+func (p *population) record(year int) (*census.Dataset, error) {
+	rng := rand.New(rand.NewSource(p.cfg.Seed*1_000_003 + int64(year)))
+	c := p.cfg.Corruption
+	d := census.NewDataset(year)
+	recNo := 0
+	for _, hid := range p.householdIDs() {
+		hh := p.households[hid]
+		if hh == nil || len(hh.members) == 0 {
+			continue
+		}
+		hhID := itoa(year) + "_h" + itoa(hh.id)
+		if err := d.AddHousehold(&census.Household{ID: hhID, Address: hh.address}); err != nil {
+			return nil, err
+		}
+		// Head first, then remaining members in insertion order.
+		members := append([]int(nil), hh.members...)
+		for i, mid := range members {
+			if mid == hh.head && i != 0 {
+				members[0], members[i] = members[i], members[0]
+				break
+			}
+		}
+		for _, mid := range members {
+			per := p.persons[mid]
+			if per == nil {
+				continue
+			}
+			recNo++
+			rec := &census.Record{
+				ID:          itoa(year) + "_" + itoa(recNo),
+				HouseholdID: hhID,
+				TruthID:     "p" + itoa(per.id),
+				Role:        p.roleOf(per, hh),
+			}
+			p.fillCorrupted(rec, per, hh, year, rng, c)
+			if err := d.AddRecord(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// fillCorrupted writes the recorded (possibly corrupted) attribute values.
+func (p *population) fillCorrupted(rec *census.Record, per *person, hh *household,
+	year int, rng *rand.Rand, c Corruption) {
+	roll := func(prob float64) bool { return rng.Float64() < prob }
+
+	// First name: nickname, typo or missing.
+	fn := per.firstName
+	if vars, ok := nicknames[fn]; ok && roll(c.Nickname) {
+		fn = vars[rng.Intn(len(vars))]
+	}
+	if roll(c.FirstNameTypo) {
+		fn = typo(fn, rng)
+	}
+	if roll(c.MissingFirstName) {
+		fn = ""
+	}
+	rec.FirstName = fn
+
+	// Surname: typo or missing.
+	sn := per.surname
+	if roll(c.SurnameTypo) {
+		sn = typo(sn, rng)
+	}
+	if roll(c.MissingSurname) {
+		sn = ""
+	}
+	rec.Surname = sn
+
+	// Sex.
+	rec.Sex = per.sex
+	if roll(c.MissingSex) {
+		rec.Sex = census.SexUnknown
+	}
+
+	// Age: true age with occasional misstatement.
+	age := year - per.birthYear
+	switch {
+	case roll(c.AgeOffByOne):
+		if rng.Intn(2) == 0 {
+			age++
+		} else if age > 0 {
+			age--
+		}
+	case roll(c.AgeOffByTwo):
+		if rng.Intn(2) == 0 {
+			age += 2
+		} else if age > 1 {
+			age -= 2
+		}
+	case age >= 25 && roll(c.RoundToFive):
+		age = ((age + 2) / 5) * 5
+	}
+	if roll(c.MissingAge) {
+		age = census.AgeMissing
+	}
+	rec.Age = age
+
+	// Address: full, without house number, or missing.
+	addr := hh.address
+	if roll(c.AddressVariant) {
+		if i := strings.IndexByte(addr, ' '); i > 0 {
+			addr = addr[i+1:]
+		}
+	}
+	if roll(c.MissingAddress) {
+		addr = ""
+	}
+	rec.Address = addr
+
+	// Birthplace: stable, but sometimes recorded only as the county or
+	// left blank.
+	bp := per.birthplace
+	if roll(c.BirthplaceVariant) {
+		bp = "lancashire"
+	}
+	if roll(c.MissingBirthplace) {
+		bp = ""
+	}
+	rec.Birthplace = bp
+
+	// Occupation: synonym or missing (children under 10 have none anyway).
+	occ := per.occupation
+	if vars, ok := occupationSynonyms[occ]; ok && roll(c.OccupationVariant) {
+		occ = vars[rng.Intn(len(vars))]
+	}
+	if roll(c.MissingOccupation) {
+		occ = ""
+	}
+	rec.Occupation = occ
+}
+
+// typo applies one random character edit: substitution, deletion, insertion
+// or transposition of adjacent characters.
+func typo(s string, rng *rand.Rand) string {
+	if len(s) < 2 {
+		return s
+	}
+	b := []byte(s)
+	switch rng.Intn(4) {
+	case 0: // substitution
+		i := rng.Intn(len(b))
+		b[i] = byte('a' + rng.Intn(26))
+		return string(b)
+	case 1: // deletion
+		i := rng.Intn(len(b))
+		return string(append(b[:i:i], b[i+1:]...))
+	case 2: // insertion
+		i := rng.Intn(len(b) + 1)
+		out := make([]byte, 0, len(b)+1)
+		out = append(out, b[:i]...)
+		out = append(out, byte('a'+rng.Intn(26)))
+		out = append(out, b[i:]...)
+		return string(out)
+	default: // transposition
+		i := rng.Intn(len(b) - 1)
+		b[i], b[i+1] = b[i+1], b[i]
+		return string(b)
+	}
+}

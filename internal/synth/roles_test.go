@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"testing"
+
+	"censuslink/internal/census"
+)
+
+// buildTestPopulation wires a three-generation household by hand:
+// grandmother, head, wife, son, daughter, grandson (son's child), the
+// head's brother, a nephew (brother's son living in the household), and an
+// unrelated servant and lodger.
+func buildTestPopulation() (*population, *household, map[string]*person) {
+	cfg := DefaultConfig()
+	if err := cfg.normalize(); err != nil {
+		panic(err)
+	}
+	p := &population{
+		cfg:        &cfg,
+		persons:    make(map[int]*person),
+		households: make(map[int]*household),
+		nextPerson: 1,
+		nextHH:     1,
+	}
+	ppl := map[string]*person{}
+	add := func(name string, per *person) *person {
+		p.addPerson(per)
+		ppl[name] = per
+		return per
+	}
+	grandma := add("grandma", &person{sex: census.SexFemale, birthYear: 1800})
+	head := add("head", &person{sex: census.SexMale, birthYear: 1825, mother: grandma.id})
+	wife := add("wife", &person{sex: census.SexFemale, birthYear: 1827})
+	head.spouse, wife.spouse = wife.id, head.id
+	son := add("son", &person{sex: census.SexMale, birthYear: 1848, mother: wife.id, father: head.id})
+	add("daughter", &person{sex: census.SexFemale, birthYear: 1850, mother: wife.id, father: head.id})
+	add("grandson", &person{sex: census.SexMale, birthYear: 1869, father: son.id})
+	brother := add("brother", &person{sex: census.SexMale, birthYear: 1828, mother: grandma.id})
+	add("nephew", &person{sex: census.SexMale, birthYear: 1852, father: brother.id})
+	add("servant", &person{sex: census.SexFemale, birthYear: 1851, occupation: "domestic servant"})
+	add("lodger", &person{sex: census.SexMale, birthYear: 1840})
+
+	hh := &household{id: p.nextHH, head: head.id, address: "1 test street"}
+	p.nextHH++
+	p.households[hh.id] = hh
+	for _, name := range []string{"head", "wife", "son", "daughter", "grandson",
+		"grandma", "brother", "nephew", "servant", "lodger"} {
+		p.addToHousehold(ppl[name], hh)
+	}
+	return p, hh, ppl
+}
+
+func TestRoleDerivation(t *testing.T) {
+	p, hh, ppl := buildTestPopulation()
+	want := map[string]census.Role{
+		"head":     census.RoleHead,
+		"wife":     census.RoleWife,
+		"son":      census.RoleSon,
+		"daughter": census.RoleDaughter,
+		"grandson": census.RoleGrandson,
+		"grandma":  census.RoleMother,
+		"brother":  census.RoleBrother,
+		"nephew":   census.RoleNephew,
+		"servant":  census.RoleServant,
+	}
+	for name, role := range want {
+		if got := p.roleOf(ppl[name], hh); got != role {
+			t.Errorf("roleOf(%s) = %v, want %v", name, got, role)
+		}
+	}
+	// The unrelated lodger maps to boarder or lodger depending on ID parity.
+	if got := p.roleOf(ppl["lodger"], hh); got != census.RoleBoarder && got != census.RoleLodger {
+		t.Errorf("roleOf(lodger) = %v", got)
+	}
+}
+
+func TestRoleDerivationFemaleHead(t *testing.T) {
+	p, hh, ppl := buildTestPopulation()
+	// The head dies; the wife takes over.
+	p.kill(ppl["head"])
+	hh.head = ppl["wife"].id
+	if got := p.roleOf(ppl["wife"], hh); got != census.RoleHead {
+		t.Errorf("widow should be head, got %v", got)
+	}
+	// Children remain children of the (new) head.
+	if got := p.roleOf(ppl["son"], hh); got != census.RoleSon {
+		t.Errorf("son of widow = %v", got)
+	}
+	// The grandson is the child of the head's child.
+	if got := p.roleOf(ppl["grandson"], hh); got != census.RoleGrandson {
+		t.Errorf("grandson of widow = %v", got)
+	}
+}
+
+func TestRoleDerivationHusband(t *testing.T) {
+	p, hh, ppl := buildTestPopulation()
+	hh.head = ppl["wife"].id
+	if got := p.roleOf(ppl["head"], hh); got != census.RoleHusband {
+		t.Errorf("male spouse of female head = %v, want husband", got)
+	}
+}
+
+func TestGeneratedRolesAreConsistent(t *testing.T) {
+	s := sharedSeries(t)
+	for _, d := range s.Datasets {
+		for _, h := range d.Households() {
+			members := d.Members(h)
+			head := d.Head(h)
+			for _, m := range members {
+				switch m.Role {
+				case census.RoleWife, census.RoleHusband:
+					// A spouse's sex must differ from the head's when both
+					// are recorded.
+					if head.Sex != census.SexUnknown && m.Sex != census.SexUnknown && m.Sex == head.Sex {
+						t.Errorf("%d/%s: spouse %s has same sex as head", d.Year, h.ID, m.ID)
+					}
+				case census.RoleSon, census.RoleGrandson, census.RoleBrother,
+					census.RoleFather, census.RoleNephew:
+					if m.Sex == census.SexFemale {
+						t.Errorf("%d/%s: male role %s on female record %s", d.Year, h.ID, m.Role, m.ID)
+					}
+				case census.RoleDaughter, census.RoleGranddaughter, census.RoleSister,
+					census.RoleMother, census.RoleNiece:
+					if m.Sex == census.SexMale {
+						t.Errorf("%d/%s: female role %s on male record %s", d.Year, h.ID, m.Role, m.ID)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package synth
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"censuslink/internal/census"
+)
+
+// testSeries caches one generated series for the whole test package.
+var (
+	seriesOnce sync.Once
+	testSer    *census.Series
+	testSerErr error
+)
+
+func sharedSeries(t *testing.T) *census.Series {
+	t.Helper()
+	seriesOnce.Do(func() {
+		testSer, testSerErr = Generate(TestConfig(0.04, 7))
+	})
+	if testSerErr != nil {
+		t.Fatal(testSerErr)
+	}
+	return testSer
+}
+
+func TestGenerateSeriesShape(t *testing.T) {
+	s := sharedSeries(t)
+	if len(s.Datasets) != 6 {
+		t.Fatalf("datasets = %d, want 6", len(s.Datasets))
+	}
+	years := s.Years()
+	for i, want := range PaperYears {
+		if years[i] != want {
+			t.Errorf("year[%d] = %d, want %d", i, years[i], want)
+		}
+	}
+}
+
+func TestGenerateHitsHouseholdTargets(t *testing.T) {
+	s := sharedSeries(t)
+	cfg := TestConfig(0.04, 7)
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range s.Datasets {
+		target := cfg.target(d.Year)
+		got := d.NumHouseholds()
+		// Immigration tops households up to the target; endogenous growth
+		// may overshoot slightly.
+		if got < target || got > target+target/4 {
+			t.Errorf("%d: households = %d, want ~%d", d.Year, got, target)
+		}
+	}
+}
+
+func TestGenerateTable1Profile(t *testing.T) {
+	s := sharedSeries(t)
+	for _, d := range s.Datasets {
+		st := d.ComputeStats()
+		if st.MeanMembers < 3.5 || st.MeanMembers > 6.0 {
+			t.Errorf("%d: mean household size %.2f outside [3.5, 6.0]", d.Year, st.MeanMembers)
+		}
+		if st.MissingRatio < 0.02 || st.MissingRatio > 0.10 {
+			t.Errorf("%d: missing ratio %.3f outside [0.02, 0.10]", d.Year, st.MissingRatio)
+		}
+		// Names must be ambiguous (more records than unique combinations).
+		if st.NameFrequency < 1.1 {
+			t.Errorf("%d: name frequency %.2f too low, names not ambiguous", d.Year, st.NameFrequency)
+		}
+	}
+}
+
+func TestGenerateStructuralInvariants(t *testing.T) {
+	s := sharedSeries(t)
+	for _, d := range s.Datasets {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%d: %v", d.Year, err)
+		}
+		// Truth IDs unique within one census (a person recorded once).
+		seen := map[string]string{}
+		for _, r := range d.Records() {
+			if r.TruthID == "" {
+				t.Fatalf("%d: record %s without truth ID", d.Year, r.ID)
+			}
+			if prev, dup := seen[r.TruthID]; dup {
+				t.Fatalf("%d: truth ID %s on both %s and %s", d.Year, r.TruthID, prev, r.ID)
+			}
+			seen[r.TruthID] = r.ID
+		}
+		// Exactly one head per household, listed first.
+		for _, h := range d.Households() {
+			members := d.Members(h)
+			if len(members) == 0 {
+				t.Fatalf("%d: empty household %s", d.Year, h.ID)
+			}
+			heads := 0
+			for _, m := range members {
+				if m.Role == census.RoleHead {
+					heads++
+				}
+			}
+			if heads != 1 {
+				t.Errorf("%d: household %s has %d heads", d.Year, h.ID, heads)
+			}
+			if members[0].Role != census.RoleHead {
+				t.Errorf("%d: household %s head not listed first", d.Year, h.ID)
+			}
+		}
+	}
+}
+
+func TestGenerateOverlapBetweenCensuses(t *testing.T) {
+	s := sharedSeries(t)
+	for _, pair := range s.Pairs() {
+		old, new := pair[0], pair[1]
+		oldTruth := map[string]bool{}
+		for _, r := range old.Records() {
+			oldTruth[r.TruthID] = true
+		}
+		common := 0
+		for _, r := range new.Records() {
+			if oldTruth[r.TruthID] {
+				common++
+			}
+		}
+		// A substantial share of the population must persist (the paper's
+		// reference has ~6.8k of ~26k-29k records linked, but that is a
+		// lower bound; demographically 50-80% survive and stay).
+		frac := float64(common) / float64(old.NumRecords())
+		if frac < 0.40 || frac > 0.95 {
+			t.Errorf("%d->%d: %.2f of old records persist, outside [0.40, 0.95]",
+				old.Year, new.Year, frac)
+		}
+	}
+}
+
+func TestGenerateAgesConsistent(t *testing.T) {
+	s := sharedSeries(t)
+	old, new := s.Dataset(1871), s.Dataset(1881)
+	byTruth := map[string]*census.Record{}
+	for _, r := range new.Records() {
+		byTruth[r.TruthID] = r
+	}
+	checked := 0
+	for _, o := range old.Records() {
+		n := byTruth[o.TruthID]
+		if n == nil || o.Age == census.AgeMissing || n.Age == census.AgeMissing {
+			continue
+		}
+		checked++
+		gap := n.Age - o.Age
+		// True gap is 10; recording errors of up to ±2 on each side plus
+		// rounding to fives allows at most ~±7 deviation.
+		if gap < 3 || gap > 17 {
+			t.Errorf("person %s aged %d -> %d between 1871 and 1881", o.TruthID, o.Age, n.Age)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no persisting persons with recorded ages")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(TestConfig(0.02, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TestConfig(0.02, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Datasets {
+		var bufA, bufB bytes.Buffer
+		if err := census.WriteCSV(&bufA, a.Datasets[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := census.WriteCSV(&bufB, b.Datasets[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("year %d differs between runs with equal seeds", a.Datasets[i].Year)
+		}
+	}
+	c, err := Generate(TestConfig(0.02, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Datasets[0].NumRecords() == a.Datasets[0].NumRecords() &&
+		c.Datasets[0].Records()[0].FirstName == a.Datasets[0].Records()[0].FirstName &&
+		c.Datasets[0].Records()[1].FirstName == a.Datasets[0].Records()[1].FirstName &&
+		c.Datasets[0].Records()[2].FirstName == a.Datasets[0].Records()[2].FirstName {
+		t.Error("different seeds produced suspiciously identical data")
+	}
+}
+
+func TestGeneratePair(t *testing.T) {
+	old, new, err := GeneratePair(TestConfig(0.02, 5), 1861, 1871)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Year != 1861 || new.Year != 1871 {
+		t.Fatalf("years = %d/%d", old.Year, new.Year)
+	}
+	if _, _, err := GeneratePair(TestConfig(0.02, 5), 1850, 1860); err == nil {
+		t.Error("unknown years should fail")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}
+	if err := c.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Years) != 6 || c.Scale != 1.0 || c.Rates == (Rates{}) || c.Corruption == (Corruption{}) {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	bad := Config{Years: []int{1861, 1851}}
+	if err := bad.normalize(); err == nil {
+		t.Error("descending years accepted")
+	}
+}
+
+func TestConfigTargetFallback(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.target(1851); got != 3298 {
+		t.Errorf("target(1851) = %d", got)
+	}
+	// 1911 has no explicit target: 8% growth on 1901.
+	growth := 1.08
+	if got, want := c.target(1911), int(float64(6842)*growth); got != want {
+		t.Errorf("target(1911) = %d, want %d", got, want)
+	}
+	small := TestConfig(0.0001, 1)
+	if err := small.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := small.target(1851); got < 4 {
+		t.Errorf("tiny scale target = %d, want >= 4", got)
+	}
+}
+
+func TestTypo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		in := "elizabeth"
+		out := typo(in, rng)
+		if d := len(out) - len(in); d < -1 || d > 1 {
+			t.Fatalf("typo changed length by %d: %q", d, out)
+		}
+		for _, c := range out {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("typo produced non-letter: %q", out)
+			}
+		}
+	}
+	if typo("a", rng) != "a" {
+		t.Error("single-character strings must be left alone")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := newSampler([]weightedName{{"a", 1}, {"b", 3}, {"c", 6}})
+	counts := map[string]int{}
+	for r := 0; r < s.total; r++ {
+		counts[s.pick(r)]++
+	}
+	if counts["a"] != 1 || counts["b"] != 3 || counts["c"] != 6 {
+		t.Errorf("sampler distribution wrong: %v", counts)
+	}
+}
+
+func TestNicknamesAreKnownNames(t *testing.T) {
+	known := map[string]bool{}
+	for _, n := range maleNames {
+		known[n.name] = true
+	}
+	for _, n := range femaleNames {
+		known[n.name] = true
+	}
+	for formal := range nicknames {
+		if !known[formal] && formal != "frederick" {
+			t.Errorf("nickname key %q is not in the name corpora", formal)
+		}
+	}
+}
+
+func BenchmarkGenerateDecade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GeneratePair(TestConfig(0.05, int64(i)), 1851, 1861); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDemographics: the simulated population must look like a 19th-century
+// mill town — young, slightly female-skewed or balanced, with children
+// making up a third or so of the population.
+func TestDemographics(t *testing.T) {
+	s := sharedSeries(t)
+	for _, d := range s.Datasets {
+		dem := Demographics(d)
+		if dem.SexRatio < 0.7 || dem.SexRatio > 1.4 {
+			t.Errorf("%d: sex ratio %.2f implausible", d.Year, dem.SexRatio)
+		}
+		if dem.ChildShare < 0.18 || dem.ChildShare > 0.55 {
+			t.Errorf("%d: child share %.2f implausible", d.Year, dem.ChildShare)
+		}
+		// The pyramid must be bottom-heavy: under-10s outnumber the 60+.
+		old := 0
+		for _, n := range dem.AgePyramid[6:] {
+			old += n
+		}
+		if dem.AgePyramid[0] <= old {
+			t.Errorf("%d: age pyramid not bottom-heavy: %v", d.Year, dem.AgePyramid)
+		}
+		// Household sizes: no empty households; singles stay a minority and
+		// family-sized households (2-7 members) dominate.
+		if dem.HouseholdSizes[0] != 0 {
+			t.Errorf("%d: empty households recorded", d.Year)
+		}
+		total, family := 0, 0
+		for size, n := range dem.HouseholdSizes {
+			total += n
+			if size >= 2 && size <= 7 {
+				family += n
+			}
+		}
+		if frac := float64(dem.HouseholdSizes[1]) / float64(total); frac > 0.22 {
+			t.Errorf("%d: single-person households %.2f too frequent", d.Year, frac)
+		}
+		if frac := float64(family) / float64(total); frac < 0.55 {
+			t.Errorf("%d: family-sized households only %.2f", d.Year, frac)
+		}
+		// Most adults in a mill town were married.
+		if dem.MarriedShare < 0.25 || dem.MarriedShare > 0.9 {
+			t.Errorf("%d: married share %.2f implausible", d.Year, dem.MarriedShare)
+		}
+	}
+}
+
+// TestBirthplacesGenerated: every person carries a birthplace before
+// corruption; the recorded data has mostly-local births with an in-migrant
+// minority.
+func TestBirthplacesGenerated(t *testing.T) {
+	s := sharedSeries(t)
+	d := s.Dataset(1851)
+	local := map[string]bool{}
+	for _, v := range villages {
+		local[v.name] = true
+	}
+	haveBP, localN := 0, 0
+	for _, r := range d.Records() {
+		if r.Birthplace == "" {
+			continue
+		}
+		haveBP++
+		if local[r.Birthplace] {
+			localN++
+		}
+	}
+	if frac := float64(haveBP) / float64(d.NumRecords()); frac < 0.85 {
+		t.Errorf("only %.2f of records carry a birthplace", frac)
+	}
+	if frac := float64(localN) / float64(haveBP); frac < 0.5 || frac > 0.95 {
+		t.Errorf("local-born share %.2f outside [0.5, 0.95]", frac)
+	}
+}
