@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench report fuzz clean
+.PHONY: all build test vet check bench report fuzz clean
 
 all: build vet test
+
+# Tier-1 gate: everything a change must keep green before merging.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

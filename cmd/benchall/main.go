@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"censuslink/internal/experiments"
+	"censuslink/internal/obs"
 	"censuslink/internal/report"
 )
 
@@ -30,7 +31,27 @@ func main() {
 	out := flag.String("o", "", "also write the report to this file")
 	format := flag.String("format", "text", "output format: text or md")
 	svg := flag.String("svg", "", "also render Figure 6 as an SVG bar chart to this file")
+	statsOut := flag.String("stats", "", "write a JSON run report aggregating every linkage run to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+	if *pprofAddr != "" {
+		if err := obs.ServePprof(*pprofAddr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	var stats *obs.Stats
+	if *statsOut != "" {
+		stats = obs.NewStats(nil)
+	}
 
 	var sinks []io.Writer = []io.Writer{os.Stdout}
 	if *out != "" {
@@ -44,7 +65,7 @@ func main() {
 	w := io.MultiWriter(sinks...)
 
 	start := time.Now()
-	env, err := experiments.NewEnv(experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers})
+	env, err := experiments.NewEnv(experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, Obs: stats})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,6 +134,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(w, "wrote %s\n", *svg)
+	}
+	if *statsOut != "" {
+		f, err := os.Create(*statsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteReport(f, stats.Done()); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *statsOut)
 	}
 	fmt.Fprintf(w, "total: %s\n", time.Since(start).Round(time.Millisecond))
 }

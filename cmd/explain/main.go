@@ -4,10 +4,14 @@
 // subgraph scores — or explains why no subgraph exists. Useful for
 // debugging why two households were or were not linked.
 //
+// With -stats it instead renders a JSON run report (as written by
+// linker -stats or benchall -stats) as human-readable tables.
+//
 // Usage:
 //
 //	explain -old census_1871.csv -new census_1881.csv \
 //	        -old-household 1871_h12 -new-household 1881_h12 [-delta 0.5]
+//	explain -stats run.json
 package main
 
 import (
@@ -18,11 +22,14 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"time"
 
 	"censuslink/internal/block"
 	"censuslink/internal/census"
 	"censuslink/internal/hgraph"
 	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
+	"censuslink/internal/report"
 )
 
 func main() {
@@ -36,7 +43,14 @@ func main() {
 	ageTol := flag.Int("age-tolerance", 3, "age tolerance in years")
 	alpha := flag.Float64("alpha", 0.2, "record-similarity weight")
 	beta := flag.Float64("beta", 0.7, "edge-similarity weight")
+	statsPath := flag.String("stats", "", "render this JSON run report as tables and exit")
 	flag.Parse()
+	if *statsPath != "" {
+		if err := renderStats(*statsPath, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *oldPath == "" || *newPath == "" || *oldHH == "" || *newHH == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -115,6 +129,77 @@ func main() {
 	fmt.Printf("\nscores: avg_sim=%.3f  e_sim=%.3f  unique=%.3f  ->  g_sim=%.3f\n",
 		sub.AvgSim, sub.ESim, sub.Unique, sub.GSim)
 	fmt.Println("verdict: candidate LINK (subject to Algorithm 2's disjoint selection)")
+}
+
+// renderStats renders a JSON run report (linker -stats / benchall -stats)
+// as human-readable tables: one row per δ iteration, one per pipeline
+// stage, and the run-total counters.
+func renderStats(path string, w *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := obs.ReadReport(f)
+	if err != nil {
+		return err
+	}
+
+	it := &report.Table{
+		Title: "Iterations",
+		Header: []string{"delta", "blocked", "compared", "links",
+			"labels", "group pairs", "subgraphs", "group links", "record links", "time"},
+	}
+	for _, s := range r.Iterations {
+		it.AddRow(
+			report.F(s.Delta, 2),
+			report.I(int(s.Count(obs.BlockingPairs))),
+			report.I(int(s.Count(obs.PairsCompared))),
+			report.I(int(s.Count(obs.CandidateLinks))),
+			report.I(int(s.Count(obs.ClusterLabels))),
+			report.I(int(s.Count(obs.GroupPairs))),
+			report.I(int(s.Count(obs.Subgraphs))),
+			report.I(int(s.Count(obs.GroupLinks))),
+			report.I(int(s.Count(obs.RecordLinks))),
+			s.ElapsedNS.Round(time.Millisecond).String(),
+		)
+	}
+	if len(r.Iterations) == 0 {
+		it.AddRow("(none)", "", "", "", "", "", "", "", "", "")
+	}
+	if err := it.Render(w); err != nil {
+		return err
+	}
+
+	st := &report.Table{
+		Title:  "Stages",
+		Header: []string{"stage", "calls", "total", "avg"},
+	}
+	for _, name := range r.StageNames() {
+		s := r.Stages[name]
+		avg := time.Duration(0)
+		if s.Calls > 0 {
+			avg = s.TotalNS / time.Duration(s.Calls)
+		}
+		st.AddRow(name, report.I(s.Calls),
+			s.TotalNS.Round(time.Microsecond).String(),
+			avg.Round(time.Microsecond).String())
+	}
+	fmt.Fprintln(w)
+	if err := st.Render(w); err != nil {
+		return err
+	}
+
+	ct := &report.Table{
+		Title:  "Run totals",
+		Header: []string{"counter", "value"},
+	}
+	for _, name := range r.CounterNames() {
+		ct.AddRow(name, report.I(int(r.Counters[name])))
+	}
+	ct.AddRow("elapsed", r.ElapsedNS.Round(time.Millisecond).String())
+	fmt.Fprintln(w)
+	return ct.Render(w)
 }
 
 func name(r *census.Record) string {

@@ -24,6 +24,7 @@ import (
 	"censuslink/internal/census"
 	"censuslink/internal/evaluate"
 	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
 	"censuslink/internal/report"
 )
 
@@ -45,7 +46,32 @@ func main() {
 	groupsOut := flag.String("groups", "", "write the group mapping to this CSV file")
 	configPath := flag.String("config", "", "load the linkage configuration from this JSON file (overrides the tuning flags)")
 	writeConfig := flag.String("write-default-config", "", "write the default configuration as JSON to this file and exit")
+	statsOut := flag.String("stats", "", "write a per-iteration JSON run report to this file")
+	progress := flag.Bool("progress", false, "print per-iteration progress lines to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+	if *pprofAddr != "" {
+		if err := obs.ServePprof(*pprofAddr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	var stats *obs.Stats
+	if *statsOut != "" || *progress {
+		var sink obs.Sink
+		if *progress {
+			sink = obs.NewTextSink(os.Stderr)
+		}
+		stats = obs.NewStats(sink)
+	}
 	if *writeConfig != "" {
 		f, err := os.Create(*writeConfig)
 		if err != nil {
@@ -99,6 +125,7 @@ func main() {
 		if *method == "oneshot" {
 			cfg.DeltaHigh, cfg.DeltaStep = cfg.DeltaLow, 0
 		}
+		cfg.Obs = stats
 		res, err := linkage.Link(oldDS, newDS, cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -107,14 +134,22 @@ func main() {
 		fmt.Printf("%d iterations, %d remainder record links\n",
 			len(res.Iterations), res.RemainderRecordLinks)
 	case "cl":
+		stop := stats.Stage("baseline_cl")
 		recordLinks = collective.Link(oldDS, newDS, collective.DefaultConfig())
+		stop()
 	case "graphsim":
+		stop := stats.Stage("baseline_graphsim")
 		res := graphsim.Link(oldDS, newDS, graphsim.DefaultConfig())
+		stop()
 		recordLinks, groupLinks = res.RecordLinks, res.GroupLinks
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}
 	fmt.Printf("record links: %d, group links: %d\n", len(recordLinks), len(groupLinks))
+
+	if *statsOut != "" {
+		writeStats(*statsOut, stats)
+	}
 
 	if *recordsOut != "" {
 		writeCSV(*recordsOut, []string{"old_record", "new_record", "similarity", "source"},
@@ -201,6 +236,22 @@ func loadCensus(path string, year int) *census.Dataset {
 		log.Fatalf("%s: %v", path, err)
 	}
 	return d
+}
+
+// writeStats finalizes the collector and writes its JSON run report.
+func writeStats(path string, stats *obs.Stats) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteReport(f, stats.Done()); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func hasTruth(d *census.Dataset) bool {

@@ -10,6 +10,7 @@ package block
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"censuslink/internal/census"
 	"censuslink/internal/strsim"
@@ -102,7 +103,15 @@ type Index struct {
 	strategies []Strategy
 	byKey      []map[string][]*census.Record // one map per strategy
 	pos        map[string]int                // record ID -> dataset position
+	generated  atomic.Int64                  // raw key collisions across all Candidates calls
 }
+
+// Generated returns the raw number of candidate-pair hits the index has
+// produced so far, before cross-strategy deduplication — the "blocking
+// pairs generated" figure of the run report. Distinct pairs actually handed
+// to comparison are counted by the caller; the difference measures how much
+// the multi-pass strategies overlap. Safe for concurrent queries.
+func (ix *Index) Generated() int64 { return ix.generated.Load() }
 
 // NewIndex indexes the given records (of the dataset with the given census
 // year) under every strategy.
@@ -138,9 +147,11 @@ func (ix *Index) Candidates(o *census.Record, oldYear int, scratch map[string]st
 		clear(scratch)
 	}
 	var out []*census.Record
+	raw := 0
 	for si, s := range ix.strategies {
 		for _, k := range s.Keys(o, oldYear) {
 			for _, n := range ix.byKey[si][k] {
+				raw++
 				if _, dup := scratch[n.ID]; dup {
 					continue
 				}
@@ -148,6 +159,9 @@ func (ix *Index) Candidates(o *census.Record, oldYear int, scratch map[string]st
 				out = append(out, n)
 			}
 		}
+	}
+	if raw > 0 {
+		ix.generated.Add(int64(raw)) // one add per query, not per hit
 	}
 	sort.Slice(out, func(i, j int) bool { return ix.pos[out[i].ID] < ix.pos[out[j].ID] })
 	return out

@@ -7,6 +7,7 @@ import (
 	"censuslink/internal/census"
 	"censuslink/internal/cluster"
 	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
 )
 
 // GroupVertex identifies a household at one census year.
@@ -45,6 +46,27 @@ type Graph struct {
 // the per-pair linkage results (results[i] links Datasets[i] to
 // Datasets[i+1]).
 func BuildGraph(series *census.Series, results []*linkage.Result) (*Graph, error) {
+	return BuildGraphObs(series, results, nil)
+}
+
+// BuildGraphObs is BuildGraph with observability: the assembly is timed as
+// the "evolution_build" stage and the graph size lands on the collector's
+// run totals. A nil collector reports nothing.
+func BuildGraphObs(series *census.Series, results []*linkage.Result, st *obs.Stats) (*Graph, error) {
+	defer st.Stage("evolution_build")()
+	g, err := buildGraph(series, results)
+	if err == nil {
+		vertices := 0
+		for _, ids := range g.households {
+			vertices += len(ids)
+		}
+		st.Add(obs.EvolutionVertices, vertices)
+		st.Add(obs.EvolutionEdges, len(g.GroupEdges))
+	}
+	return g, err
+}
+
+func buildGraph(series *census.Series, results []*linkage.Result) (*Graph, error) {
 	if len(results) != len(series.Datasets)-1 {
 		return nil, fmt.Errorf("evolution: %d results for %d datasets", len(results), len(series.Datasets))
 	}

@@ -18,6 +18,7 @@ import (
 	"censuslink/internal/evaluate"
 	"censuslink/internal/evolution"
 	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
 	"censuslink/internal/report"
 	"censuslink/internal/synth"
 )
@@ -37,6 +38,10 @@ type Options struct {
 	// (1,250 matched households): links attached to households without any
 	// true match are not counted.
 	FullTruth bool
+	// Obs, when non-nil, collects stage timings and per-iteration counters
+	// across every linkage run the environment performs (the iterations of
+	// all runs accumulate on one report, each tagged with its δ).
+	Obs *obs.Stats
 }
 
 // DefaultOptions runs at 10% of the paper's scale — large enough for stable
@@ -82,6 +87,7 @@ func (e *Env) evalPair() (*census.Dataset, *census.Dataset) {
 func (e *Env) baseConfig() linkage.Config {
 	cfg := linkage.DefaultConfig()
 	cfg.Workers = e.Opts.Workers
+	cfg.Obs = e.Opts.Obs
 	return cfg
 }
 
@@ -394,7 +400,7 @@ func (e *Env) evolutionGraph() (*evolution.Graph, error) {
 		}
 		results = append(results, res)
 	}
-	return evolution.BuildGraph(e.Series, results)
+	return evolution.BuildGraphObs(e.Series, results, e.Opts.Obs)
 }
 
 // Figure6 counts the group evolution patterns for each successive census

@@ -10,6 +10,7 @@ import (
 	"censuslink/internal/block"
 	"censuslink/internal/census"
 	"censuslink/internal/hgraph"
+	"censuslink/internal/obs"
 )
 
 // Config holds all parameters of the iterative record and group linkage
@@ -49,6 +50,10 @@ type Config struct {
 	// OptimalRemainder solves the leftover 1:1 matching optimally (maximum
 	// total similarity via the Hungarian algorithm) instead of greedily.
 	OptimalRemainder bool
+	// Obs, when non-nil, collects stage timings and per-iteration counters
+	// for the run (see internal/obs). Nil disables observability; the
+	// pipeline never logs on its own.
+	Obs *obs.Stats
 }
 
 // DefaultConfig returns the paper's best configuration: ω2 pre-matching with
@@ -176,8 +181,10 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	// completeGroups: enrich every household graph once.
+	stopBuild := cfg.Obs.Stage("build_graphs")
 	oldGraphs := hgraph.BuildAll(oldDS)
 	newGraphs := hgraph.BuildAll(newDS)
+	stopBuild()
 
 	matchCfg := MatchConfig{
 		AgeTolerance:       cfg.AgeTolerance,
@@ -195,11 +202,26 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 
 	const eps = 1e-9
 	for delta := cfg.DeltaHigh; delta >= cfg.DeltaLow-eps; delta -= cfg.DeltaStep {
+		cfg.Obs.BeginIteration(delta)
 		f := cfg.Sim.WithDelta(delta)
+		stop := cfg.Obs.Stage("prematch")
 		pre := PreMatch(remainingOld, oldDS.Year, remainingNew, newDS.Year, f, cfg.Strategies, cfg.Workers)
+		stop()
+		cfg.Obs.Add(obs.BlockingPairs, pre.Blocked)
+		cfg.Obs.Add(obs.PairsCompared, pre.Compared)
+		cfg.Obs.Add(obs.CandidateLinks, len(pre.Links))
+		cfg.Obs.Add(obs.ClusterLabels, len(pre.LabelSize))
+		stop = cfg.Obs.Stage("candidate_groups")
 		pairs := CandidateGroupPairs(pre, oldDS, newDS)
+		stop()
+		cfg.Obs.Add(obs.GroupPairs, len(pairs))
+		stop = cfg.Obs.Stage("subgraph_match")
 		subs := matchGroupsParallel(pairs, oldGraphs, newGraphs, pre, f, matchCfg, cfg.Workers)
+		stop()
+		cfg.Obs.Add(obs.Subgraphs, len(subs))
+		stop = cfg.Obs.Stage("selection")
 		accepted := SelectGroupLinksDetailed(subs)
+		stop()
 		var groups []GroupLink
 		var records []RecordLink
 		for _, acc := range accepted {
@@ -238,6 +260,9 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 			RemainingOld:   len(remainingOld),
 			RemainingNew:   len(remainingNew),
 		})
+		cfg.Obs.Add(obs.GroupLinks, newGroups)
+		cfg.Obs.Add(obs.RecordLinks, len(records))
+		cfg.Obs.EndIteration()
 		if cfg.StopOnEmpty && len(groups) == 0 {
 			break
 		}
@@ -248,11 +273,14 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 
 	// Match the remaining records attribute-only (line 17 of Algorithm 1).
 	var remLinks []RecordLink
+	stop := cfg.Obs.Stage("remainder")
 	if cfg.OptimalRemainder {
 		remLinks = MatchRemainingOptimal(remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
 	} else {
 		remLinks = MatchRemaining(remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
 	}
+	stop()
+	cfg.Obs.Add(obs.RemainderLinks, len(remLinks))
 	res.RecordLinks = append(res.RecordLinks, remLinks...)
 	res.RemainderRecordLinks = len(remLinks)
 	for _, l := range remLinks {
@@ -275,6 +303,7 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 			res.RemainderGroupLinks++
 		}
 	}
+	cfg.Obs.Add(obs.RemainderGroupLinks, res.RemainderGroupLinks)
 
 	sort.Slice(res.RecordLinks, func(i, j int) bool {
 		if res.RecordLinks[i].Old != res.RecordLinks[j].Old {

@@ -32,6 +32,10 @@ type PreMatchResult struct {
 	LabelSize map[int]int
 	// Compared is the number of candidate pairs compared (for reporting).
 	Compared int
+	// Blocked is the raw number of candidate pairs the blocking index
+	// generated across all strategies before deduplication; Blocked -
+	// Compared measures the overlap of the multi-pass strategies.
+	Blocked int
 }
 
 // Label returns the cluster label of a record ID and whether it has one.
@@ -116,5 +120,6 @@ func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear i
 	for _, l := range out.Labels {
 		out.LabelSize[l]++
 	}
+	out.Blocked = int(ix.Generated())
 	return out
 }

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	runtimepprof "runtime/pprof"
+)
+
+// ServePprof starts an HTTP server exposing the net/http/pprof handlers on
+// the given address (e.g. "localhost:6060") in a background goroutine. It
+// returns once the listener is bound, so a caller error means the address
+// is genuinely unusable rather than a silent late failure.
+func ServePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
+}
+
+// StartCPUProfile begins writing a CPU profile to the given path and
+// returns the stop function that finishes and closes it.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() {
+		runtimepprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink receives observability events from a Stats collector. Implementations
+// must be safe for concurrent use; the pipeline may report from worker
+// goroutines. Library code talks only to this interface — never to log or
+// stdout — so binaries decide where (and whether) progress goes.
+type Sink interface {
+	// StageDone reports that one named stage call finished.
+	StageDone(stage string, d time.Duration)
+	// IterationDone reports the closed snapshot of one δ round.
+	IterationDone(it Iteration)
+	// RunDone reports the final run report, exactly once.
+	RunDone(r *Report)
+}
+
+// NopSink discards all events. It is the default of NewStats(nil).
+type NopSink struct{}
+
+func (NopSink) StageDone(string, time.Duration) {}
+func (NopSink) IterationDone(Iteration)         {}
+func (NopSink) RunDone(*Report)                 {}
+
+// TextSink writes human-readable progress lines, one per iteration and a
+// closing summary. Stage completions are not echoed (too chatty for a
+// progress log); they remain visible in the final report.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink wraps a writer into a progress-line sink.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+func (s *TextSink) StageDone(string, time.Duration) {}
+
+func (s *TextSink) IterationDone(it Iteration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "iteration δ=%.2f: compared=%d links=%d groups=%d records=%d (%s)\n",
+		it.Delta, it.Count(PairsCompared), it.Count(CandidateLinks),
+		it.Count(GroupLinks), it.Count(RecordLinks),
+		it.ElapsedNS.Round(time.Millisecond))
+}
+
+func (s *TextSink) RunDone(r *Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "run done: %d iterations, %d record links (+%d remainder), %d group links in %s\n",
+		len(r.Iterations), r.Counters[RecordLinks], r.Counters[RemainderLinks],
+		r.Counters[GroupLinks], r.ElapsedNS.Round(time.Millisecond))
+}
+
+// JSONSink streams events as one JSON object per line (NDJSON): stage and
+// iteration events as they happen, the full report on RunDone. Suitable for
+// machine-consumed progress feeds.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink wraps a writer into an NDJSON event sink.
+func NewJSONSink(w io.Writer) *JSONSink { return &JSONSink{enc: json.NewEncoder(w)} }
+
+func (s *JSONSink) emit(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(v) // a progress feed must never fail the pipeline
+}
+
+func (s *JSONSink) StageDone(stage string, d time.Duration) {
+	s.emit(struct {
+		Event   string        `json:"event"`
+		Stage   string        `json:"stage"`
+		TotalNS time.Duration `json:"total_ns"`
+	}{"stage", stage, d})
+}
+
+func (s *JSONSink) IterationDone(it Iteration) {
+	s.emit(struct {
+		Event string `json:"event"`
+		Iteration
+	}{"iteration", it})
+}
+
+func (s *JSONSink) RunDone(r *Report) {
+	s.emit(struct {
+		Event string `json:"event"`
+		*Report
+	}{"run", r})
+}
+
+// MultiSink fans events out to several sinks.
+type MultiSink []Sink
+
+func (m MultiSink) StageDone(stage string, d time.Duration) {
+	for _, s := range m {
+		s.StageDone(stage, d)
+	}
+}
+func (m MultiSink) IterationDone(it Iteration) {
+	for _, s := range m {
+		s.IterationDone(it)
+	}
+}
+func (m MultiSink) RunDone(r *Report) {
+	for _, s := range m {
+		s.RunDone(r)
+	}
+}
+
+// WriteReport serializes a run report as indented JSON.
+func WriteReport(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a run report written by WriteReport.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("obs: parsing report: %w", err)
+	}
+	if r.Stages == nil {
+		r.Stages = map[string]StageStats{}
+	}
+	if r.Counters == nil {
+		r.Counters = map[string]int64{}
+	}
+	return &r, nil
+}

@@ -1,0 +1,7 @@
+//go:build synthchecks
+
+package synth
+
+// Building with -tags synthchecks turns the per-step population consistency
+// checks on in every binary, not just under go test.
+func init() { debugChecks = true }

@@ -1,0 +1,67 @@
+package synth
+
+import "fmt"
+
+// debugChecks enables per-step consistency validation inside advance. It is
+// off in normal runs (the checks cost O(population) per step); the package
+// tests switch it on via TestMain, and building with -tags synthchecks
+// forces it on everywhere (see checks_enabled.go).
+var debugChecks = false
+
+// step runs one mutation pass of advance and, with debugChecks enabled,
+// validates the mutual bookkeeping afterwards. Head liveness/membership is
+// deliberately NOT required here (strict=false): mid-advance a head may be
+// dead or moved out until succeedHeads repairs it.
+func (p *population) step(name string, fn func()) {
+	fn()
+	if debugChecks {
+		if err := p.checkConsistency(false); err != nil {
+			panic("synth: after " + name + ": " + err.Error())
+		}
+	}
+}
+
+// checkConsistency validates the structural conservation laws kept by
+// addToHousehold/removeFromHousehold: households are non-empty, every
+// member is alive and points back at its household, nobody is a member of
+// two households (or of one household twice), and every person belongs to
+// exactly one household. With strict set, every household head must
+// additionally be a live member of its own household — true at decade
+// boundaries, but legitimately violated between applyMortality and the
+// final succeedHeads of a transition.
+func (p *population) checkConsistency(strict bool) error {
+	seen := make(map[int]int, len(p.persons)) // person ID -> household ID
+	for hid, hh := range p.households {
+		if hid != hh.id {
+			return fmt.Errorf("household map key %d != id %d", hid, hh.id)
+		}
+		if len(hh.members) == 0 {
+			return fmt.Errorf("household %d is empty", hid)
+		}
+		for _, mid := range hh.members {
+			per := p.persons[mid]
+			if per == nil {
+				return fmt.Errorf("household %d lists dead person %d", hid, mid)
+			}
+			if per.household != hid {
+				return fmt.Errorf("person %d in household %d claims household %d", mid, hid, per.household)
+			}
+			if prev, dup := seen[mid]; dup {
+				return fmt.Errorf("person %d is a member of households %d and %d", mid, prev, hid)
+			}
+			seen[mid] = hid
+		}
+		if strict {
+			if p.persons[hh.head] == nil {
+				return fmt.Errorf("household %d head %d is dead", hid, hh.head)
+			}
+			if !hh.hasMember(hh.head) {
+				return fmt.Errorf("household %d head %d is not a member", hid, hh.head)
+			}
+		}
+	}
+	if len(seen) != len(p.persons) {
+		return fmt.Errorf("%d persons but %d household memberships", len(p.persons), len(seen))
+	}
+	return nil
+}

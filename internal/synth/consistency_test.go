@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestZombieHouseholdRegression pins the exact scenario that used to break
+// the head-membership invariant: with seed 4, a decade transition emptied a
+// household entirely in applyMortality, the empty "zombie" (dead head still
+// in its head field) survived until the final succeedHeads, whose orphan
+// branch then moved children into it after it had already been visited —
+// leaving a dead head with live members at recording time. The fix deletes
+// a household the moment it empties. The surrounding seeds are swept too so
+// the regression test does not depend on one RNG trajectory.
+func TestZombieHouseholdRegression(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		cfg := TestConfig(0.02, seed)
+		if err := cfg.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		pop := newPopulation(&cfg, 1851)
+		prev := 1851
+		for _, y := range []int{1861, 1871, 1881, 1891, 1901} {
+			pop.advance(prev, y)
+			if err := pop.checkConsistency(true); err != nil {
+				t.Fatalf("seed %d year %d: %v", seed, y, err)
+			}
+			prev = y
+		}
+	}
+}
+
+// TestRemoveFromHouseholdDeletesEmptied: removing the last member must
+// delete the household so no zombie can be picked as a relocation target.
+func TestRemoveFromHouseholdDeletesEmptied(t *testing.T) {
+	cfg := TestConfig(0.02, 1)
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	pop := newPopulation(&cfg, 1851)
+	hid := pop.householdIDs()[0]
+	hh := pop.households[hid]
+	for _, mid := range append([]int(nil), hh.members...) {
+		pop.removeFromHousehold(pop.persons[mid])
+	}
+	if pop.households[hid] != nil {
+		t.Fatalf("household %d still exists after losing all members", hid)
+	}
+	if err := pop.checkConsistency(false); err == nil {
+		t.Fatal("expected inconsistency: removed persons belong to no household")
+	} else if !strings.Contains(err.Error(), "memberships") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckConsistencyDetectsCorruption corrupts each side of the mutual
+// bookkeeping by hand and verifies checkConsistency reports it.
+func TestCheckConsistencyDetectsCorruption(t *testing.T) {
+	fresh := func() *population {
+		cfg := TestConfig(0.02, 2)
+		if err := cfg.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return newPopulation(&cfg, 1851)
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		if err := fresh().checkConsistency(true); err != nil {
+			t.Fatalf("founding population inconsistent: %v", err)
+		}
+	})
+	t.Run("head not member", func(t *testing.T) {
+		pop := fresh()
+		hh := pop.households[pop.householdIDs()[0]]
+		head := pop.persons[hh.head]
+		// Simulate the old bug: drop the head from members while its
+		// household field still points home.
+		for i, mid := range hh.members {
+			if mid == head.id {
+				hh.members = append(hh.members[:i], hh.members[i+1:]...)
+				break
+			}
+		}
+		if err := pop.checkConsistency(true); err == nil {
+			t.Fatal("poisoned head membership not detected")
+		}
+		// The lax variant must also catch it: the head now has a household
+		// field with no matching membership.
+		if err := pop.checkConsistency(false); err == nil {
+			t.Fatal("membership/field desync not detected by lax check")
+		}
+	})
+	t.Run("double membership", func(t *testing.T) {
+		pop := fresh()
+		ids := pop.householdIDs()
+		a, b := pop.households[ids[0]], pop.households[ids[1]]
+		b.members = append(b.members, a.members[0])
+		if err := pop.checkConsistency(false); err == nil {
+			t.Fatal("double membership not detected")
+		}
+	})
+	t.Run("dead member", func(t *testing.T) {
+		pop := fresh()
+		hh := pop.households[pop.householdIDs()[0]]
+		delete(pop.persons, hh.members[len(hh.members)-1])
+		if err := pop.checkConsistency(false); err == nil {
+			t.Fatal("dead member not detected")
+		}
+	})
+	t.Run("dead head", func(t *testing.T) {
+		pop := fresh()
+		hh := pop.households[pop.householdIDs()[0]]
+		head := pop.persons[hh.head]
+		pop.kill(head)
+		if err := pop.checkConsistency(true); err == nil {
+			t.Fatal("dead head not detected in strict mode")
+		}
+		if err := pop.checkConsistency(false); err != nil {
+			t.Fatalf("dead head is legal mid-advance, lax check errored: %v", err)
+		}
+	})
+}

@@ -33,6 +33,16 @@ type household struct {
 	members []int
 }
 
+// hasMember reports whether the person ID is in the membership list.
+func (hh *household) hasMember(id int) bool {
+	for _, mid := range hh.members {
+		if mid == id {
+			return true
+		}
+	}
+	return false
+}
+
 // population is the evolving closed population of the district.
 type population struct {
 	cfg *Config
@@ -172,10 +182,16 @@ func (p *population) addToHousehold(per *person, hh *household) {
 	hh.members = append(hh.members, per.id)
 }
 
-// removeFromHousehold detaches a person from their household (the household
-// may become empty; callers clean up via pruneEmptyHouseholds).
+// removeFromHousehold detaches a person from their household. It is the
+// only place membership is ever removed, mirroring addToHousehold as the
+// only place it is added, so person.household and household.members cannot
+// diverge. A household emptied by the removal is deleted on the spot:
+// leaving an empty "zombie" household behind (with a dead head still in its
+// head field) would let later relocation passes pick it as a move target
+// and re-populate it after head repair has already run.
 func (p *population) removeFromHousehold(per *person) {
 	hh := p.households[per.household]
+	per.household = 0
 	if hh == nil {
 		return
 	}
@@ -185,7 +201,9 @@ func (p *population) removeFromHousehold(per *person) {
 			break
 		}
 	}
-	per.household = 0
+	if len(hh.members) == 0 {
+		delete(p.households, hh.id)
+	}
 }
 
 // kill removes a person permanently, fixing spouse pointers.
@@ -359,22 +377,35 @@ func (p *population) childName(sex census.Sex, father, mother *person) string {
 
 // --- decade transition ---
 
-// advance evolves the population from one census year to the next.
+// advance evolves the population from one census year to the next. Every
+// step is run through step so that, with debugChecks enabled, the mutual
+// person/household bookkeeping is validated after each mutation pass.
+//
+// Note the ordering contract: the second succeedHeads is the LAST head
+// repair. The steps after it (pruneEmptyHouseholds, applyImmigration) must
+// each preserve the head-membership invariant on their own — pruning only
+// deletes (now-unreachable) empty households, and immigration only founds
+// fresh households whose head is added through addToHousehold.
 func (p *population) advance(fromYear, toYear int) {
-	p.applyMortality(toYear)
-	p.succeedHeads(toYear)
-	p.applyMarriages(toYear)
-	p.applyBirths(fromYear, toYear)
-	p.applySplits(toYear)
-	p.applyWidowMerges(toYear)
-	p.applyLodgerTurnover(toYear)
-	p.applyEmigration()
-	p.applyMovesAndOccupations(toYear)
+	p.step("applyMortality", func() { p.applyMortality(toYear) })
+	p.step("succeedHeads", func() { p.succeedHeads(toYear) })
+	p.step("applyMarriages", func() { p.applyMarriages(toYear) })
+	p.step("applyBirths", func() { p.applyBirths(fromYear, toYear) })
+	p.step("applySplits", func() { p.applySplits(toYear) })
+	p.step("applyWidowMerges", func() { p.applyWidowMerges(toYear) })
+	p.step("applyLodgerTurnover", func() { p.applyLodgerTurnover(toYear) })
+	p.step("applyEmigration", func() { p.applyEmigration() })
+	p.step("applyMovesAndOccupations", func() { p.applyMovesAndOccupations(toYear) })
 	// Marriages and splits can leave a household whose head moved away;
 	// repair heads once more after all moves.
-	p.succeedHeads(toYear)
-	p.pruneEmptyHouseholds()
-	p.applyImmigration(toYear)
+	p.step("succeedHeads#2", func() { p.succeedHeads(toYear) })
+	p.step("pruneEmptyHouseholds", func() { p.pruneEmptyHouseholds() })
+	p.step("applyImmigration", func() { p.applyImmigration(toYear) })
+	if debugChecks {
+		if err := p.checkConsistency(true); err != nil {
+			panic("synth: after advance to " + itoa(toYear) + ": " + err.Error())
+		}
+	}
 }
 
 // mortality probability per decade by age at the end of the decade.
@@ -413,10 +444,14 @@ func (p *population) succeedHeads(toYear int) {
 	hhIDs := p.householdIDs()
 	for _, hid := range hhIDs {
 		hh := p.households[hid]
-		if hh == nil || len(hh.members) == 0 {
-			continue
+		if hh == nil {
+			continue // merged away or emptied earlier in this pass
 		}
-		if p.persons[hh.head] != nil && p.persons[hh.head].household == hid {
+		// The head must be alive and actually listed in members. Checking
+		// membership (not person.household) means the guard tests exactly
+		// the invariant the recorder relies on, so no bookkeeping state can
+		// slip past it.
+		if p.persons[hh.head] != nil && hh.hasMember(hh.head) {
 			continue
 		}
 		// Pick a successor: eldest member of age >= 16, preferring the
@@ -436,7 +471,8 @@ func (p *population) succeedHeads(toYear int) {
 			hh.head = best
 			continue
 		}
-		// Orphan household: relocate the children elsewhere.
+		// Orphan household: relocate the children elsewhere. Moving (or
+		// killing) the last member deletes the household itself.
 		target := p.anyOtherHousehold(hid)
 		for _, mid := range append([]int(nil), hh.members...) {
 			m := p.persons[mid]
@@ -449,7 +485,6 @@ func (p *population) succeedHeads(toYear int) {
 				p.kill(m)
 			}
 		}
-		delete(p.households, hid)
 	}
 }
 
@@ -664,12 +699,12 @@ func (p *population) applyWidowMerges(toYear int) {
 		if target == nil {
 			continue
 		}
+		// Moving the last member out deletes the household itself.
 		for _, mid := range append([]int(nil), hh.members...) {
 			if m := p.persons[mid]; m != nil {
 				p.movePerson(m, target)
 			}
 		}
-		delete(p.households, hid)
 	}
 }
 
@@ -760,6 +795,10 @@ func (p *population) applyMovesAndOccupations(toYear int) {
 	}
 }
 
+// pruneEmptyHouseholds is a backstop: removeFromHousehold already deletes a
+// household the moment it empties, so this should find nothing. It runs
+// after the final head repair and must therefore never mutate a non-empty
+// household.
 func (p *population) pruneEmptyHouseholds() {
 	for _, hid := range p.householdIDs() {
 		if hh := p.households[hid]; hh != nil && len(hh.members) == 0 {

@@ -1,11 +1,21 @@
 package synth
 
 import (
+	"os"
 	"testing"
 	"testing/quick"
 
 	"censuslink/internal/census"
 )
+
+// TestMain switches the simulator's per-step consistency checks on for the
+// whole package: every advance validates the bookkeeping after each apply*
+// step (see consistency.go), so a regression panics at the step that
+// introduced it instead of surfacing decades later.
+func TestMain(m *testing.M) {
+	debugChecks = true
+	os.Exit(m.Run())
+}
 
 // checkPopulationInvariants verifies the structural conservation laws of
 // the simulator: households partition the persons, every member pointer is
@@ -88,7 +98,7 @@ func TestPopulationInvariantsAcrossDecades(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
 	}
 }
