@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench report fuzz clean
+.PHONY: all build test vet check bench report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -32,6 +32,12 @@ report:
 fuzz:
 	$(GO) test ./internal/strsim/ -fuzz FuzzEncoders -fuzztime 20s
 	$(GO) test ./internal/census/ -fuzz FuzzReadCSV -fuzztime 20s
+
+# Seconds-long fuzz pass for CI: enough to exercise the seed corpus plus a
+# little mutation without stalling the pipeline.
+fuzz-smoke:
+	$(GO) test ./internal/strsim/ -run FuzzEncoders -fuzz FuzzEncoders -fuzztime 5s
+	$(GO) test ./internal/census/ -run FuzzReadCSV -fuzz FuzzReadCSV -fuzztime 5s
 
 clean:
 	$(GO) clean ./...

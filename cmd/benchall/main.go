@@ -8,12 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"censuslink/internal/experiments"
@@ -32,9 +35,19 @@ func main() {
 	format := flag.String("format", "text", "output format: text or md")
 	svg := flag.String("svg", "", "also render Figure 6 as an SVG bar chart to this file")
 	statsOut := flag.String("stats", "", "write a JSON run report aggregating every linkage run to this file")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); the -stats report is still written")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+	// SIGINT/SIGTERM and -timeout cancel every linkage run through
+	// Options.Ctx; the experiments abort at the next linkage checkpoint.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *pprofAddr != "" {
 		if err := obs.ServePprof(*pprofAddr); err != nil {
 			log.Fatal(err)
@@ -52,6 +65,25 @@ func main() {
 	if *statsOut != "" {
 		stats = obs.NewStats(nil)
 	}
+	// flushStats writes the aggregated run report; it also runs on the error
+	// path so a timed-out or interrupted benchmark keeps its partial data.
+	flushStats := func(w io.Writer) {
+		if *statsOut == "" {
+			return
+		}
+		f, err := os.Create(*statsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteReport(f, stats.Done()); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *statsOut)
+	}
 
 	var sinks []io.Writer = []io.Writer{os.Stdout}
 	if *out != "" {
@@ -65,7 +97,7 @@ func main() {
 	w := io.MultiWriter(sinks...)
 
 	start := time.Now()
-	env, err := experiments.NewEnv(experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, Obs: stats})
+	env, err := experiments.NewEnv(experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, Obs: stats, Ctx: ctx})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,6 +133,7 @@ func main() {
 		t0 := time.Now()
 		table, err := ex.run()
 		if err != nil {
+			flushStats(w)
 			log.Fatalf("%s: %v", ex.name, err)
 		}
 		var renderErr error
@@ -135,19 +168,6 @@ func main() {
 		}
 		fmt.Fprintf(w, "wrote %s\n", *svg)
 	}
-	if *statsOut != "" {
-		f, err := os.Create(*statsOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := obs.WriteReport(f, stats.Done()); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(w, "wrote %s\n", *statsOut)
-	}
+	flushStats(w)
 	fmt.Fprintf(w, "total: %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -10,14 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"censuslink/internal/census"
 	"censuslink/internal/evolution"
 	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
 	"censuslink/internal/report"
 )
 
@@ -26,28 +30,65 @@ func main() {
 	log.SetPrefix("evolve: ")
 	dir := flag.String("dir", ".", "directory containing census_<year>.csv files")
 	dot := flag.String("dot", "", "also write the evolution graph in Graphviz DOT format to this file")
+	statsOut := flag.String("stats", "", "write a JSON run report to this file (also on abort)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); the -stats report is still written")
+	lenient := flag.Bool("lenient", false, "skip bad input rows instead of aborting, printing a data-quality summary to stderr")
+	maxBadRows := flag.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped per file (0 = no cap)")
 	flag.Parse()
 
-	series, err := census.ReadSeriesDir(*dir)
+	// SIGINT/SIGTERM and -timeout cancel the shared context; the series
+	// linkage and the graph build abort at their next checkpoint.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var stats *obs.Stats
+	if *statsOut != "" {
+		stats = obs.NewStats(nil)
+	}
+	// fail flushes the run report before exiting so an interrupted run still
+	// keeps the observability data gathered up to the abort.
+	fail := func(err error) {
+		if *statsOut != "" {
+			writeStats(*statsOut, stats)
+		}
+		log.Fatal(err)
+	}
+
+	series, reports, err := census.ReadSeriesDirOptions(*dir,
+		census.LoadOptions{Strict: !*lenient, MaxBadRows: *maxBadRows})
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, rep := range reports {
+		if !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "%s:\n%s", census.SeriesFileName(rep.Year), rep.Summary())
+		}
 	}
 	if len(series.Datasets) < 2 {
 		log.Fatalf("need at least two censuses in %s, found %d", *dir, len(series.Datasets))
 	}
 	fmt.Printf("loaded %d censuses: %v\n\n", len(series.Datasets), series.Years())
 
-	results, err := linkage.LinkSeries(series, linkage.DefaultConfig())
+	cfg := linkage.DefaultConfig()
+	cfg.Obs = stats
+	results, err := linkage.LinkSeriesContext(ctx, series, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	for i, pair := range series.Pairs() {
 		fmt.Printf("linked %d-%d: %d record links, %d group links\n",
 			pair[0].Year, pair[1].Year, len(results[i].RecordLinks), len(results[i].GroupLinks))
 	}
-	graph, err2 := evolution.BuildGraph(series, results)
+	graph, err2 := evolution.BuildGraphContext(ctx, series, results, stats)
 	if err2 != nil {
-		log.Fatal(err2)
+		fail(err2)
+	}
+	if *statsOut != "" {
+		writeStats(*statsOut, stats)
 	}
 
 	fmt.Println()
@@ -99,4 +140,20 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (render with: dot -Tsvg %s)\n", *dot, *dot)
 	}
+}
+
+// writeStats finalizes the collector and writes its JSON run report.
+func writeStats(path string, stats *obs.Stats) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteReport(f, stats.Done()); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -10,14 +10,17 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"syscall"
 
 	"censuslink/internal/baseline/collective"
 	"censuslink/internal/baseline/graphsim"
@@ -48,6 +51,10 @@ func main() {
 	writeConfig := flag.String("write-default-config", "", "write the default configuration as JSON to this file and exit")
 	statsOut := flag.String("stats", "", "write a per-iteration JSON run report to this file")
 	progress := flag.Bool("progress", false, "print per-iteration progress lines to stderr")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); the -stats report is still written")
+	lenient := flag.Bool("lenient", false, "skip bad input rows instead of aborting, printing a data-quality summary to stderr")
+	maxBadRows := flag.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
+	panicPolicy := flag.String("panic-policy", "fail-fast", "worker panic policy: fail-fast or skip")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -92,8 +99,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	oldDS := loadCensus(*oldPath, *oldYear)
-	newDS := loadCensus(*newPath, *newYear)
+	// SIGINT/SIGTERM and -timeout both cancel the pipeline context; the
+	// linkage aborts at its next checkpoint and the -stats report is still
+	// flushed below, so an interrupted run keeps its observability data.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	loadOpts := census.LoadOptions{Strict: !*lenient, MaxBadRows: *maxBadRows}
+
+	oldDS := loadCensus(*oldPath, *oldYear, loadOpts)
+	newDS := loadCensus(*newPath, *newYear, loadOpts)
 	fmt.Printf("loaded %d (%d records) and %d (%d records)\n",
 		oldDS.Year, oldDS.NumRecords(), newDS.Year, newDS.NumRecords())
 
@@ -125,8 +144,16 @@ func main() {
 		if *method == "oneshot" {
 			cfg.DeltaHigh, cfg.DeltaStep = cfg.DeltaLow, 0
 		}
+		switch *panicPolicy {
+		case "fail-fast":
+			cfg.Panics = linkage.PanicFailFast
+		case "skip":
+			cfg.Panics = linkage.PanicSkip
+		default:
+			log.Fatalf("unknown -panic-policy %q (want fail-fast or skip)", *panicPolicy)
+		}
 		cfg.Obs = stats
-		res, err := linkage.Link(oldDS, newDS, cfg)
+		res, err := runLinkage(ctx, oldDS, newDS, cfg, stats, *statsOut)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -216,9 +243,10 @@ func main() {
 	}
 }
 
-// loadCensus reads a census CSV; the year is parsed from the file name when
-// not given explicitly.
-func loadCensus(path string, year int) *census.Dataset {
+// loadCensus reads a census CSV under the given load policy; the year is
+// parsed from the file name when not given explicitly. A lenient load that
+// skipped or repaired rows prints the data-quality summary to stderr.
+func loadCensus(path string, year int, opts census.LoadOptions) *census.Dataset {
 	if year == 0 {
 		m := regexp.MustCompile(`(1[89]\d\d)`).FindString(filepath.Base(path))
 		if m == "" {
@@ -231,11 +259,26 @@ func loadCensus(path string, year int) *census.Dataset {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	d, err := census.ReadCSV(f, year)
+	d, rep, err := census.ReadCSVOptions(f, year, opts)
 	if err != nil {
 		log.Fatalf("%s: %v", path, err)
 	}
+	if rep != nil && !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "%s:\n%s", path, rep.Summary())
+	}
 	return d
+}
+
+// runLinkage runs the context-aware linkage and, when it fails (timeout,
+// SIGINT, worker panic), still writes the -stats report before returning so
+// an aborted run keeps its partial observability data.
+func runLinkage(ctx context.Context, oldDS, newDS *census.Dataset, cfg linkage.Config,
+	stats *obs.Stats, statsPath string) (*linkage.Result, error) {
+	res, err := linkage.LinkContext(ctx, oldDS, newDS, cfg)
+	if err != nil && statsPath != "" {
+		writeStats(statsPath, stats)
+	}
+	return res, err
 }
 
 // writeStats finalizes the collector and writes its JSON run report.

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
 	"censuslink/internal/paperexample"
 )
 
@@ -27,7 +31,7 @@ func writeDataset(t *testing.T, dir, name string, d *census.Dataset) string {
 func TestLoadCensusInfersYear(t *testing.T) {
 	dir := t.TempDir()
 	path := writeDataset(t, dir, "census_1871.csv", paperexample.Old())
-	d := loadCensus(path, 0)
+	d := loadCensus(path, 0, census.LoadOptions{Strict: true})
 	if d.Year != 1871 {
 		t.Errorf("inferred year = %d", d.Year)
 	}
@@ -35,8 +39,32 @@ func TestLoadCensusInfersYear(t *testing.T) {
 		t.Errorf("records = %d", d.NumRecords())
 	}
 	// Explicit year overrides the file name.
-	if got := loadCensus(path, 1899); got.Year != 1899 {
+	if got := loadCensus(path, 1899, census.LoadOptions{Strict: true}); got.Year != 1899 {
 		t.Errorf("explicit year = %d", got.Year)
+	}
+}
+
+// TestRunLinkageFlushesStatsOnAbort: a timed-out run must still produce the
+// -stats report, so the observability data of an aborted multi-hour run is
+// not lost with it.
+func TestRunLinkageFlushesStatsOnAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats := obs.NewStats(nil)
+	cfg := linkage.DefaultConfig()
+	cfg.Obs = stats
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+
+	_, err := runLinkage(ctx, paperexample.Old(), paperexample.New(), cfg, stats, statsPath)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	data, readErr := os.ReadFile(statsPath)
+	if readErr != nil {
+		t.Fatalf("stats report not written on abort: %v", readErr)
+	}
+	if len(data) == 0 {
+		t.Error("stats report empty")
 	}
 }
 

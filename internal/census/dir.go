@@ -41,11 +41,21 @@ func WriteSeriesDir(dir string, s *Series) error {
 }
 
 // ReadSeriesDir loads every census_<year>.csv in dir into a series, sorted
-// by year. Files not matching the pattern are ignored.
+// by year. Files not matching the pattern are ignored; two files resolving
+// to the same census year are an error (a series must have one dataset per
+// year). The load is strict, like ReadCSV.
 func ReadSeriesDir(dir string) (*Series, error) {
+	s, _, err := ReadSeriesDirOptions(dir, LoadOptions{Strict: true})
+	return s, err
+}
+
+// ReadSeriesDirOptions is ReadSeriesDir under an explicit load policy (see
+// ReadCSVOptions). It additionally returns one DataQualityReport per loaded
+// file, in year order.
+func ReadSeriesDirOptions(dir string, opts LoadOptions) (*Series, []*DataQualityReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("census: %w", err)
+		return nil, nil, fmt.Errorf("census: %w", err)
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
@@ -54,26 +64,44 @@ func ReadSeriesDir(dir string) (*Series, error) {
 		}
 	}
 	sort.Strings(names)
+	return readSeriesFiles(dir, names, opts)
+}
+
+// readSeriesFiles loads the named series files from dir, rejecting
+// duplicate years instead of silently stacking two datasets of the same
+// census into the series.
+func readSeriesFiles(dir string, names []string, opts LoadOptions) (*Series, []*DataQualityReport, error) {
 	var datasets []*Dataset
+	var reports []*DataQualityReport
+	fileByYear := make(map[int]string)
 	for _, name := range names {
 		m := seriesFile.FindStringSubmatch(name)
 		if m == nil {
 			continue
 		}
-		year, _ := strconv.Atoi(m[1])
+		year, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("census: %s: bad year: %w", name, err)
+		}
+		if prev, dup := fileByYear[year]; dup {
+			return nil, nil, fmt.Errorf("census: duplicate census year %d (%s and %s)", year, prev, name)
+		}
+		fileByYear[year] = name
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
-			return nil, fmt.Errorf("census: %w", err)
+			return nil, nil, fmt.Errorf("census: %w", err)
 		}
-		d, err := ReadCSV(f, year)
+		d, rep, err := ReadCSVOptions(f, year, opts)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("census: %s: %w", name, err)
+			return nil, nil, fmt.Errorf("census: %s: %w", name, err)
 		}
 		datasets = append(datasets, d)
+		reports = append(reports, rep)
 	}
 	if len(datasets) == 0 {
-		return nil, fmt.Errorf("census: no census_<year>.csv files in %s", dir)
+		return nil, nil, fmt.Errorf("census: no census_<year>.csv files in %s", dir)
 	}
-	return NewSeries(datasets...), nil
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Year < reports[j].Year })
+	return NewSeries(datasets...), reports, nil
 }

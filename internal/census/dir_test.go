@@ -3,6 +3,7 @@ package census
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -56,5 +57,62 @@ func TestReadSeriesDirErrors(t *testing.T) {
 func TestSeriesFileName(t *testing.T) {
 	if got := SeriesFileName(1871); got != "census_1871.csv" {
 		t.Errorf("SeriesFileName = %q", got)
+	}
+}
+
+// TestReadSeriesFilesDuplicateYear drives the loader with an explicit name
+// list (os.ReadDir cannot produce two identical names) and checks that two
+// files resolving to the same census year are rejected instead of silently
+// stacking two datasets of one census.
+func TestReadSeriesFilesDuplicateYear(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDataset(1871)
+	if err := d.AddRecord(&Record{ID: "r", HouseholdID: "h", FirstName: "x", Surname: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSeriesDir(dir, NewSeries(d)); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"census_1871.csv", "census_1871.csv"}
+	_, _, err := readSeriesFiles(dir, names, LoadOptions{Strict: true})
+	if err == nil || !strings.Contains(err.Error(), "duplicate census year 1871") {
+		t.Errorf("err = %v, want a duplicate-year error", err)
+	}
+}
+
+// TestReadSeriesDirLenient: the per-file quality reports come back in year
+// order and reflect the corruption of each file.
+func TestReadSeriesDirLenient(t *testing.T) {
+	dir := t.TempDir()
+	good := "record_id,household_id,first_name,surname\nr1,h1,a,b\n"
+	bad := "record_id,household_id,first_name,surname,age\nr1,h1,a,b,xx\nr2,h1,c,d,9\n"
+	if err := os.WriteFile(filepath.Join(dir, "census_1881.csv"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "census_1871.csv"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, reps, err := ReadSeriesDirOptions(dir, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Datasets) != 2 || len(reps) != 2 {
+		t.Fatalf("datasets = %d, reports = %d", len(s.Datasets), len(reps))
+	}
+	if reps[0].Year != 1871 || reps[1].Year != 1881 {
+		t.Errorf("report years = %d, %d, want 1871, 1881", reps[0].Year, reps[1].Year)
+	}
+	if !reps[0].Clean() {
+		t.Errorf("1871 report not clean: %s", reps[0].Summary())
+	}
+	if reps[1].Count(IssueBadAge) != 1 {
+		t.Errorf("1881 bad-age count = %d, want 1", reps[1].Count(IssueBadAge))
+	}
+	if s.Dataset(1881).NumRecords() != 1 {
+		t.Errorf("1881 records = %d, want 1", s.Dataset(1881).NumRecords())
+	}
+	// Strict mode still fails on the corrupt file.
+	if _, err := ReadSeriesDir(dir); err == nil {
+		t.Error("strict series load accepted a corrupt file")
 	}
 }

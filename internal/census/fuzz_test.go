@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// FuzzReadCSV: arbitrary input must never panic; either a dataset or an
-// error comes back, and a returned dataset must satisfy its own invariants.
+// FuzzReadCSV: arbitrary input must never panic in either load mode; a
+// returned dataset must satisfy its own invariants, and a lenient load must
+// never fail on input the strict load accepted.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("record_id,household_id,first_name,surname\nr1,h1,john,ashworth\n")
 	f.Add("record_id,household_id,first_name,surname,age\nr1,h1,a,b,12\n")
@@ -14,13 +15,33 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("")
 	f.Add("a,b\n1")
 	f.Add("record_id,household_id,first_name,surname\n\"unclosed")
+	// Lenient-path seeds: duplicate header, empty and duplicate record_id,
+	// short row, bad age, empty household_id.
+	f.Add("record_id,record_id,household_id,first_name,surname\nr1,r1,h1,a,b\n")
+	f.Add("record_id,household_id,first_name,surname\n,h1,a,b\nr1,h1,a,b\nr1,h1,c,d\n")
+	f.Add("record_id,household_id,first_name,surname,age\nr1,h1\nr2,,a,b,9\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		d, err := ReadCSV(strings.NewReader(input), 1871)
-		if err != nil {
+		if err == nil {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("parsed dataset violates invariants: %v", err)
+			}
+		}
+		ld, rep, lerr := ReadCSVOptions(strings.NewReader(input), 1871, LoadOptions{})
+		if lerr != nil {
+			if err == nil {
+				t.Fatalf("lenient load failed on strict-clean input: %v", lerr)
+			}
 			return
 		}
-		if err := d.Validate(); err != nil {
-			t.Fatalf("parsed dataset violates invariants: %v", err)
+		if err := ld.Validate(); err != nil {
+			t.Fatalf("lenient dataset violates invariants: %v", err)
+		}
+		// Every parsed row is either loaded or skipped; malformed rows are
+		// skipped without counting as read, so skipped can exceed the gap.
+		if rep.RowsLoaded > rep.RowsRead || rep.RowsLoaded+rep.RowsSkipped < rep.RowsRead {
+			t.Fatalf("report inconsistent: read=%d loaded=%d skipped=%d",
+				rep.RowsRead, rep.RowsLoaded, rep.RowsSkipped)
 		}
 	})
 }

@@ -2,10 +2,13 @@ package census
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"censuslink/internal/faultinject"
 )
 
 // csvHeader is the canonical column order for census CSV files.
@@ -40,21 +43,49 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 
 // ReadCSV parses a dataset from CSV. The year identifies the census; the
 // header must match the canonical column set (order-insensitive, extra
-// columns are ignored).
+// columns are ignored, duplicate column names are rejected). The load is
+// strict: the first bad row aborts it. Use ReadCSVOptions for the lenient
+// variant that skips bad rows and reports them instead.
 func ReadCSV(r io.Reader, year int) (*Dataset, error) {
+	d, _, err := ReadCSVOptions(r, year, LoadOptions{Strict: true})
+	return d, err
+}
+
+// ReadCSVOptions parses a dataset from CSV under the given load policy.
+//
+// In strict mode the first bad data row aborts the load, exactly like
+// ReadCSV. In lenient mode bad rows (malformed CSV, empty or duplicate
+// record_id, unparsable age, empty household_id) are skipped and tallied on
+// the returned DataQualityReport, so one transcription error does not sink
+// the load of a million-row historical file; LoadOptions.MaxBadRows bounds
+// how much corruption is tolerated. Rows shorter than the header are loaded
+// but counted as warnings in both modes.
+//
+// The report is returned in both modes and is non-nil whenever the header
+// was readable, including alongside an error; a lenient load additionally
+// guarantees that the returned dataset passes Validate().
+func ReadCSVOptions(r io.Reader, year int, opts LoadOptions) (*Dataset, *DataQualityReport, error) {
+	maxExamples := opts.MaxExamples
+	if maxExamples <= 0 {
+		maxExamples = 5
+	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("census: read header: %w", err)
+		return nil, nil, fmt.Errorf("census: read header: %w", err)
 	}
 	col := make(map[string]int, len(header))
 	for i, name := range header {
-		col[strings.TrimSpace(strings.ToLower(name))] = i
+		key := strings.TrimSpace(strings.ToLower(name))
+		if prev, dup := col[key]; dup {
+			return nil, nil, fmt.Errorf("census: duplicate header column %q (columns %d and %d)", key, prev+1, i+1)
+		}
+		col[key] = i
 	}
 	for _, required := range []string{"record_id", "household_id", "first_name", "surname"} {
 		if _, ok := col[required]; !ok {
-			return nil, fmt.Errorf("census: missing required column %q", required)
+			return nil, nil, fmt.Errorf("census: missing required column %q", required)
 		}
 	}
 	field := func(row []string, name string) string {
@@ -66,16 +97,60 @@ func ReadCSV(r io.Reader, year int) (*Dataset, error) {
 	}
 
 	d := NewDataset(year)
+	rep := newDataQualityReport(year)
+	// skip tallies a fatal row issue: in strict mode it aborts the load, in
+	// lenient mode it drops the row unless the bad-row cap is crossed.
+	skip := func(line int, issue RowIssue, value string) error {
+		if opts.Strict {
+			return fmt.Errorf("census: line %d: %s (%s)", line, issue, value)
+		}
+		rep.note(line, issue, value, maxExamples)
+		rep.RowsSkipped++
+		if opts.MaxBadRows > 0 && rep.RowsSkipped > opts.MaxBadRows {
+			return fmt.Errorf("census: line %d: %s: more than %d bad rows, giving up", line, issue, opts.MaxBadRows)
+		}
+		return nil
+	}
 	for line := 2; ; line++ {
+		if err := faultinject.Hit("census.read_row"); err != nil {
+			return nil, rep, fmt.Errorf("census: line %d: %w", line, err)
+		}
 		row, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("census: line %d: %w", line, err)
+			// CSV-level corruption (bad quoting) is recoverable row by row;
+			// anything else is an I/O failure and always fatal.
+			var pe *csv.ParseError
+			if !errors.As(err, &pe) || opts.Strict {
+				return nil, rep, fmt.Errorf("census: line %d: %w", line, err)
+			}
+			if err := skip(line, IssueMalformedRow, pe.Err.Error()); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+		rep.RowsRead++
+		if len(row) < len(header) {
+			// Warning only: missing trailing fields read as empty values.
+			rep.note(line, IssueShortRow, fmt.Sprintf("%d of %d fields", len(row), len(header)), maxExamples)
+		}
+		id := field(row, "record_id")
+		if id == "" {
+			if err := skip(line, IssueEmptyRecordID, strings.Join(row, ",")); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+		if d.Record(id) != nil {
+			if err := skip(line, IssueDuplicateRecordID, id); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		rec := &Record{
-			ID:          field(row, "record_id"),
+			ID:          id,
 			HouseholdID: field(row, "household_id"),
 			FirstName:   field(row, "first_name"),
 			Surname:     field(row, "surname"),
@@ -87,16 +162,31 @@ func ReadCSV(r io.Reader, year int) (*Dataset, error) {
 			Role:        ParseRole(field(row, "role")),
 			TruthID:     field(row, "truth_id"),
 		}
+		if rec.HouseholdID == "" {
+			if err := skip(line, IssueEmptyHouseholdID, id); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
 		if ageStr := field(row, "age"); ageStr != "" {
 			age, err := strconv.Atoi(ageStr)
 			if err != nil {
-				return nil, fmt.Errorf("census: line %d: bad age %q: %w", line, ageStr, err)
+				if err := skip(line, IssueBadAge, ageStr); err != nil {
+					return nil, rep, err
+				}
+				continue
 			}
 			rec.Age = age
 		}
 		if err := d.AddRecord(rec); err != nil {
-			return nil, fmt.Errorf("census: line %d: %w", line, err)
+			return nil, rep, fmt.Errorf("census: line %d: %w", line, err)
+		}
+		rep.RowsLoaded++
+	}
+	if !opts.Strict {
+		if err := d.Validate(); err != nil {
+			return nil, rep, fmt.Errorf("census: lenient load produced an invalid dataset: %w", err)
 		}
 	}
-	return d, nil
+	return d, rep, nil
 }

@@ -1,0 +1,158 @@
+package census
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RowIssue categorises one way a census CSV data row can be bad. The
+// categories drive the DataQualityReport of a lenient load (LoadOptions)
+// and mirror the corruption found in transcribed historical census data:
+// unparsable ages, missing or repeated identifiers, truncated rows.
+type RowIssue int
+
+const (
+	// IssueMalformedRow is a CSV-level parse error (bad quoting). The row
+	// cannot be recovered and is skipped in lenient mode.
+	IssueMalformedRow RowIssue = iota
+	// IssueShortRow is a row with fewer fields than the header. It is
+	// counted as a warning but still loaded when its required fields are
+	// present (missing trailing fields read as empty values).
+	IssueShortRow
+	// IssueEmptyRecordID is a row without a record_id.
+	IssueEmptyRecordID
+	// IssueDuplicateRecordID is a row whose record_id was already loaded.
+	IssueDuplicateRecordID
+	// IssueBadAge is a row whose age field is not an integer.
+	IssueBadAge
+	// IssueEmptyHouseholdID is a row without a household_id.
+	IssueEmptyHouseholdID
+	numIssues
+)
+
+// String names the issue category.
+func (i RowIssue) String() string {
+	switch i {
+	case IssueMalformedRow:
+		return "malformed row"
+	case IssueShortRow:
+		return "short row"
+	case IssueEmptyRecordID:
+		return "empty record_id"
+	case IssueDuplicateRecordID:
+		return "duplicate record_id"
+	case IssueBadAge:
+		return "bad age"
+	case IssueEmptyHouseholdID:
+		return "empty household_id"
+	default:
+		return fmt.Sprintf("issue(%d)", int(i))
+	}
+}
+
+// Issues lists every category in rendering order.
+func Issues() []RowIssue {
+	out := make([]RowIssue, numIssues)
+	for i := range out {
+		out[i] = RowIssue(i)
+	}
+	return out
+}
+
+// RowExample locates one instance of an issue for the report.
+type RowExample struct {
+	// Line is the 1-based CSV row ordinal in the input (the header is
+	// line 1).
+	Line int
+	// Value is the offending value or a short snippet of the row.
+	Value string
+}
+
+// LoadOptions configures how ReadCSVOptions treats bad data rows.
+// The zero value is the lenient default; ReadCSV uses Strict.
+type LoadOptions struct {
+	// Strict aborts the load on the first bad row (the ReadCSV default).
+	// When false, bad rows are skipped and tallied on the returned
+	// DataQualityReport instead.
+	Strict bool
+	// MaxBadRows caps how many rows a lenient load may skip before it
+	// gives up; crossing the cap aborts with an error so a wholly corrupt
+	// file is not silently reduced to a sliver. <= 0 means no cap.
+	MaxBadRows int
+	// MaxExamples bounds the per-category examples kept on the report
+	// (default 5).
+	MaxExamples int
+}
+
+// DataQualityReport tallies, per issue category, the bad rows a load
+// encountered, with the first few examples of each. Strict loads fill it
+// too (for the warning-only IssueShortRow category) up to the point of the
+// first fatal row.
+type DataQualityReport struct {
+	Year int
+	// RowsRead counts the data rows the reader could parse at CSV level
+	// (excluding the header); RowsLoaded of them became records and
+	// RowsSkipped were dropped by the lenient policy.
+	RowsRead    int
+	RowsLoaded  int
+	RowsSkipped int
+	Counts      map[RowIssue]int
+	Examples    map[RowIssue][]RowExample
+}
+
+func newDataQualityReport(year int) *DataQualityReport {
+	return &DataQualityReport{
+		Year:     year,
+		Counts:   make(map[RowIssue]int),
+		Examples: make(map[RowIssue][]RowExample),
+	}
+}
+
+// note tallies one issue instance, keeping at most maxExamples examples.
+func (r *DataQualityReport) note(line int, issue RowIssue, value string, maxExamples int) {
+	r.Counts[issue]++
+	if len(r.Examples[issue]) < maxExamples {
+		r.Examples[issue] = append(r.Examples[issue], RowExample{Line: line, Value: value})
+	}
+}
+
+// Count returns the tally of one issue category.
+func (r *DataQualityReport) Count(issue RowIssue) int { return r.Counts[issue] }
+
+// Clean reports whether the load saw no issues at all (not even warnings).
+func (r *DataQualityReport) Clean() bool {
+	for _, n := range r.Counts {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the report as one human-readable line per non-empty
+// category, terminated by a newline, or "no data quality issues" when clean.
+func (r *DataQualityReport) Summary() string {
+	if r.Clean() {
+		return fmt.Sprintf("census %d: no data quality issues (%d rows)\n", r.Year, r.RowsLoaded)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "census %d: %d rows read, %d loaded, %d skipped", r.Year, r.RowsRead, r.RowsLoaded, r.RowsSkipped)
+	for _, issue := range Issues() {
+		n := r.Counts[issue]
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %s: %d", issue, n)
+		for i, ex := range r.Examples[issue] {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			fmt.Fprintf(&b, " line %d (%s)", ex.Line, ex.Value)
+		}
+		if n > len(r.Examples[issue]) {
+			fmt.Fprintf(&b, "; ...")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package census
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"censuslink/internal/faultinject"
+)
+
+// corruptCSV carries one instance of every recoverable row issue plus four
+// good rows, so tests can assert exact per-category counts.
+const corruptCSV = `record_id,household_id,first_name,surname,sex,age
+r1,h1,john,ashworth,m,34
+,h1,noid,row,f,30
+r2,h1,mary,ashworth,f,31
+r2,h1,dup,id,m,8
+r3,h2,peter,law,m,xx
+r4,,no,household,f,20
+r5,h2,anne,law,f
+r9,h3,bad"quote,x,m,1
+r6,h2,ok,law,m,4
+`
+
+func TestLenientLoadCountsCorruption(t *testing.T) {
+	d, rep, err := ReadCSVOptions(strings.NewReader(corruptCSV), 1871, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded rows: r1, r2, r5 (short row is a warning only) and r6; the
+	// other five rows each carry one fatal issue.
+	want := map[RowIssue]int{
+		IssueEmptyRecordID:     1,
+		IssueDuplicateRecordID: 1,
+		IssueBadAge:            1,
+		IssueEmptyHouseholdID:  1,
+		IssueShortRow:          1,
+		IssueMalformedRow:      1,
+	}
+	for issue, n := range want {
+		if got := rep.Count(issue); got != n {
+			t.Errorf("%s count = %d, want %d", issue, got, n)
+		}
+	}
+	if rep.RowsSkipped != 5 {
+		t.Errorf("RowsSkipped = %d, want 5", rep.RowsSkipped)
+	}
+	if d.NumRecords() != 4 {
+		t.Errorf("records loaded = %d, want 4 (r1, r2, r5, r6)", d.NumRecords())
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("lenient dataset fails Validate: %v", err)
+	}
+	if rep.Clean() {
+		t.Error("report with issues reports Clean")
+	}
+	sum := rep.Summary()
+	for _, frag := range []string{"bad age", "duplicate record_id", "line "} {
+		if !strings.Contains(sum, frag) {
+			t.Errorf("Summary missing %q:\n%s", frag, sum)
+		}
+	}
+	if !strings.HasSuffix(sum, "\n") {
+		t.Error("Summary not newline-terminated")
+	}
+}
+
+func TestStrictLoadAbortsOnFirstBadRow(t *testing.T) {
+	_, rep, err := ReadCSVOptions(strings.NewReader(corruptCSV), 1871, LoadOptions{Strict: true})
+	if err == nil {
+		t.Fatal("strict load accepted corrupt input")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "empty record_id") {
+		t.Errorf("error = %v, want the first bad row (line 3, empty record_id)", err)
+	}
+	if rep == nil {
+		t.Error("report missing alongside the strict error")
+	}
+}
+
+func TestReadCSVRejectsEmptyRecordID(t *testing.T) {
+	in := "record_id,household_id,first_name,surname\n,h1,a,b\n"
+	if _, err := ReadCSV(strings.NewReader(in), 1871); err == nil {
+		t.Fatal("ReadCSV accepted an empty record_id")
+	}
+}
+
+func TestReadCSVRejectsDuplicateHeader(t *testing.T) {
+	in := "record_id,household_id,first_name,surname,record_id\nr1,h1,a,b,r9\n"
+	for _, opts := range []LoadOptions{{Strict: true}, {}} {
+		_, _, err := ReadCSVOptions(strings.NewReader(in), 1871, opts)
+		if err == nil || !strings.Contains(err.Error(), "duplicate header column") {
+			t.Errorf("opts %+v: err = %v, want duplicate-header error", opts, err)
+		}
+	}
+}
+
+func TestMaxBadRowsCap(t *testing.T) {
+	_, rep, err := ReadCSVOptions(strings.NewReader(corruptCSV), 1871, LoadOptions{MaxBadRows: 2})
+	if err == nil || !strings.Contains(err.Error(), "more than 2 bad rows") {
+		t.Fatalf("err = %v, want the bad-row cap to trip", err)
+	}
+	if rep.RowsSkipped != 3 {
+		t.Errorf("RowsSkipped at abort = %d, want 3 (the row that crossed the cap)", rep.RowsSkipped)
+	}
+	// A cap the corruption stays under does not trip.
+	if _, _, err := ReadCSVOptions(strings.NewReader(corruptCSV), 1871, LoadOptions{MaxBadRows: 5}); err != nil {
+		t.Errorf("cap 5 tripped on 5 skipped rows: %v", err)
+	}
+}
+
+// TestInjectedReadFailureIsFatal: a non-CSV I/O failure aborts the load in
+// both modes — leniency covers data corruption, not a failing medium.
+func TestInjectedReadFailureIsFatal(t *testing.T) {
+	if !faultinject.Enabled {
+		t.Skip("built with nofaultinject: registry compiled out")
+	}
+	errIO := errors.New("injected I/O failure")
+	for _, opts := range []LoadOptions{{Strict: true}, {}} {
+		faultinject.Set("census.read_row", faultinject.FailOnCall(1, errIO))
+		_, _, err := ReadCSVOptions(strings.NewReader(corruptCSV), 1871, opts)
+		faultinject.Reset()
+		if !errors.Is(err, errIO) {
+			t.Errorf("opts %+v: err = %v, want the injected I/O failure", opts, err)
+		}
+	}
+}
+
+func TestQualityReportClean(t *testing.T) {
+	in := "record_id,household_id,first_name,surname\nr1,h1,a,b\n"
+	_, rep, err := ReadCSVOptions(strings.NewReader(in), 1871, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("clean input produced issues: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "no data quality issues") {
+		t.Errorf("clean summary = %q", rep.Summary())
+	}
+	if rep.RowsRead != 1 || rep.RowsLoaded != 1 || rep.RowsSkipped != 0 {
+		t.Errorf("counts = %d/%d/%d, want 1/1/0", rep.RowsRead, rep.RowsLoaded, rep.RowsSkipped)
+	}
+}
+
+func TestExamplesCapped(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("record_id,household_id,first_name,surname,age\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("r")
+		b.WriteByte(byte('0' + i))
+		b.WriteString(",h1,a,b,notanumber\n")
+	}
+	_, rep, err := ReadCSVOptions(strings.NewReader(b.String()), 1871, LoadOptions{MaxExamples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(IssueBadAge) != 10 {
+		t.Errorf("bad age count = %d, want 10", rep.Count(IssueBadAge))
+	}
+	if got := len(rep.Examples[IssueBadAge]); got != 3 {
+		t.Errorf("examples kept = %d, want 3", got)
+	}
+	if !strings.Contains(rep.Summary(), "...") {
+		t.Error("Summary does not mark truncated examples")
+	}
+}

@@ -1,6 +1,7 @@
 package evolution
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,15 +47,22 @@ type Graph struct {
 // the per-pair linkage results (results[i] links Datasets[i] to
 // Datasets[i+1]).
 func BuildGraph(series *census.Series, results []*linkage.Result) (*Graph, error) {
-	return BuildGraphObs(series, results, nil)
+	return BuildGraphContext(context.Background(), series, results, nil)
 }
 
 // BuildGraphObs is BuildGraph with observability: the assembly is timed as
 // the "evolution_build" stage and the graph size lands on the collector's
 // run totals. A nil collector reports nothing.
 func BuildGraphObs(series *census.Series, results []*linkage.Result, st *obs.Stats) (*Graph, error) {
+	return BuildGraphContext(context.Background(), series, results, st)
+}
+
+// BuildGraphContext is BuildGraphObs with cooperative cancellation: the
+// context is observed between census pairs, so a deadline or SIGINT aborts
+// the assembly of a long series promptly with an error wrapping ctx.Err().
+func BuildGraphContext(ctx context.Context, series *census.Series, results []*linkage.Result, st *obs.Stats) (*Graph, error) {
 	defer st.Stage("evolution_build")()
-	g, err := buildGraph(series, results)
+	g, err := buildGraph(ctx, series, results)
 	if err == nil {
 		vertices := 0
 		for _, ids := range g.households {
@@ -66,7 +74,7 @@ func BuildGraphObs(series *census.Series, results []*linkage.Result, st *obs.Sta
 	return g, err
 }
 
-func buildGraph(series *census.Series, results []*linkage.Result) (*Graph, error) {
+func buildGraph(ctx context.Context, series *census.Series, results []*linkage.Result) (*Graph, error) {
 	if len(results) != len(series.Datasets)-1 {
 		return nil, fmt.Errorf("evolution: %d results for %d datasets", len(results), len(series.Datasets))
 	}
@@ -83,6 +91,10 @@ func buildGraph(series *census.Series, results []*linkage.Result) (*Graph, error
 		g.households[d.Year] = ids
 	}
 	for i, res := range results {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("evolution: pair %d-%d: %w",
+				series.Datasets[i].Year, series.Datasets[i+1].Year, err)
+		}
 		old, new := series.Datasets[i], series.Datasets[i+1]
 		a := Analyze(old, new, res)
 		g.Analyses = append(g.Analyses, a)

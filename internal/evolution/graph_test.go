@@ -1,7 +1,10 @@
 package evolution
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"censuslink/internal/census"
@@ -41,6 +44,24 @@ func TestBuildGraphSizeMismatch(t *testing.T) {
 	series := census.NewSeries(paperexample.Old(), paperexample.New())
 	if _, err := BuildGraph(series, nil); err == nil {
 		t.Error("mismatched results length accepted")
+	}
+}
+
+// TestBuildGraphContextCancelled: a cancelled context aborts the assembly
+// with an error naming the census pair and wrapping context.Canceled.
+func TestBuildGraphContextCancelled(t *testing.T) {
+	series := census.NewSeries(paperexample.Old(), paperexample.New())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := BuildGraphContext(ctx, series, []*linkage.Result{exampleResult()}, nil)
+	if g != nil {
+		t.Error("cancelled build returned a graph")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if want := "pair 1871-1881"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %v, want it to name %q", err, want)
 	}
 }
 

@@ -52,7 +52,7 @@ func (e *Env) Ablation() (*report.Table, *AblationData, error) {
 	for _, v := range variants {
 		cfg := e.baseConfig()
 		v.mutate(&cfg)
-		res, err := linkage.Link(old, new, cfg)
+		res, err := linkage.LinkContext(e.linkCtx(), old, new, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -138,7 +138,7 @@ func (e *Env) BirthplaceExtension() (*report.Table, *BirthplaceData, error) {
 	cfg := e.baseConfig()
 	cfg.Sim = linkage.OmegaTwoBirthplace(cfg.DeltaHigh)
 	cfg.Remainder = linkage.OmegaTwoBirthplace(cfg.Remainder.Delta)
-	bp, err := linkage.Link(old, new, cfg)
+	bp, err := linkage.LinkContext(e.linkCtx(), old, new, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"censuslink/internal/baseline/collective"
@@ -42,6 +43,10 @@ type Options struct {
 	// across every linkage run the environment performs (the iterations of
 	// all runs accumulate on one report, each tagged with its δ).
 	Obs *obs.Stats
+	// Ctx, when non-nil, bounds every linkage and evolution run the
+	// environment performs: cancelling it aborts the experiment suite at
+	// the next pipeline checkpoint (see linkage.LinkContext).
+	Ctx context.Context
 }
 
 // DefaultOptions runs at 10% of the paper's scale — large enough for stable
@@ -91,6 +96,14 @@ func (e *Env) baseConfig() linkage.Config {
 	return cfg
 }
 
+// linkCtx is the context bounding the environment's pipeline runs.
+func (e *Env) linkCtx() context.Context {
+	if e.Opts.Ctx != nil {
+		return e.Opts.Ctx
+	}
+	return context.Background()
+}
+
 // defaultResult links one successive pair with the default configuration,
 // caching the result.
 func (e *Env) defaultResult(oldYear int) (*linkage.Result, error) {
@@ -102,7 +115,7 @@ func (e *Env) defaultResult(oldYear int) (*linkage.Result, error) {
 	if old == nil || new == nil {
 		return nil, fmt.Errorf("experiments: no census pair starting %d", oldYear)
 	}
-	res, err := linkage.Link(old, new, e.baseConfig())
+	res, err := linkage.LinkContext(e.linkCtx(), old, new, e.baseConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +207,7 @@ func (e *Env) Table3() (*report.Table, *Table3Data, error) {
 			cfg := e.baseConfig()
 			cfg.Sim = scheme.sim
 			cfg.DeltaLow = dl
-			res, err := linkage.Link(old, new, cfg)
+			res, err := linkage.LinkContext(e.linkCtx(), old, new, cfg)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -251,7 +264,7 @@ func (e *Env) Table4() (*report.Table, *Table4Data, error) {
 	for _, w := range data.Weights {
 		cfg := e.baseConfig()
 		cfg.Alpha, cfg.Beta = w[0], w[1]
-		res, err := linkage.Link(old, new, cfg)
+		res, err := linkage.LinkContext(e.linkCtx(), old, new, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -302,7 +315,7 @@ func (e *Env) Table5() (*report.Table, *Table5Data, error) {
 
 	cfg := e.baseConfig()
 	cfg.DeltaHigh, cfg.DeltaLow, cfg.DeltaStep = 0.5, 0.5, 0
-	oneShot, err := linkage.Link(old, new, cfg)
+	oneShot, err := linkage.LinkContext(e.linkCtx(), old, new, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -400,7 +413,7 @@ func (e *Env) evolutionGraph() (*evolution.Graph, error) {
 		}
 		results = append(results, res)
 	}
-	return evolution.BuildGraphObs(e.Series, results, e.Opts.Obs)
+	return evolution.BuildGraphContext(e.linkCtx(), e.Series, results, e.Opts.Obs)
 }
 
 // Figure6 counts the group evolution patterns for each successive census

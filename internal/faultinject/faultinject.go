@@ -1,0 +1,113 @@
+//go:build !nofaultinject
+
+// Package faultinject is a deterministic failure-point registry used by
+// tests to prove the pipeline's fault-tolerance paths: worker-panic
+// isolation, skip-and-count degradation, cooperative cancellation and
+// lenient data loading.
+//
+// Pipeline code calls Hit(name) at a named failure point; tests arm the
+// point with Set(name, fn). The hook either returns an error (injected I/O
+// or worker failure) or panics (injected worker crash). Unarmed points cost
+// a single atomic load, and the whole registry compiles to constant no-ops
+// under the nofaultinject build tag, so release builds carry no injection
+// machinery at all (see faultinject_disabled.go).
+//
+// The registry is process-global; tests that arm points must Reset (or
+// Clear) them when done and must not run in parallel with other
+// injection-sensitive tests of the same package.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled reports whether the fault-injection layer is compiled in. Tests
+// that arm failure points should skip when it is false.
+const Enabled = true
+
+// Fn is a failure hook. A non-nil return injects a failure at the point; a
+// panic inside the hook injects a worker crash. Returning nil means "no
+// fault this time", letting hooks target a specific call ordinal.
+type Fn func() error
+
+var (
+	// armed counts armed points so that Hit is one atomic load when the
+	// registry is idle — the common case even in test builds.
+	armed atomic.Int32
+
+	mu    sync.Mutex
+	hooks = make(map[string]Fn)
+)
+
+// Set arms the named failure point with a hook, replacing any previous one.
+func Set(name string, fn Fn) {
+	if fn == nil {
+		Clear(name)
+		return
+	}
+	mu.Lock()
+	if _, exists := hooks[name]; !exists {
+		armed.Add(1)
+	}
+	hooks[name] = fn
+	mu.Unlock()
+}
+
+// Clear disarms the named failure point.
+func Clear(name string) {
+	mu.Lock()
+	if _, exists := hooks[name]; exists {
+		armed.Add(-1)
+		delete(hooks, name)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every failure point.
+func Reset() {
+	mu.Lock()
+	armed.Add(-int32(len(hooks)))
+	hooks = make(map[string]Fn)
+	mu.Unlock()
+}
+
+// Hit evaluates the named failure point: nil when the point is unarmed,
+// otherwise whatever the armed hook returns (or panics). The hook runs
+// outside the registry lock, so it may call back into the registry.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := hooks[name]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// FailOnCall returns a hook that injects err on exactly the n-th call
+// (1-based) and nothing on every other call.
+func FailOnCall(n uint64, err error) Fn {
+	var calls atomic.Uint64
+	return func() error {
+		if calls.Add(1) == n {
+			return err
+		}
+		return nil
+	}
+}
+
+// PanicOnCall returns a hook that panics with v on exactly the n-th call
+// (1-based).
+func PanicOnCall(n uint64, v any) Fn {
+	var calls atomic.Uint64
+	return func() error {
+		if calls.Add(1) == n {
+			panic(v)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,28 @@
+//go:build nofaultinject
+
+package faultinject
+
+// Enabled reports whether the fault-injection layer is compiled in.
+const Enabled = false
+
+// Fn is a failure hook (see the !nofaultinject build).
+type Fn func() error
+
+// Set is a no-op in nofaultinject builds.
+func Set(string, Fn) {}
+
+// Clear is a no-op in nofaultinject builds.
+func Clear(string) {}
+
+// Reset is a no-op in nofaultinject builds.
+func Reset() {}
+
+// Hit never injects a fault in nofaultinject builds; the call inlines to
+// nothing, so release binaries pay zero cost at every failure point.
+func Hit(string) error { return nil }
+
+// FailOnCall returns an inert hook in nofaultinject builds.
+func FailOnCall(uint64, error) Fn { return func() error { return nil } }
+
+// PanicOnCall returns an inert hook in nofaultinject builds.
+func PanicOnCall(uint64, any) Fn { return func() error { return nil } }

@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitUnarmed(t *testing.T) {
+	defer Reset()
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("unarmed point injected %v", err)
+	}
+}
+
+func TestSetClearReset(t *testing.T) {
+	if !Enabled {
+		t.Skip("fault injection compiled out")
+	}
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p1", func() error { return boom })
+	if err := Hit("p1"); !errors.Is(err, boom) {
+		t.Fatalf("armed point returned %v", err)
+	}
+	if err := Hit("p2"); err != nil {
+		t.Fatalf("other point injected %v", err)
+	}
+	Clear("p1")
+	if err := Hit("p1"); err != nil {
+		t.Fatalf("cleared point injected %v", err)
+	}
+	// Arming with a nil hook is equivalent to clearing.
+	Set("p1", func() error { return boom })
+	Set("p1", nil)
+	if err := Hit("p1"); err != nil {
+		t.Fatalf("nil-armed point injected %v", err)
+	}
+	Set("p1", func() error { return boom })
+	Set("p3", func() error { return boom })
+	Reset()
+	if Hit("p1") != nil || Hit("p3") != nil {
+		t.Fatal("Reset left points armed")
+	}
+}
+
+func TestFailOnCall(t *testing.T) {
+	if !Enabled {
+		t.Skip("fault injection compiled out")
+	}
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", FailOnCall(3, boom))
+	for i := 1; i <= 5; i++ {
+		err := Hit("p")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestPanicOnCall(t *testing.T) {
+	if !Enabled {
+		t.Skip("fault injection compiled out")
+	}
+	defer Reset()
+	Set("p", PanicOnCall(2, "crash"))
+	if err := Hit("p"); err != nil {
+		t.Fatalf("call 1 injected %v", err)
+	}
+	defer func() {
+		if r := recover(); r != "crash" {
+			t.Errorf("recovered %v, want crash", r)
+		}
+	}()
+	Hit("p")
+	t.Fatal("call 2 did not panic")
+}
+
+// TestConcurrentHits exercises the registry from many goroutines so the
+// race-enabled tier-1 run proves Hit/Set/Clear are safe to interleave.
+func TestConcurrentHits(t *testing.T) {
+	if !Enabled {
+		t.Skip("fault injection compiled out")
+	}
+	defer Reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("p%d", g%4)
+			for i := 0; i < 200; i++ {
+				Set(name, func() error { return nil })
+				Hit(name)
+				Clear(name)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		if err := Hit(fmt.Sprintf("p%d", g)); err != nil {
+			t.Errorf("point p%d still armed: %v", g, err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package linkage_test
+
+// Fault-injection tests for the pipeline's robustness guarantees: worker
+// panics become typed errors naming the offending work item (fail-fast) or
+// are absorbed and counted (skip), and cancellation aborts promptly from
+// any stage. All tests arm the process-global faultinject registry, so none
+// of them may call t.Parallel().
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"censuslink/internal/faultinject"
+	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
+	"censuslink/internal/paperexample"
+)
+
+func faultConfig(workers int) linkage.Config {
+	cfg := linkage.DefaultConfig()
+	cfg.Workers = workers
+	return cfg
+}
+
+func skipWithoutInjection(t *testing.T) {
+	t.Helper()
+	if !faultinject.Enabled {
+		t.Skip("built with nofaultinject: registry compiled out")
+	}
+}
+
+func TestWorkerPanicFailFast(t *testing.T) {
+	skipWithoutInjection(t)
+	defer faultinject.Reset()
+	faultinject.Set("linkage.match_groups", faultinject.PanicOnCall(1, "poisoned household"))
+
+	old, new := paperexample.Old(), paperexample.New()
+	_, err := linkage.LinkContext(context.Background(), old, new, faultConfig(2))
+	if err == nil {
+		t.Fatal("injected worker panic did not fail the run")
+	}
+	var pe *linkage.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type = %T, want *PipelineError (%v)", err, err)
+	}
+	if pe.Panic == nil {
+		t.Errorf("PipelineError.Panic = nil, want the recovered value")
+	}
+	if len(pe.Stack) == 0 {
+		t.Errorf("PipelineError.Stack empty, want the worker stack trace")
+	}
+	if pe.Group.Old == "" || pe.Group.New == "" {
+		t.Errorf("PipelineError.Group = %+v, want the offending group pair", pe.Group)
+	}
+	if pe.Canceled() {
+		t.Errorf("panic reported as cancellation: %v", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "group pair") || !strings.Contains(msg, "poisoned household") {
+		t.Errorf("error message %q does not name the group pair and panic value", msg)
+	}
+}
+
+func TestWorkerPanicSkipCompletes(t *testing.T) {
+	skipWithoutInjection(t)
+	defer faultinject.Reset()
+	faultinject.Set("linkage.match_groups", faultinject.PanicOnCall(1, "poisoned household"))
+
+	stats := obs.NewStats(nil)
+	cfg := faultConfig(2)
+	cfg.Panics = linkage.PanicSkip
+	cfg.Obs = stats
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := linkage.LinkContext(context.Background(), old, new, cfg)
+	if err != nil {
+		t.Fatalf("skip policy did not absorb the panic: %v", err)
+	}
+	if res == nil || len(res.RecordLinks) == 0 {
+		t.Fatal("skip policy produced no result")
+	}
+	if got := stats.Total(obs.PanicsRecovered); got != 1 {
+		t.Errorf("panics_recovered = %d, want 1", got)
+	}
+}
+
+func TestPreMatchChunkPanic(t *testing.T) {
+	skipWithoutInjection(t)
+	old, new := paperexample.Old(), paperexample.New()
+
+	t.Run("fail-fast", func(t *testing.T) {
+		defer faultinject.Reset()
+		faultinject.Set("linkage.prematch.chunk", faultinject.PanicOnCall(1, "chunk crash"))
+		_, err := linkage.LinkContext(context.Background(), old, new, faultConfig(2))
+		var pe *linkage.PipelineError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error = %v, want *PipelineError", err)
+		}
+		if pe.Stage != "prematch" || pe.Chunk < 0 {
+			t.Errorf("stage=%q chunk=%d, want a prematch chunk failure", pe.Stage, pe.Chunk)
+		}
+	})
+	t.Run("skip", func(t *testing.T) {
+		defer faultinject.Reset()
+		faultinject.Set("linkage.prematch.chunk", faultinject.PanicOnCall(1, "chunk crash"))
+		stats := obs.NewStats(nil)
+		cfg := faultConfig(2)
+		cfg.Panics = linkage.PanicSkip
+		cfg.Obs = stats
+		if _, err := linkage.LinkContext(context.Background(), old, new, cfg); err != nil {
+			t.Fatalf("skip policy did not absorb the chunk panic: %v", err)
+		}
+		if got := stats.Total(obs.PanicsRecovered); got < 1 {
+			t.Errorf("panics_recovered = %d, want >= 1", got)
+		}
+	})
+}
+
+// TestCancellationMidIteration cancels the context from inside a pre-matching
+// chunk worker (the hook fires after the run has started) and checks that the
+// pipeline aborts with the cancellation, not with a partial result.
+func TestCancellationMidIteration(t *testing.T) {
+	skipWithoutInjection(t)
+	defer faultinject.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Set("linkage.prematch.chunk", func() error {
+		cancel()
+		return nil
+	})
+
+	old, new := paperexample.Old(), paperexample.New()
+	res, err := linkage.LinkContext(ctx, old, new, faultConfig(2))
+	if res != nil {
+		t.Error("cancelled run returned a partial result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	var pe *linkage.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type = %T, want *PipelineError", err)
+	}
+	if !pe.Canceled() {
+		t.Errorf("Canceled() = false for %v", err)
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	old, new := paperexample.Old(), paperexample.New()
+	_, err := linkage.LinkContext(ctx, old, new, faultConfig(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRemainderInjectedFailure(t *testing.T) {
+	skipWithoutInjection(t)
+	defer faultinject.Reset()
+	errInjected := errors.New("injected remainder failure")
+	faultinject.Set("linkage.remainder", faultinject.FailOnCall(1, errInjected))
+
+	old, new := paperexample.Old(), paperexample.New()
+	_, err := linkage.LinkContext(context.Background(), old, new, faultConfig(1))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("error = %v, want the injected failure", err)
+	}
+	var pe *linkage.PipelineError
+	if !errors.As(err, &pe) || pe.Stage != "remainder" {
+		t.Fatalf("error = %#v, want a remainder-stage PipelineError", err)
+	}
+}
+
+// TestInjectionLayerTransparent proves the registry does not perturb the
+// linkage: output is identical with the registry idle and with a hook armed
+// on a point the pipeline never hits. (CI additionally builds and tests with
+// -tags nofaultinject, covering the compiled-out variant.)
+func TestInjectionLayerTransparent(t *testing.T) {
+	skipWithoutInjection(t)
+	defer faultinject.Reset()
+	old, new := paperexample.Old(), paperexample.New()
+
+	base, err := linkage.LinkContext(context.Background(), old, new, faultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set("unused.point", faultinject.FailOnCall(1, errors.New("never hit")))
+	armed, err := linkage.LinkContext(context.Background(), old, new, faultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.RecordLinks, armed.RecordLinks) {
+		t.Error("record links differ with an unrelated hook armed")
+	}
+	if !reflect.DeepEqual(base.GroupLinks, armed.GroupLinks) {
+		t.Error("group links differ with an unrelated hook armed")
+	}
+}

@@ -1,14 +1,17 @@
 package linkage
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
 	"censuslink/internal/assign"
 	"censuslink/internal/block"
 	"censuslink/internal/census"
+	"censuslink/internal/faultinject"
 	"censuslink/internal/hgraph"
 	"censuslink/internal/obs"
 )
@@ -50,6 +53,12 @@ type Config struct {
 	// OptimalRemainder solves the leftover 1:1 matching optimally (maximum
 	// total similarity via the Hungarian algorithm) instead of greedily.
 	OptimalRemainder bool
+	// Panics selects what a pool-worker panic does to the run: abort with a
+	// typed *PipelineError naming the offending work item (PanicFailFast,
+	// the default), or skip the poisoned item, count it on the
+	// obs.PanicsRecovered counter and complete on the remaining work
+	// (PanicSkip).
+	Panics PanicPolicy
 	// Obs, when non-nil, collects stage timings and per-iteration counters
 	// for the run (see internal/obs). Nil disables observability; the
 	// pipeline never logs on its own.
@@ -177,8 +186,21 @@ func (r *Result) GroupPairsSet() map[GroupPair]bool {
 // Link runs the full iterative record and group linkage (Algorithm 1)
 // between two successive census datasets.
 func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
+	return LinkContext(context.Background(), oldDS, newDS, cfg)
+}
+
+// LinkContext is Link with cooperative cancellation: the iteration loop,
+// the pre-matching chunk workers, the subgraph-match worker pool and the
+// remainder matchers all observe ctx at checkpoints, so a deadline or
+// SIGINT aborts the run promptly with a *PipelineError wrapping ctx.Err()
+// (errors.Is sees context.Canceled / context.DeadlineExceeded) instead of
+// wedging the process. Worker panics are isolated per Config.Panics.
+func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr("build_graphs", 0, err)
 	}
 	// completeGroups: enrich every household graph once.
 	stopBuild := cfg.Obs.Stage("build_graphs")
@@ -202,11 +224,18 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 
 	const eps = 1e-9
 	for delta := cfg.DeltaHigh; delta >= cfg.DeltaLow-eps; delta -= cfg.DeltaStep {
+		if err := ctx.Err(); err != nil {
+			return nil, cancelErr("iterate", delta, err)
+		}
 		cfg.Obs.BeginIteration(delta)
 		f := cfg.Sim.WithDelta(delta)
 		stop := cfg.Obs.Stage("prematch")
-		pre := PreMatch(remainingOld, oldDS.Year, remainingNew, newDS.Year, f, cfg.Strategies, cfg.Workers)
+		pre, err := preMatch(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, f, cfg.Strategies, cfg.Workers, cfg.Panics, cfg.Obs)
 		stop()
+		if err != nil {
+			cfg.Obs.EndIteration()
+			return nil, err
+		}
 		cfg.Obs.Add(obs.BlockingPairs, pre.Blocked)
 		cfg.Obs.Add(obs.PairsCompared, pre.Compared)
 		cfg.Obs.Add(obs.CandidateLinks, len(pre.Links))
@@ -216,8 +245,12 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 		stop()
 		cfg.Obs.Add(obs.GroupPairs, len(pairs))
 		stop = cfg.Obs.Stage("subgraph_match")
-		subs := matchGroupsParallel(pairs, oldGraphs, newGraphs, pre, f, matchCfg, cfg.Workers)
+		subs, err := matchGroupsParallel(ctx, delta, pairs, oldGraphs, newGraphs, pre, f, matchCfg, cfg.Workers, cfg.Panics, cfg.Obs)
 		stop()
+		if err != nil {
+			cfg.Obs.EndIteration()
+			return nil, err
+		}
 		cfg.Obs.Add(obs.Subgraphs, len(subs))
 		stop = cfg.Obs.Stage("selection")
 		accepted := SelectGroupLinksDetailed(subs)
@@ -273,13 +306,17 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 
 	// Match the remaining records attribute-only (line 17 of Algorithm 1).
 	var remLinks []RecordLink
+	var remErr error
 	stop := cfg.Obs.Stage("remainder")
 	if cfg.OptimalRemainder {
-		remLinks = MatchRemainingOptimal(remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
+		remLinks, remErr = matchRemainingOptimal(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
 	} else {
-		remLinks = MatchRemaining(remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
+		remLinks, remErr = matchRemaining(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
 	}
 	stop()
+	if remErr != nil {
+		return nil, remErr
+	}
 	cfg.Obs.Add(obs.RemainderLinks, len(remLinks))
 	res.RecordLinks = append(res.RecordLinks, remLinks...)
 	res.RemainderRecordLinks = len(remLinks)
@@ -326,13 +363,31 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 // mapping by descending similarity.
 func MatchRemaining(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
+	links, _ := matchRemaining(context.Background(), old, oldYear, new, newYear, f, cfg, strategies)
+	return links
+}
+
+// matchRemaining implements MatchRemaining with cooperative cancellation:
+// the candidate scan observes ctx every few records and aborts with a
+// typed error, so the final pass of Algorithm 1 cannot wedge a cancelled
+// run. With a background context it never fails.
+func matchRemaining(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy) ([]RecordLink, error) {
 	type cand struct {
 		link RecordLink
+	}
+	if err := faultinject.Hit("linkage.remainder"); err != nil {
+		return nil, &PipelineError{Stage: "remainder", Delta: f.Delta, Chunk: -1, Err: err}
 	}
 	var cands []cand
 	ix := block.NewIndex(new, newYear, strategies)
 	scratch := make(map[string]struct{})
-	for _, o := range old {
+	for i, o := range old {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, cancelErr("remainder", f.Delta, err)
+			}
+		}
 		for _, n := range ix.Candidates(o, oldYear, scratch) {
 			if !cfg.ageConsistent(o, n) {
 				continue
@@ -363,14 +418,18 @@ func MatchRemaining(old []*census.Record, oldYear int, new []*census.Record, new
 		usedNew[c.link.New] = true
 		out = append(out, c.link)
 	}
-	return out
+	return out, nil
 }
 
 // matchGroupsParallel runs MatchGroups over all candidate group pairs with
 // a bounded worker pool; the output order matches the input pair order, so
-// the result is deterministic.
-func matchGroupsParallel(pairs []GroupPair, oldGraphs, newGraphs map[string]*hgraph.Graph,
-	pre *PreMatchResult, f SimFunc, matchCfg MatchConfig, workers int) []*Subgraph {
+// the result is deterministic. Every worker isolates panics: under
+// PanicFailFast the pool drains promptly and the first failure (in pair
+// order) surfaces as a *PipelineError naming the group pair; under
+// PanicSkip the poisoned pairs contribute no subgraph and are counted on
+// obs.PanicsRecovered. Cancellation stops the pool between pairs.
+func matchGroupsParallel(ctx context.Context, delta float64, pairs []GroupPair, oldGraphs, newGraphs map[string]*hgraph.Graph,
+	pre *PreMatchResult, f SimFunc, matchCfg MatchConfig, workers int, policy PanicPolicy, st *obs.Stats) ([]*Subgraph, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -378,36 +437,85 @@ func matchGroupsParallel(pairs []GroupPair, oldGraphs, newGraphs map[string]*hgr
 		workers = len(pairs)
 	}
 	slots := make([]*Subgraph, len(pairs))
+	errs := make([]error, len(pairs))
+	matchOne := func(i int) (err error) {
+		gp := pairs[i]
+		defer func() {
+			if r := recover(); r != nil {
+				pe := panicErr("subgraph_match", delta, r, debug.Stack())
+				pe.Group = gp
+				err = pe
+			}
+		}()
+		if e := faultinject.Hit("linkage.match_groups"); e != nil {
+			return &PipelineError{Stage: "subgraph_match", Delta: delta, Group: gp, Chunk: -1, Err: e}
+		}
+		slots[i] = MatchGroups(oldGraphs[gp.Old], newGraphs[gp.New], pre, f, matchCfg)
+		return nil
+	}
 	if workers <= 1 {
-		for i, gp := range pairs {
-			slots[i] = MatchGroups(oldGraphs[gp.Old], newGraphs[gp.New], pre, f, matchCfg)
+		for i := range pairs {
+			if i%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, cancelErr("subgraph_match", delta, err)
+				}
+			}
+			if errs[i] = matchOne(i); errs[i] != nil && policy == PanicFailFast {
+				break
+			}
 		}
 	} else {
 		var wg sync.WaitGroup
 		next := make(chan int)
+		abort := make(chan struct{})
+		var abortOnce sync.Once
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					gp := pairs[i]
-					slots[i] = MatchGroups(oldGraphs[gp.Old], newGraphs[gp.New], pre, f, matchCfg)
+					if errs[i] = matchOne(i); errs[i] != nil && policy == PanicFailFast {
+						abortOnce.Do(func() { close(abort) })
+					}
 				}
 			}()
 		}
+	feed:
 		for i := range pairs {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			case <-abort:
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
+	// Cancellation wins over worker failures: the caller asked the whole
+	// run to stop, so report that rather than a coincidental pair error.
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr("subgraph_match", delta, err)
+	}
+	recovered := 0
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if policy == PanicFailFast {
+			return nil, err
+		}
+		recovered++
+	}
+	st.Add(obs.PanicsRecovered, recovered)
 	subs := slots[:0]
 	for _, s := range slots {
 		if s != nil {
 			subs = append(subs, s)
 		}
 	}
-	return subs
+	return subs, nil
 }
 
 // MatchRemainingOptimal is MatchRemaining with an optimal 1:1 assignment:
@@ -416,6 +524,19 @@ func matchGroupsParallel(pairs []GroupPair, oldGraphs, newGraphs map[string]*hgr
 // Hungarian algorithm (per connected candidate component).
 func MatchRemainingOptimal(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
+	links, _ := matchRemainingOptimal(context.Background(), old, oldYear, new, newYear, f, cfg, strategies)
+	return links
+}
+
+// matchRemainingOptimal implements MatchRemainingOptimal with cooperative
+// cancellation during the candidate scan (the assignment solve itself runs
+// to completion; it is in-memory and brief relative to the scan). With a
+// background context it never fails.
+func matchRemainingOptimal(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy) ([]RecordLink, error) {
+	if err := faultinject.Hit("linkage.remainder"); err != nil {
+		return nil, &PipelineError{Stage: "remainder", Delta: f.Delta, Chunk: -1, Err: err}
+	}
 	oldIdx := make(map[string]int, len(old))
 	for i, r := range old {
 		oldIdx[r.ID] = i
@@ -427,7 +548,12 @@ func MatchRemainingOptimal(old []*census.Record, oldYear int, new []*census.Reco
 	var edges []assign.Edge
 	ix := block.NewIndex(new, newYear, strategies)
 	scratch := make(map[string]struct{})
-	for _, o := range old {
+	for i, o := range old {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, cancelErr("remainder", f.Delta, err)
+			}
+		}
 		for _, n := range ix.Candidates(o, oldYear, scratch) {
 			if !cfg.ageConsistent(o, n) {
 				continue
@@ -457,7 +583,7 @@ func MatchRemainingOptimal(old []*census.Record, oldYear int, new []*census.Reco
 		}
 		return out[i].New < out[j].New
 	})
-	return out
+	return out, nil
 }
 
 // withoutLinked filters out the records that appear on the given side of any
@@ -487,13 +613,20 @@ func withoutLinked(recs []*census.Record, links []RecordLink, oldSide bool) []*c
 // configuration, returning one result per pair (results[i] links
 // Datasets[i] to Datasets[i+1]).
 func LinkSeries(series *census.Series, cfg Config) ([]*Result, error) {
+	return LinkSeriesContext(context.Background(), series, cfg)
+}
+
+// LinkSeriesContext is LinkSeries with cooperative cancellation: the
+// context is observed between pairs and inside every pair's pipeline (see
+// LinkContext), so a deadline or SIGINT aborts a multi-decade run promptly.
+func LinkSeriesContext(ctx context.Context, series *census.Series, cfg Config) ([]*Result, error) {
 	pairs := series.Pairs()
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("linkage: series has %d datasets, need at least 2", len(series.Datasets))
 	}
 	out := make([]*Result, 0, len(pairs))
 	for _, pair := range pairs {
-		res, err := Link(pair[0], pair[1], cfg)
+		res, err := LinkContext(ctx, pair[0], pair[1], cfg)
 		if err != nil {
 			return nil, fmt.Errorf("linkage: pair %d-%d: %w", pair[0].Year, pair[1].Year, err)
 		}

@@ -1,12 +1,16 @@
 package linkage
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"censuslink/internal/block"
 	"censuslink/internal/census"
 	"censuslink/internal/cluster"
+	"censuslink/internal/faultinject"
+	"censuslink/internal/obs"
 )
 
 // Pair identifies a record pair across the two datasets by record ID.
@@ -48,8 +52,41 @@ func (p *PreMatchResult) Label(id string) (int, bool) {
 // between the old records (from the dataset of year oldYear) and the new
 // records (year newYear), keeps pairs reaching δ, and clusters records via
 // the transitive closure of those links. workers <= 0 selects GOMAXPROCS.
+//
+// PreMatch is the legacy fail-fast entry point without cancellation; a
+// worker failure (only possible under fault injection) propagates as a
+// panic, matching the pre-isolation behaviour. Use PreMatchContext for
+// cooperative cancellation and a typed error instead.
 func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, strategies []block.Strategy, workers int) *PreMatchResult {
+	pre, err := preMatch(context.Background(), old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil)
+	if err != nil {
+		panic(err)
+	}
+	return pre
+}
+
+// PreMatchContext is PreMatch with cooperative cancellation: chunk workers
+// observe ctx between records and the call returns a *PipelineError wrapping
+// ctx.Err() instead of a partial result. Worker panics surface as typed
+// errors naming the offending chunk.
+func PreMatchContext(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, strategies []block.Strategy, workers int) (*PreMatchResult, error) {
+	return preMatch(ctx, old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil)
+}
+
+// cancelCheckEvery is the number of records a pipeline loop processes
+// between cancellation checkpoints — frequent enough for prompt aborts,
+// rare enough to stay invisible in profiles.
+const cancelCheckEvery = 64
+
+// preMatch is the full pre-matching implementation: bounded chunk workers
+// with panic isolation, cooperative cancellation and the configured panic
+// policy. Under PanicSkip a failed chunk contributes no comparisons and is
+// counted on obs.PanicsRecovered; the surviving chunks still merge
+// deterministically because results are slotted by chunk index.
+func preMatch(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, strategies []block.Strategy, workers int, policy PanicPolicy, st *obs.Stats) (*PreMatchResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -75,26 +112,61 @@ func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear i
 		chunks = append(chunks, old[i:end])
 	}
 	results := make([]chunkResult, len(chunks))
+	errs := make([]error, len(chunks))
+	runChunk := func(ci int, chunk []*census.Record) (res chunkResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := panicErr("prematch", f.Delta, r, debug.Stack())
+				pe.Chunk = ci
+				err = pe
+			}
+		}()
+		if e := faultinject.Hit("linkage.prematch.chunk"); e != nil {
+			return res, &PipelineError{Stage: "prematch", Delta: f.Delta, Chunk: ci, Err: e}
+		}
+		scratch := make(map[string]struct{})
+		for j, o := range chunk {
+			if j%cancelCheckEvery == 0 {
+				if e := ctx.Err(); e != nil {
+					return res, cancelErr("prematch", f.Delta, e)
+				}
+			}
+			for _, n := range ix.Candidates(o, oldYear, scratch) {
+				res.n++
+				if s := f.AggSim(o, n); s >= f.Delta {
+					res.pairs = append(res.pairs, Pair{Old: o.ID, New: n.ID})
+					res.sims = append(res.sims, s)
+				}
+			}
+		}
+		return res, nil
+	}
 	var wg sync.WaitGroup
 	for ci, chunk := range chunks {
 		wg.Add(1)
 		go func(ci int, chunk []*census.Record) {
 			defer wg.Done()
-			scratch := make(map[string]struct{})
-			var res chunkResult
-			for _, o := range chunk {
-				for _, n := range ix.Candidates(o, oldYear, scratch) {
-					res.n++
-					if s := f.AggSim(o, n); s >= f.Delta {
-						res.pairs = append(res.pairs, Pair{Old: o.ID, New: n.ID})
-						res.sims = append(res.sims, s)
-					}
-				}
-			}
-			results[ci] = res
+			results[ci], errs[ci] = runChunk(ci, chunk)
 		}(ci, chunk)
 	}
 	wg.Wait()
+
+	// Cancellation wins over worker failures: the caller asked the whole
+	// run to stop, so report that rather than a coincidental chunk error.
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr("prematch", f.Delta, err)
+	}
+	skipped := make([]bool, len(chunks))
+	for ci, err := range errs {
+		if err == nil {
+			continue
+		}
+		if policy == PanicFailFast {
+			return nil, err
+		}
+		skipped[ci] = true
+		st.Add(obs.PanicsRecovered, 1)
+	}
 
 	out := &PreMatchResult{
 		Sims:      make(map[Pair]float64),
@@ -108,7 +180,10 @@ func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear i
 	for _, r := range new {
 		uf.Add(r.ID)
 	}
-	for _, res := range results {
+	for ci, res := range results {
+		if skipped[ci] {
+			continue
+		}
 		out.Compared += res.n
 		for i, p := range res.pairs {
 			out.Links = append(out.Links, p)
@@ -121,5 +196,5 @@ func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear i
 		out.LabelSize[l]++
 	}
 	out.Blocked = int(ix.Generated())
-	return out
+	return out, nil
 }
