@@ -20,9 +20,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# One iteration of every table/figure benchmark plus the micro benchmarks.
+# One iteration of every table/figure benchmark plus the micro benchmarks,
+# then the naive-vs-compiled pre-matching trajectory report.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	CENSUSLINK_BENCH_JSON=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
 
 # Regenerate the full experiment report at the canonical scale.
 report:

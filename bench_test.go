@@ -8,6 +8,7 @@
 package censuslink_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"censuslink/internal/evolution"
 	"censuslink/internal/experiments"
 	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
 	"censuslink/internal/synth"
 )
 
@@ -152,6 +154,117 @@ func BenchmarkLinkPair(b *testing.B) {
 		if _, err := linkage.Link(old, new, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchEngines lists the two comparison paths side by side.
+var benchEngines = []linkage.EngineKind{linkage.EngineNaive, linkage.EngineCompiled}
+
+// BenchmarkPreMatch compares one full pre-matching pass at δ_high through
+// the interpreted and the compiled comparison engine. The compiled run pays
+// for interning, profile construction and the blocking index on every
+// iteration — the honest per-pass cost.
+func BenchmarkPreMatch(b *testing.B) {
+	old, new, err := synth.GeneratePair(synth.TestConfig(benchScale(), 1871), 1871, 1881)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := linkage.DefaultConfig()
+	f := cfg.Sim.WithDelta(cfg.DeltaHigh)
+	for _, kind := range benchEngines {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pre := linkage.PreMatchEngine(old.Records(), old.Year, new.Records(), new.Year,
+					f, cfg.Strategies, cfg.Workers, kind)
+				if pre.Compared == 0 {
+					b.Fatal("no candidate pairs compared")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLinkSeries times the full six-census series linkage per engine.
+func BenchmarkLinkSeries(b *testing.B) {
+	series, err := synth.Generate(synth.TestConfig(benchScale(), 1871))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range benchEngines {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := linkage.DefaultConfig()
+			cfg.Engine = kind
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := linkage.LinkSeries(series, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchTrajectory measures the naive-vs-compiled pre-matching speedup
+// programmatically and writes a JSON report to the path named by the
+// CENSUSLINK_BENCH_JSON environment variable (skipped when unset). The
+// report also carries the similarity-memo counters of one compiled Link run
+// so the cache effectiveness is recorded alongside the timing.
+func TestBenchTrajectory(t *testing.T) {
+	path := os.Getenv("CENSUSLINK_BENCH_JSON")
+	if path == "" {
+		t.Skip("set CENSUSLINK_BENCH_JSON to write the pre-matching benchmark report")
+	}
+	old, new, err := synth.GeneratePair(synth.TestConfig(benchScale(), 1871), 1871, 1881)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := linkage.DefaultConfig()
+	f := cfg.Sim.WithDelta(cfg.DeltaHigh)
+	run := func(kind linkage.EngineKind) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				linkage.PreMatchEngine(old.Records(), old.Year, new.Records(), new.Year,
+					f, cfg.Strategies, cfg.Workers, kind)
+			}
+		})
+	}
+	naive := run(linkage.EngineNaive)
+	compiled := run(linkage.EngineCompiled)
+	speedup := float64(naive.NsPerOp()) / float64(compiled.NsPerOp())
+
+	statsCfg := linkage.DefaultConfig()
+	statsCfg.Engine = linkage.EngineCompiled
+	statsCfg.Obs = obs.NewStats(nil)
+	if _, err := linkage.Link(old, new, statsCfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := statsCfg.Obs.Report()
+	hits := rep.Counters[obs.SimCacheHits]
+	misses := rep.Counters[obs.SimCacheMisses]
+
+	report := map[string]any{
+		"benchmark":          "PreMatch",
+		"scale":              benchScale(),
+		"naive_ns_op":        naive.NsPerOp(),
+		"compiled_ns_op":     compiled.NsPerOp(),
+		"speedup":            speedup,
+		"sim_cache_hits":     hits,
+		"sim_cache_misses":   misses,
+		"sim_cache_hit_rate": float64(hits) / float64(hits+misses),
+		"pruned_comparisons": rep.Counters[obs.PrunedComparisons],
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("prematch naive %v/op, compiled %v/op, speedup %.2fx, memo hit rate %.3f",
+		naive.NsPerOp(), compiled.NsPerOp(), speedup, float64(hits)/float64(hits+misses))
+	if speedup < 2 {
+		t.Errorf("compiled pre-matching speedup %.2fx below the 2x target", speedup)
 	}
 }
 

@@ -55,6 +55,7 @@ func main() {
 	lenient := flag.Bool("lenient", false, "skip bad input rows instead of aborting, printing a data-quality summary to stderr")
 	maxBadRows := flag.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
 	panicPolicy := flag.String("panic-policy", "fail-fast", "worker panic policy: fail-fast or skip")
+	engineFlag := flag.String("engine", "compiled", "comparison engine: compiled (interned values + similarity memo) or naive (interpreted oracle)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -109,6 +110,18 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	engine, err := linkage.ParseEngine(*engineFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A JSON config may carry its own engine choice; an explicit -engine
+	// flag wins over it.
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
 	loadOpts := census.LoadOptions{Strict: !*lenient, MaxBadRows: *maxBadRows}
 
 	oldDS := loadCensus(*oldPath, *oldYear, loadOpts)
@@ -141,6 +154,9 @@ func main() {
 			cfg.Alpha, cfg.Beta = *alpha, *beta
 			cfg.AgeTolerance = *ageTol
 		}
+		if *configPath == "" || engineSet {
+			cfg.Engine = engine
+		}
 		if *method == "oneshot" {
 			cfg.DeltaHigh, cfg.DeltaStep = cfg.DeltaLow, 0
 		}
@@ -161,8 +177,10 @@ func main() {
 		fmt.Printf("%d iterations, %d remainder record links\n",
 			len(res.Iterations), res.RemainderRecordLinks)
 	case "cl":
+		clCfg := collective.DefaultConfig()
+		clCfg.Engine = engine
 		stop := stats.Stage("baseline_cl")
-		recordLinks = collective.Link(oldDS, newDS, collective.DefaultConfig())
+		recordLinks = collective.Link(oldDS, newDS, clCfg)
 		stop()
 	case "graphsim":
 		stop := stats.Stage("baseline_graphsim")

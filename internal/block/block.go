@@ -98,12 +98,15 @@ func CrossProduct() Strategy {
 }
 
 // Index is a prebuilt blocking index over the records of the newer dataset.
+// It stores dataset positions (int32) rather than record pointers so the
+// iterative linkage loop can build it once per year-pair and filter the
+// shrinking unlinked subset per δ-iteration instead of rebuilding it.
 // It can be queried concurrently once built.
 type Index struct {
+	recs       []*census.Record
 	strategies []Strategy
-	byKey      []map[string][]*census.Record // one map per strategy
-	pos        map[string]int                // record ID -> dataset position
-	generated  atomic.Int64                  // raw key collisions across all Candidates calls
+	byKey      []map[string][]int32 // one map per strategy; values are positions in recs
+	generated  atomic.Int64         // raw key collisions across all Candidates calls
 }
 
 // Generated returns the raw number of candidate-pair hits the index has
@@ -117,18 +120,15 @@ func (ix *Index) Generated() int64 { return ix.generated.Load() }
 // year) under every strategy.
 func NewIndex(recs []*census.Record, year int, strategies []Strategy) *Index {
 	ix := &Index{
+		recs:       recs,
 		strategies: strategies,
-		byKey:      make([]map[string][]*census.Record, len(strategies)),
-		pos:        make(map[string]int, len(recs)),
-	}
-	for i, r := range recs {
-		ix.pos[r.ID] = i
+		byKey:      make([]map[string][]int32, len(strategies)),
 	}
 	for si, s := range strategies {
-		m := make(map[string][]*census.Record)
-		for _, r := range recs {
+		m := make(map[string][]int32)
+		for i, r := range recs {
 			for _, k := range s.Keys(r, year) {
-				m[k] = append(m[k], r)
+				m[k] = append(m[k], int32(i))
 			}
 		}
 		ix.byKey[si] = m
@@ -136,34 +136,79 @@ func NewIndex(recs []*census.Record, year int, strategies []Strategy) *Index {
 	return ix
 }
 
-// Candidates returns the distinct indexed records sharing at least one
-// blocking key with record o (whose dataset has the given year), ordered by
-// their position in the indexed dataset. The scratch map, if non-nil, is
-// cleared and reused to avoid allocation in tight loops.
-func (ix *Index) Candidates(o *census.Record, oldYear int, scratch map[string]struct{}) []*census.Record {
-	if scratch == nil {
-		scratch = make(map[string]struct{})
-	} else {
-		clear(scratch)
+// Len returns the number of indexed records.
+func (ix *Index) Len() int { return len(ix.recs) }
+
+// Record returns the indexed record at position i.
+func (ix *Index) Record(i int32) *census.Record { return ix.recs[i] }
+
+// Scratch is reusable per-worker query state for CandidateIndices. The
+// epoch-stamp array replaces the per-call map clear of the old scratch map:
+// bumping the epoch invalidates every previous stamp in O(1), so dedup
+// state is reused across candidate calls without any reset loop.
+type Scratch struct {
+	stamp []int32
+	epoch int32
+	out   []int32
+}
+
+// reset prepares the scratch for an index of n records and starts a new
+// dedup epoch.
+func (sc *Scratch) reset(n int) {
+	if len(sc.stamp) < n {
+		sc.stamp = make([]int32, n)
+		sc.epoch = 0
 	}
-	var out []*census.Record
+	if sc.epoch == int32(^uint32(0)>>1) { // epoch overflow: hard reset
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 0
+	}
+	sc.epoch++
+	sc.out = sc.out[:0]
+}
+
+// CandidateIndices returns the positions of the distinct indexed records
+// sharing at least one blocking key with record o (whose dataset has the
+// given year), in ascending position order — the same order the pointer
+// API returns records in. The returned slice aliases the scratch buffer
+// and is only valid until the next call with the same Scratch.
+func (ix *Index) CandidateIndices(o *census.Record, oldYear int, sc *Scratch) []int32 {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.reset(len(ix.recs))
 	raw := 0
 	for si, s := range ix.strategies {
 		for _, k := range s.Keys(o, oldYear) {
 			for _, n := range ix.byKey[si][k] {
 				raw++
-				if _, dup := scratch[n.ID]; dup {
+				if sc.stamp[n] == sc.epoch {
 					continue
 				}
-				scratch[n.ID] = struct{}{}
-				out = append(out, n)
+				sc.stamp[n] = sc.epoch
+				sc.out = append(sc.out, n)
 			}
 		}
 	}
 	if raw > 0 {
 		ix.generated.Add(int64(raw)) // one add per query, not per hit
 	}
-	sort.Slice(out, func(i, j int) bool { return ix.pos[out[i].ID] < ix.pos[out[j].ID] })
+	sort.Slice(sc.out, func(i, j int) bool { return sc.out[i] < sc.out[j] })
+	return sc.out
+}
+
+// Candidates returns the distinct indexed records sharing at least one
+// blocking key with record o, ordered by their position in the indexed
+// dataset. Convenience wrapper over CandidateIndices; the scratch, if
+// non-nil, is reused across calls to avoid allocation in tight loops.
+func (ix *Index) Candidates(o *census.Record, oldYear int, sc *Scratch) []*census.Record {
+	idxs := ix.CandidateIndices(o, oldYear, sc)
+	out := make([]*census.Record, len(idxs))
+	for i, n := range idxs {
+		out[i] = ix.recs[n]
+	}
 	return out
 }
 
@@ -174,9 +219,9 @@ func (ix *Index) Candidates(o *census.Record, oldYear int, scratch map[string]st
 func Candidates(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	strategies []Strategy, visit func(o, n *census.Record)) {
 	ix := NewIndex(new, newYear, strategies)
-	scratch := make(map[string]struct{})
+	var scratch Scratch
 	for _, o := range old {
-		for _, n := range ix.Candidates(o, oldYear, scratch) {
+		for _, n := range ix.Candidates(o, oldYear, &scratch) {
 			visit(o, n)
 		}
 	}

@@ -1,0 +1,267 @@
+// Package compare implements the compiled comparison engine: census records
+// are compiled once per dataset — every attribute value interned into a
+// per-attribute dictionary of value IDs with one precomputed strsim.Profile
+// per distinct value — and record pairs are then scored through a
+// distinct-pair memo table with a remaining-weight upper-bound early exit.
+//
+// Census data is dominated by small dictionaries of distinct surnames,
+// addresses and occupations, so after the first δ-iteration of the linkage
+// loop almost every attribute comparison is a table lookup. The engine is
+// constructed so its results are bit-for-bit identical to the interpreted
+// string path (linkage.SimFunc): profiles share the same rune-level cores
+// as the string functions, and aggregation follows the same matcher order
+// with the same skip-zero-weight rule.
+package compare
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"censuslink/internal/census"
+	"censuslink/internal/strsim"
+)
+
+// Matcher is the compiled form of one weighted attribute comparator. It
+// mirrors linkage.AttributeMatcher without importing the linkage package
+// (linkage imports compare, not the reverse).
+type Matcher struct {
+	Attr   census.Attribute
+	Weight float64
+	// Prof is the profile comparator. When nil, Sim is wrapped with
+	// strsim.Memoized so the matcher still benefits from the distinct-pair
+	// memo table while scoring through the string path.
+	Prof *strsim.Profiled
+	// Sim is the interpreted fallback used when Prof is nil.
+	Sim strsim.Func
+}
+
+// CompiledDataset holds one record list compiled against a matcher set:
+// per-matcher value-ID vectors plus one profile per distinct value.
+type CompiledDataset struct {
+	Recs     []*census.Record
+	matchers []Matcher
+	// ids[mi][ri] is the dictionary ID of record ri's value for matcher mi.
+	ids [][]int32
+	// profiles[mi][vid] is the precompiled profile of distinct value vid.
+	profiles [][]strsim.Profile
+	pos      map[string]int
+}
+
+// Compile interns recs against the matcher set. Matchers sharing an
+// attribute share one dictionary pass; profiles are built per matcher
+// because different comparators compile values differently.
+func Compile(recs []*census.Record, matchers []Matcher) *CompiledDataset {
+	cd := &CompiledDataset{
+		Recs:     recs,
+		matchers: make([]Matcher, len(matchers)),
+		ids:      make([][]int32, len(matchers)),
+		profiles: make([][]strsim.Profile, len(matchers)),
+		pos:      make(map[string]int, len(recs)),
+	}
+	copy(cd.matchers, matchers)
+	for mi := range cd.matchers {
+		if cd.matchers[mi].Prof == nil {
+			if cd.matchers[mi].Sim == nil {
+				panic(fmt.Sprintf("compare: matcher %d (%v) has neither Prof nor Sim", mi, cd.matchers[mi].Attr))
+			}
+			cd.matchers[mi].Prof = strsim.Memoized("func", cd.matchers[mi].Sim)
+		}
+	}
+	for i, r := range recs {
+		cd.pos[r.ID] = i
+	}
+	// One dictionary pass per distinct attribute.
+	var attrIDs [census.NumAttributes][]int32
+	var attrVals [census.NumAttributes][]string
+	for _, m := range cd.matchers {
+		if attrIDs[m.Attr] != nil {
+			continue
+		}
+		ids := make([]int32, len(recs))
+		seen := make(map[string]int32, 64)
+		vals := make([]string, 0, 64)
+		for i, r := range recs {
+			v := r.Value(m.Attr)
+			id, ok := seen[v]
+			if !ok {
+				id = int32(len(vals))
+				seen[v] = id
+				vals = append(vals, v)
+			}
+			ids[i] = id
+		}
+		attrIDs[m.Attr] = ids
+		attrVals[m.Attr] = vals
+	}
+	for mi, m := range cd.matchers {
+		cd.ids[mi] = attrIDs[m.Attr]
+		vals := attrVals[m.Attr]
+		profs := make([]strsim.Profile, len(vals))
+		for vi, v := range vals {
+			profs[vi] = m.Prof.Build(v)
+		}
+		cd.profiles[mi] = profs
+	}
+	return cd
+}
+
+// Pos returns the index of the record with the given ID.
+func (cd *CompiledDataset) Pos(id string) (int, bool) {
+	i, ok := cd.pos[id]
+	return i, ok
+}
+
+// DistinctValues returns the dictionary size for matcher mi, for
+// diagnostics and tests.
+func (cd *CompiledDataset) DistinctValues(mi int) int {
+	return len(cd.profiles[mi])
+}
+
+// pruneEps guards the remaining-weight early exit against float rounding:
+// a pair is pruned only when even a maximal remaining contribution leaves
+// it more than pruneEps below δ, so no pair that the full sum would accept
+// can ever be cut short. Attribute similarities are in [0, 1] and the
+// aggregation involves at most a handful of multiply-adds, so accumulated
+// error is orders of magnitude below 1e-9.
+const pruneEps = 1e-9
+
+// memoShards is the number of lock shards per matcher memo; the shard is
+// picked by Fibonacci-hashing the pair key.
+const memoShards = 64
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[uint64]float64
+}
+
+// pairMemo memoizes distinct (old value ID, new value ID) similarities for
+// one matcher. Concurrent double-computation is benign: comparators are
+// pure, so racing writers store the same value.
+type pairMemo struct {
+	shards [memoShards]memoShard
+}
+
+func (pm *pairMemo) shard(key uint64) *memoShard {
+	return &pm.shards[(key*0x9E3779B97F4A7C15)>>(64-6)]
+}
+
+// Engine scores (old record index, new record index) pairs between two
+// compiled datasets. It is safe for concurrent use and is designed to live
+// across all δ-iterations of a Link call so that similarities computed at a
+// higher threshold are reused verbatim at relaxed ones.
+type Engine struct {
+	Old *CompiledDataset
+	New *CompiledDataset
+	// suffixW[i] is the total weight of matchers after i: the maximum
+	// possible remaining contribution once matcher i has been added.
+	suffixW []float64
+	memos   []pairMemo
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	pruned atomic.Int64
+}
+
+// NewEngine pairs two datasets compiled against the same matcher set.
+func NewEngine(old, new *CompiledDataset) *Engine {
+	if len(old.matchers) != len(new.matchers) {
+		panic(fmt.Sprintf("compare: matcher count mismatch: %d vs %d", len(old.matchers), len(new.matchers)))
+	}
+	for mi := range old.matchers {
+		if old.matchers[mi].Attr != new.matchers[mi].Attr {
+			panic(fmt.Sprintf("compare: matcher %d attribute mismatch: %v vs %v", mi, old.matchers[mi].Attr, new.matchers[mi].Attr))
+		}
+	}
+	e := &Engine{
+		Old:     old,
+		New:     new,
+		suffixW: make([]float64, len(old.matchers)),
+		memos:   make([]pairMemo, len(old.matchers)),
+	}
+	for i := len(old.matchers) - 1; i >= 0; i-- {
+		if i+1 < len(old.matchers) {
+			e.suffixW[i] = e.suffixW[i+1] + old.matchers[i+1].Weight
+		}
+	}
+	for mi := range e.memos {
+		for si := range e.memos[mi].shards {
+			e.memos[mi].shards[si].m = make(map[uint64]float64)
+		}
+	}
+	return e
+}
+
+// attrSim returns the matcher-mi similarity of the pair through the memo
+// table, computing and storing it on first sight of the value-ID pair.
+func (e *Engine) attrSim(mi, oi, ni int) float64 {
+	ia := e.Old.ids[mi][oi]
+	ib := e.New.ids[mi][ni]
+	key := uint64(uint32(ia))<<32 | uint64(uint32(ib))
+	sh := e.memos[mi].shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		e.hits.Add(1)
+		return v
+	}
+	e.misses.Add(1)
+	v = e.Old.matchers[mi].Prof.Compare(&e.Old.profiles[mi][ia], &e.New.profiles[mi][ib])
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// AggSim returns the weighted aggregated similarity of old record oi and
+// new record ni, bit-for-bit equal to linkage.SimFunc.AggSim on the same
+// records: identical per-attribute values, identical accumulation order.
+func (e *Engine) AggSim(oi, ni int) float64 {
+	s := 0.0
+	for mi := range e.suffixW {
+		w := e.Old.matchers[mi].Weight
+		if w == 0 {
+			continue
+		}
+		s += w * e.attrSim(mi, oi, ni)
+	}
+	return s
+}
+
+// AggSimAtLeast returns (AggSim(oi, ni), true) when the aggregated
+// similarity reaches delta. When the remaining-weight upper bound proves
+// the pair cannot reach delta it stops early and returns the partial sum
+// with false; the partial value must not be used as an exact similarity.
+// The epsilon guard guarantees no pair whose full similarity is ≥ delta is
+// ever pruned, so accepted pairs are exactly the naive path's.
+func (e *Engine) AggSimAtLeast(oi, ni int, delta float64) (float64, bool) {
+	s := 0.0
+	for mi := range e.suffixW {
+		w := e.Old.matchers[mi].Weight
+		if w == 0 {
+			continue
+		}
+		s += w * e.attrSim(mi, oi, ni)
+		if s+e.suffixW[mi] < delta-pruneEps {
+			e.pruned.Add(1)
+			return s, false
+		}
+	}
+	return s, s >= delta
+}
+
+// SimVector returns the per-matcher similarity vector, bit-for-bit equal
+// to linkage.SimFunc.SimVector (zero-weight matchers included).
+func (e *Engine) SimVector(oi, ni int) []float64 {
+	out := make([]float64, len(e.suffixW))
+	for mi := range out {
+		out[mi] = e.attrSim(mi, oi, ni)
+	}
+	return out
+}
+
+// Counters returns the cumulative memo hit, miss and pruned-pair counts.
+func (e *Engine) Counters() (hits, misses, pruned int64) {
+	return e.hits.Load(), e.misses.Load(), e.pruned.Load()
+}

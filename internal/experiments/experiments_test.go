@@ -186,10 +186,15 @@ func TestAblationShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(data.Variants) != 7 || len(tab.Rows) != 7 {
+	if len(data.Variants) != 8 || len(tab.Rows) != 8 {
 		t.Fatalf("variants = %v", data.Variants)
 	}
 	def := data.Results["default"]
+	// The interpreted engine is an oracle, not a design choice: its row must
+	// equal the compiled default exactly.
+	if ne := data.Results["naive-engine"]; ne != def {
+		t.Errorf("naive-engine quality %+v differs from default %+v", ne, def)
+	}
 	// The vertex guards variant must not collapse quality.
 	if g := data.Results["vertex-guards"]; g.Record.F1 < def.Record.F1-0.08 {
 		t.Errorf("vertex guards degraded F: %.3f vs default %.3f", g.Record.F1, def.Record.F1)

@@ -1,0 +1,105 @@
+package linkage
+
+import (
+	"fmt"
+	"strings"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/compare"
+	"censuslink/internal/obs"
+)
+
+// EngineKind selects the comparison path of the linkage pipeline.
+type EngineKind int
+
+const (
+	// EngineCompiled scores candidate pairs through the compiled comparison
+	// engine (internal/compare): interned attribute values, precomputed
+	// profiles, a distinct-pair memo table reused across δ-iterations and a
+	// remaining-weight early exit. This is the default; its results are
+	// bit-for-bit identical to the naive path.
+	EngineCompiled EngineKind = iota
+	// EngineNaive scores every candidate pair through the interpreted
+	// string path, rebuilding the blocking index per iteration. Retained as
+	// the differential-testing oracle.
+	EngineNaive
+)
+
+// String names the engine kind as accepted by ParseEngine.
+func (k EngineKind) String() string {
+	if k == EngineNaive {
+		return "naive"
+	}
+	return "compiled"
+}
+
+// ParseEngine resolves an -engine flag value ("compiled" or "naive"; the
+// empty string selects the compiled default).
+func ParseEngine(s string) (EngineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "compiled":
+		return EngineCompiled, nil
+	case "naive", "interpreted":
+		return EngineNaive, nil
+	default:
+		return 0, fmt.Errorf("linkage: unknown engine %q (want compiled or naive)", s)
+	}
+}
+
+// CompareMatchers converts the SimFunc's matchers into their compiled form
+// for internal/compare. Matchers without a profile comparator fall back to
+// memoizing their string function.
+func (f SimFunc) CompareMatchers() []compare.Matcher {
+	out := make([]compare.Matcher, len(f.Matchers))
+	for i, m := range f.Matchers {
+		out[i] = compare.Matcher{Attr: m.Attr, Weight: m.Weight, Prof: m.Prof, Sim: m.Sim}
+	}
+	return out
+}
+
+// Compile interns the two record lists against this SimFunc and returns a
+// scoring engine whose AggSim/SimVector are bit-for-bit equal to the
+// interpreted AggSim/SimVector on the same records.
+func (f SimFunc) Compile(old, new []*census.Record) *compare.Engine {
+	ms := f.CompareMatchers()
+	return compare.NewEngine(compare.Compile(old, ms), compare.Compile(new, ms))
+}
+
+// compiledPair is the per-year-pair state of the compiled path: one scoring
+// engine, the blocking index built once over the full new dataset, and the
+// active-record mask the δ-iteration loop narrows instead of rebuilding the
+// index per iteration.
+type compiledPair struct {
+	eng *compare.Engine
+	ix  *block.Index
+	// active[i] reports whether new record i is still unlinked; shared by
+	// the pre-matching and remainder passes of one Link call.
+	active []bool
+	// Last engine counter values flushed to obs, so each stage reports
+	// deltas rather than cumulative totals.
+	prevHits, prevMisses, prevPruned int64
+}
+
+// setActive recomputes the active mask from the remaining (unlinked) new
+// records.
+func (cp *compiledPair) setActive(remaining []*census.Record) {
+	for i := range cp.active {
+		cp.active[i] = false
+	}
+	for _, r := range remaining {
+		if i, ok := cp.eng.New.Pos(r.ID); ok {
+			cp.active[i] = true
+		}
+	}
+}
+
+// flushCounters adds the engine counter deltas since the previous flush to
+// the run's observability stats.
+func (cp *compiledPair) flushCounters(st *obs.Stats) {
+	h, m, p := cp.eng.Counters()
+	st.Add(obs.SimCacheHits, int(h-cp.prevHits))
+	st.Add(obs.SimCacheMisses, int(m-cp.prevMisses))
+	st.Add(obs.PrunedComparisons, int(p-cp.prevPruned))
+	cp.prevHits, cp.prevMisses, cp.prevPruned = h, m, p
+}

@@ -63,6 +63,12 @@ type Config struct {
 	// for the run (see internal/obs). Nil disables observability; the
 	// pipeline never logs on its own.
 	Obs *obs.Stats
+	// Engine selects the comparison path. The zero value is EngineCompiled:
+	// records are interned once per year-pair, the blocking index is built
+	// once and filtered per δ-iteration, and pair similarities are memoized
+	// across iterations. EngineNaive keeps the interpreted per-iteration
+	// path as a differential-testing oracle; both produce identical results.
+	Engine EngineKind
 }
 
 // DefaultConfig returns the paper's best configuration: ω2 pre-matching with
@@ -222,6 +228,22 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 	remainingNew := append([]*census.Record(nil), newDS.Records()...)
 	groupSeen := make(map[GroupPair]bool)
 
+	// Compiled path: intern both datasets and build the blocking index once
+	// per year-pair. The engines (and their distinct-pair memo tables) live
+	// for the whole call, so similarities computed at a higher δ are reused
+	// verbatim at relaxed thresholds, and the iteration loop only narrows
+	// the shared active mask instead of rebuilding the index.
+	var cpSim, cpRem *compiledPair
+	if cfg.Engine == EngineCompiled {
+		stopCompile := cfg.Obs.Stage("compile")
+		oldRecs, newRecs := oldDS.Records(), newDS.Records()
+		fullIx := block.NewIndex(newRecs, newDS.Year, cfg.Strategies)
+		active := make([]bool, len(newRecs))
+		cpSim = &compiledPair{eng: cfg.Sim.Compile(oldRecs, newRecs), ix: fullIx, active: active}
+		cpRem = &compiledPair{eng: cfg.Remainder.Compile(oldRecs, newRecs), ix: fullIx, active: active}
+		stopCompile()
+	}
+
 	const eps = 1e-9
 	for delta := cfg.DeltaHigh; delta >= cfg.DeltaLow-eps; delta -= cfg.DeltaStep {
 		if err := ctx.Err(); err != nil {
@@ -230,8 +252,14 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 		cfg.Obs.BeginIteration(delta)
 		f := cfg.Sim.WithDelta(delta)
 		stop := cfg.Obs.Stage("prematch")
-		pre, err := preMatch(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, f, cfg.Strategies, cfg.Workers, cfg.Panics, cfg.Obs)
+		if cpSim != nil {
+			cpSim.setActive(remainingNew)
+		}
+		pre, err := preMatch(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, f, cfg.Strategies, cfg.Workers, cfg.Panics, cfg.Obs, cpSim)
 		stop()
+		if cpSim != nil {
+			cpSim.flushCounters(cfg.Obs)
+		}
 		if err != nil {
 			cfg.Obs.EndIteration()
 			return nil, err
@@ -308,12 +336,18 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 	var remLinks []RecordLink
 	var remErr error
 	stop := cfg.Obs.Stage("remainder")
+	if cpRem != nil {
+		cpRem.setActive(remainingNew)
+	}
 	if cfg.OptimalRemainder {
-		remLinks, remErr = matchRemainingOptimal(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
+		remLinks, remErr = matchRemainingOptimal(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies, cpRem)
 	} else {
-		remLinks, remErr = matchRemaining(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies)
+		remLinks, remErr = matchRemaining(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies, cpRem)
 	}
 	stop()
+	if cpRem != nil {
+		cpRem.flushCounters(cfg.Obs)
+	}
 	if remErr != nil {
 		return nil, remErr
 	}
@@ -363,8 +397,63 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 // mapping by descending similarity.
 func MatchRemaining(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
-	links, _ := matchRemaining(context.Background(), old, oldYear, new, newYear, f, cfg, strategies)
+	links, _ := matchRemaining(context.Background(), old, oldYear, new, newYear, f, cfg, strategies, nil)
 	return links
+}
+
+// remainderCands collects the blocked, age-consistent candidate links with
+// similarity at or above Sim_func_rem's δ, in deterministic scan order. It
+// is the shared front half of the greedy and optimal remainder matchers.
+// With a compiled pair the candidates come from the prebuilt full-dataset
+// index filtered by the active mask and are scored through the memoizing
+// engine; the accepted links and similarities are identical to the naive
+// scan's.
+func remainderCands(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
+	if err := faultinject.Hit("linkage.remainder"); err != nil {
+		return nil, &PipelineError{Stage: "remainder", Delta: f.Delta, Chunk: -1, Err: err}
+	}
+	var ix *block.Index
+	if cp == nil {
+		ix = block.NewIndex(new, newYear, strategies)
+	}
+	var cands []RecordLink
+	var scratch block.Scratch
+	for i, o := range old {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, cancelErr("remainder", f.Delta, err)
+			}
+		}
+		if cp != nil {
+			oi, ok := cp.eng.Old.Pos(o.ID)
+			if !ok {
+				continue
+			}
+			for _, ni := range cp.ix.CandidateIndices(o, oldYear, &scratch) {
+				if !cp.active[ni] {
+					continue
+				}
+				n := cp.ix.Record(ni)
+				if !cfg.ageConsistent(o, n) {
+					continue
+				}
+				if s, hit := cp.eng.AggSimAtLeast(oi, int(ni), f.Delta); hit {
+					cands = append(cands, RecordLink{Old: o.ID, New: n.ID, Sim: s})
+				}
+			}
+			continue
+		}
+		for _, n := range ix.Candidates(o, oldYear, &scratch) {
+			if !cfg.ageConsistent(o, n) {
+				continue
+			}
+			if s := f.AggSim(o, n); s >= f.Delta {
+				cands = append(cands, RecordLink{Old: o.ID, New: n.ID, Sim: s})
+			}
+		}
+	}
+	return cands, nil
 }
 
 // matchRemaining implements MatchRemaining with cooperative cancellation:
@@ -372,33 +461,13 @@ func MatchRemaining(old []*census.Record, oldYear int, new []*census.Record, new
 // typed error, so the final pass of Algorithm 1 cannot wedge a cancelled
 // run. With a background context it never fails.
 func matchRemaining(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, cfg MatchConfig, strategies []block.Strategy) ([]RecordLink, error) {
-	type cand struct {
-		link RecordLink
-	}
-	if err := faultinject.Hit("linkage.remainder"); err != nil {
-		return nil, &PipelineError{Stage: "remainder", Delta: f.Delta, Chunk: -1, Err: err}
-	}
-	var cands []cand
-	ix := block.NewIndex(new, newYear, strategies)
-	scratch := make(map[string]struct{})
-	for i, o := range old {
-		if i%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, cancelErr("remainder", f.Delta, err)
-			}
-		}
-		for _, n := range ix.Candidates(o, oldYear, scratch) {
-			if !cfg.ageConsistent(o, n) {
-				continue
-			}
-			if s := f.AggSim(o, n); s >= f.Delta {
-				cands = append(cands, cand{RecordLink{Old: o.ID, New: n.ID, Sim: s}})
-			}
-		}
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
+	cands, err := remainderCands(ctx, old, oldYear, new, newYear, f, cfg, strategies, cp)
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i].link, cands[j].link
+		a, b := cands[i], cands[j]
 		if a.Sim != b.Sim {
 			return a.Sim > b.Sim
 		}
@@ -411,12 +480,12 @@ func matchRemaining(ctx context.Context, old []*census.Record, oldYear int, new 
 	usedNew := make(map[string]bool)
 	var out []RecordLink
 	for _, c := range cands {
-		if usedOld[c.link.Old] || usedNew[c.link.New] {
+		if usedOld[c.Old] || usedNew[c.New] {
 			continue
 		}
-		usedOld[c.link.Old] = true
-		usedNew[c.link.New] = true
-		out = append(out, c.link)
+		usedOld[c.Old] = true
+		usedNew[c.New] = true
+		out = append(out, c)
 	}
 	return out, nil
 }
@@ -524,7 +593,7 @@ func matchGroupsParallel(ctx context.Context, delta float64, pairs []GroupPair, 
 // Hungarian algorithm (per connected candidate component).
 func MatchRemainingOptimal(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
-	links, _ := matchRemainingOptimal(context.Background(), old, oldYear, new, newYear, f, cfg, strategies)
+	links, _ := matchRemainingOptimal(context.Background(), old, oldYear, new, newYear, f, cfg, strategies, nil)
 	return links
 }
 
@@ -533,9 +602,10 @@ func MatchRemainingOptimal(old []*census.Record, oldYear int, new []*census.Reco
 // to completion; it is in-memory and brief relative to the scan). With a
 // background context it never fails.
 func matchRemainingOptimal(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, cfg MatchConfig, strategies []block.Strategy) ([]RecordLink, error) {
-	if err := faultinject.Hit("linkage.remainder"); err != nil {
-		return nil, &PipelineError{Stage: "remainder", Delta: f.Delta, Chunk: -1, Err: err}
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
+	cands, err := remainderCands(ctx, old, oldYear, new, newYear, f, cfg, strategies, cp)
+	if err != nil {
+		return nil, err
 	}
 	oldIdx := make(map[string]int, len(old))
 	for i, r := range old {
@@ -545,23 +615,9 @@ func matchRemainingOptimal(ctx context.Context, old []*census.Record, oldYear in
 	for i, r := range new {
 		newIdx[r.ID] = i
 	}
-	var edges []assign.Edge
-	ix := block.NewIndex(new, newYear, strategies)
-	scratch := make(map[string]struct{})
-	for i, o := range old {
-		if i%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, cancelErr("remainder", f.Delta, err)
-			}
-		}
-		for _, n := range ix.Candidates(o, oldYear, scratch) {
-			if !cfg.ageConsistent(o, n) {
-				continue
-			}
-			if s := f.AggSim(o, n); s >= f.Delta {
-				edges = append(edges, assign.Edge{Left: oldIdx[o.ID], Right: newIdx[n.ID], Weight: s})
-			}
-		}
+	edges := make([]assign.Edge, 0, len(cands))
+	for _, c := range cands {
+		edges = append(edges, assign.Edge{Left: oldIdx[c.Old], Right: newIdx[c.New], Weight: c.Sim})
 	}
 	match := assign.Max(len(old), len(new), edges)
 	sims := make(map[[2]int]float64, len(edges))

@@ -38,7 +38,9 @@ type PreMatchResult struct {
 	Compared int
 	// Blocked is the raw number of candidate pairs the blocking index
 	// generated across all strategies before deduplication; Blocked -
-	// Compared measures the overlap of the multi-pass strategies.
+	// Compared measures the overlap of the multi-pass strategies. Under the
+	// compiled engine the index covers the full new dataset, so hits on
+	// records already linked in earlier iterations are included too.
 	Blocked int
 }
 
@@ -59,7 +61,30 @@ func (p *PreMatchResult) Label(id string) (int, bool) {
 // cooperative cancellation and a typed error instead.
 func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, strategies []block.Strategy, workers int) *PreMatchResult {
-	pre, err := preMatch(context.Background(), old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil)
+	pre, err := preMatch(context.Background(), old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	return pre
+}
+
+// PreMatchEngine is PreMatch through an explicitly selected comparison
+// engine. EngineNaive behaves exactly like PreMatch; EngineCompiled interns
+// the record lists, builds the blocking index and scores through the
+// memoizing engine — compile cost included — so the two kinds are directly
+// comparable in benchmarks. The result is identical either way.
+func PreMatchEngine(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, strategies []block.Strategy, workers int, kind EngineKind) *PreMatchResult {
+	var cp *compiledPair
+	if kind == EngineCompiled {
+		cp = &compiledPair{
+			eng:    f.Compile(old, new),
+			ix:     block.NewIndex(new, newYear, strategies),
+			active: make([]bool, len(new)),
+		}
+		cp.setActive(new)
+	}
+	pre, err := preMatch(context.Background(), old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil, cp)
 	if err != nil {
 		panic(err)
 	}
@@ -72,7 +97,7 @@ func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear i
 // errors naming the offending chunk.
 func PreMatchContext(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, strategies []block.Strategy, workers int) (*PreMatchResult, error) {
-	return preMatch(ctx, old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil)
+	return preMatch(ctx, old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil, nil)
 }
 
 // cancelCheckEvery is the number of records a pipeline loop processes
@@ -85,12 +110,25 @@ const cancelCheckEvery = 64
 // policy. Under PanicSkip a failed chunk contributes no comparisons and is
 // counted on obs.PanicsRecovered; the surviving chunks still merge
 // deterministically because results are slotted by chunk index.
+//
+// With cp == nil the interpreted path runs: a fresh blocking index over the
+// new records and string-level AggSim per candidate pair. With a compiled
+// pair, candidates come from cp's prebuilt full-dataset index filtered by
+// the active mask (cp.setActive must have been called for this new slice)
+// and pairs are scored through the memoizing engine with early exit — the
+// accepted pairs and their similarities are identical on both paths.
 func preMatch(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, strategies []block.Strategy, workers int, policy PanicPolicy, st *obs.Stats) (*PreMatchResult, error) {
+	f SimFunc, strategies []block.Strategy, workers int, policy PanicPolicy, st *obs.Stats, cp *compiledPair) (*PreMatchResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ix := block.NewIndex(new, newYear, strategies)
+	var ix *block.Index
+	var gen0 int64
+	if cp == nil {
+		ix = block.NewIndex(new, newYear, strategies)
+	} else {
+		gen0 = cp.ix.Generated()
+	}
 
 	type chunkResult struct {
 		pairs []Pair
@@ -124,14 +162,33 @@ func preMatch(ctx context.Context, old []*census.Record, oldYear int, new []*cen
 		if e := faultinject.Hit("linkage.prematch.chunk"); e != nil {
 			return res, &PipelineError{Stage: "prematch", Delta: f.Delta, Chunk: ci, Err: e}
 		}
-		scratch := make(map[string]struct{})
+		// The scratch's epoch-stamp dedup state is allocated once per chunk
+		// and reused across every candidate query of the chunk.
+		var scratch block.Scratch
 		for j, o := range chunk {
 			if j%cancelCheckEvery == 0 {
 				if e := ctx.Err(); e != nil {
 					return res, cancelErr("prematch", f.Delta, e)
 				}
 			}
-			for _, n := range ix.Candidates(o, oldYear, scratch) {
+			if cp != nil {
+				oi, ok := cp.eng.Old.Pos(o.ID)
+				if !ok {
+					continue
+				}
+				for _, ni := range cp.ix.CandidateIndices(o, oldYear, &scratch) {
+					if !cp.active[ni] {
+						continue
+					}
+					res.n++
+					if s, hit := cp.eng.AggSimAtLeast(oi, int(ni), f.Delta); hit {
+						res.pairs = append(res.pairs, Pair{Old: o.ID, New: cp.ix.Record(ni).ID})
+						res.sims = append(res.sims, s)
+					}
+				}
+				continue
+			}
+			for _, n := range ix.Candidates(o, oldYear, &scratch) {
 				res.n++
 				if s := f.AggSim(o, n); s >= f.Delta {
 					res.pairs = append(res.pairs, Pair{Old: o.ID, New: n.ID})
@@ -168,9 +225,10 @@ func preMatch(ctx context.Context, old []*census.Record, oldYear int, new []*cen
 		st.Add(obs.PanicsRecovered, 1)
 	}
 
+	// Labels is filled by uf.Labels() below; allocating it here too would
+	// just produce garbage.
 	out := &PreMatchResult{
 		Sims:      make(map[Pair]float64),
-		Labels:    make(map[string]int, len(old)+len(new)),
 		LabelSize: make(map[int]int),
 	}
 	uf := cluster.NewUnionFind()
@@ -195,6 +253,14 @@ func preMatch(ctx context.Context, old []*census.Record, oldYear int, new []*cen
 	for _, l := range out.Labels {
 		out.LabelSize[l]++
 	}
-	out.Blocked = int(ix.Generated())
+	if cp == nil {
+		out.Blocked = int(ix.Generated())
+	} else {
+		// The shared full-dataset index counts raw hits cumulatively across
+		// iterations (and including currently inactive records), so report
+		// this call's delta. On the first iteration, when every record is
+		// active, this equals the naive figure exactly.
+		out.Blocked = int(cp.ix.Generated() - gen0)
+	}
 	return out, nil
 }

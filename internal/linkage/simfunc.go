@@ -13,10 +13,14 @@ import (
 )
 
 // AttributeMatcher compares one record attribute with a dedicated similarity
-// function and weight.
+// function and weight. Prof, when set, is the precompilable profile form of
+// Sim used by the compiled comparison engine (internal/compare); it must
+// score bit-for-bit identically to Sim. When Prof is nil the engine falls
+// back to memoizing Sim itself.
 type AttributeMatcher struct {
 	Attr   census.Attribute
 	Sim    strsim.Func
+	Prof   *strsim.Profiled
 	Weight float64
 }
 
@@ -97,11 +101,11 @@ func OmegaOne(delta float64) SimFunc {
 		Name:  "omega1",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Weight: 0.2},
-			{Attr: census.AttrSex, Sim: strsim.Exact, Weight: 0.2},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Weight: 0.2},
-			{Attr: census.AttrAddress, Sim: strsim.Bigram, Weight: 0.2},
-			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Weight: 0.2},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
+			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Weight: 0.2},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
+			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
+			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
 		},
 	}
 }
@@ -113,11 +117,11 @@ func OmegaTwo(delta float64) SimFunc {
 		Name:  "omega2",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Weight: 0.4},
-			{Attr: census.AttrSex, Sim: strsim.Exact, Weight: 0.2},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Weight: 0.2},
-			{Attr: census.AttrAddress, Sim: strsim.Bigram, Weight: 0.1},
-			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Weight: 0.1},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.4},
+			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Weight: 0.2},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
+			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.1},
+			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.1},
 		},
 	}
 }
@@ -129,8 +133,8 @@ func NameOnly(delta float64) SimFunc {
 		Name:  "name-only",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Weight: 0.5},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Weight: 0.5},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.5},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.5},
 		},
 	}
 }
@@ -144,12 +148,12 @@ func OmegaTwoBirthplace(delta float64) SimFunc {
 		Name:  "omega2+birthplace",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Weight: 0.35},
-			{Attr: census.AttrSex, Sim: strsim.Exact, Weight: 0.15},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Weight: 0.2},
-			{Attr: census.AttrBirthplace, Sim: strsim.Bigram, Weight: 0.15},
-			{Attr: census.AttrAddress, Sim: strsim.Bigram, Weight: 0.075},
-			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Weight: 0.075},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.35},
+			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Weight: 0.15},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
+			{Attr: census.AttrBirthplace, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.15},
+			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.075},
+			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.075},
 		},
 	}
 }

@@ -41,6 +41,9 @@ type ConfigSpec struct {
 	DirectVerticesOnly bool        `json:"direct_vertices_only,omitempty"`
 	VertexGuards       bool        `json:"vertex_guards,omitempty"`
 	OptimalRemainder   bool        `json:"optimal_remainder,omitempty"`
+	// Engine selects the comparison path: "compiled" (default when empty)
+	// or "naive" (see ParseEngine).
+	Engine string `json:"engine,omitempty"`
 }
 
 // matcherRegistry maps registered matcher names to similarity functions.
@@ -55,6 +58,19 @@ var matcherRegistry = map[string]strsim.Func{
 	"tokendice":   strsim.TokenDice,
 	"lcs":         strsim.LCSSim(2),
 	"mongeelkan":  strsim.SymmetricMongeElkan(strsim.JaroWinkler),
+}
+
+// profiledRegistry maps matcher names to their precompilable profile forms
+// for the compiled engine. Names absent here (damerau, tokendice, lcs,
+// mongeelkan) have no native profile and fall back to memoizing the string
+// function, which is still correct — just without precomputation.
+var profiledRegistry = map[string]*strsim.Profiled{
+	"qgram2":      strsim.BigramProfiled,
+	"qgram3":      strsim.QGramProfiled(3),
+	"jaro":        strsim.JaroProfiled,
+	"jarowinkler": strsim.JaroWinklerProfiled,
+	"editsim":     strsim.EditSimProfiled,
+	"exact":       strsim.ExactProfiled,
 }
 
 // MatcherNames lists the registered matcher names, for error messages and
@@ -85,12 +101,13 @@ func (s SimFuncSpec) Build() (SimFunc, error) {
 		if err != nil {
 			return SimFunc{}, err
 		}
-		sim, ok := matcherRegistry[strings.ToLower(m.Matcher)]
+		name := strings.ToLower(m.Matcher)
+		sim, ok := matcherRegistry[name]
 		if !ok {
 			return SimFunc{}, fmt.Errorf("linkage: unknown matcher %q (known: %s)",
 				m.Matcher, strings.Join(MatcherNames(), ", "))
 		}
-		f.Matchers = append(f.Matchers, AttributeMatcher{Attr: attr, Sim: sim, Weight: m.Weight})
+		f.Matchers = append(f.Matchers, AttributeMatcher{Attr: attr, Sim: sim, Prof: profiledRegistry[name], Weight: m.Weight})
 	}
 	if err := f.Validate(); err != nil {
 		return SimFunc{}, err
@@ -108,6 +125,10 @@ func (s ConfigSpec) Build() (Config, error) {
 	if err != nil {
 		return Config{}, fmt.Errorf("linkage: remainder: %w", err)
 	}
+	engine, err := ParseEngine(s.Engine)
+	if err != nil {
+		return Config{}, err
+	}
 	cfg := Config{
 		Sim:                sim,
 		DeltaHigh:          s.DeltaHigh,
@@ -122,6 +143,7 @@ func (s ConfigSpec) Build() (Config, error) {
 		DirectVerticesOnly: s.DirectVerticesOnly,
 		VertexGuards:       s.VertexGuards,
 		OptimalRemainder:   s.OptimalRemainder,
+		Engine:             engine,
 	}
 	// Blocking is not spec-configurable yet; the default multi-pass set is
 	// the right choice for census data.

@@ -29,5 +29,14 @@ func FuzzEncoders(f *testing.F) {
 		if d := DamerauLevenshtein(a, b); d < 0 {
 			t.Fatalf("negative damerau distance for (%q, %q)", a, b)
 		}
+		// Precompiled profiles must reproduce the string path bit-for-bit:
+		// the compiled engine relies on this for differential identity.
+		for _, eq := range profiledEquivalents() {
+			pa := eq.p.Build(a)
+			pb := eq.p.Build(b)
+			if got, want := eq.p.Compare(&pa, &pb), eq.f(a, b); got != want {
+				t.Fatalf("%s(%q, %q): profiled=%v string=%v", eq.name, a, b, got, want)
+			}
+		}
 	})
 }

@@ -94,7 +94,13 @@ func qgrams(s string, q int) []string {
 
 // Levenshtein returns the edit distance between a and b (unicode-aware).
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	return levenshteinRunes([]rune(a), []rune(b))
+}
+
+// levenshteinRunes is the edit-distance core shared by the string function
+// and the profile comparator; both must go through it so that precompiled
+// profiles score bit-for-bit identically to the string path.
+func levenshteinRunes(ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
@@ -127,15 +133,19 @@ func EditSim(a, b string) float64 {
 	if na == "" || nb == "" {
 		return 0
 	}
-	la, lb := len([]rune(na)), len([]rune(nb))
-	m := la
-	if lb > m {
-		m = lb
+	return editSimRunes([]rune(na), []rune(nb))
+}
+
+// editSimRunes is the normalised-Levenshtein core over pre-normalised runes.
+func editSimRunes(ra, rb []rune) float64 {
+	m := len(ra)
+	if len(rb) > m {
+		m = len(rb)
 	}
 	if m == 0 {
 		return 0
 	}
-	return 1 - float64(Levenshtein(na, nb))/float64(m)
+	return 1 - float64(levenshteinRunes(ra, rb))/float64(m)
 }
 
 // Jaro returns the Jaro similarity of a and b.
@@ -147,7 +157,12 @@ func Jaro(a, b string) float64 {
 	if na == nb {
 		return 1
 	}
-	ra, rb := []rune(na), []rune(nb)
+	return jaroRunes([]rune(na), []rune(nb))
+}
+
+// jaroRunes is the Jaro core over pre-normalised, non-empty, non-equal rune
+// slices, shared by the string function and the profile comparator.
+func jaroRunes(ra, rb []rune) float64 {
 	window := max2(len(ra), len(rb))/2 - 1
 	if window < 0 {
 		window = 0
@@ -197,7 +212,11 @@ func JaroWinkler(a, b string) float64 {
 		return 0
 	}
 	na, nb := normalize(a), normalize(b)
-	ra, rb := []rune(na), []rune(nb)
+	return winklerBoost(j, []rune(na), []rune(nb))
+}
+
+// winklerBoost applies the Winkler common-prefix boost to a Jaro similarity.
+func winklerBoost(j float64, ra, rb []rune) float64 {
 	prefix := 0
 	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
 		prefix++
