@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench report fuzz fuzz-smoke clean
+.PHONY: all build test vet check bench bench-regress report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -25,6 +25,12 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	CENSUSLINK_BENCH_JSON=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
+
+# Performance regression gate: re-measure the compiled pre-matching pass
+# and fail if it is more than 2x slower per op than the committed
+# BENCH_prematch.json baseline.
+bench-regress:
+	CENSUSLINK_BENCH_BASELINE=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
 
 # Regenerate the full experiment report at the canonical scale.
 report:

@@ -207,13 +207,21 @@ func BenchmarkLinkSeries(b *testing.B) {
 
 // TestBenchTrajectory measures the naive-vs-compiled pre-matching speedup
 // programmatically and writes a JSON report to the path named by the
-// CENSUSLINK_BENCH_JSON environment variable (skipped when unset). The
-// report also carries the similarity-memo counters of one compiled Link run
-// so the cache effectiveness is recorded alongside the timing.
+// CENSUSLINK_BENCH_JSON environment variable. The report also carries the
+// similarity-memo counters of one compiled Link run so the cache
+// effectiveness is recorded alongside the timing.
+//
+// With CENSUSLINK_BENCH_BASELINE set to a previously committed report
+// (BENCH_prematch.json), the test additionally acts as a performance
+// regression gate: it fails when the compiled pre-matching pass has become
+// more than 2x slower per op than the baseline. The test is skipped when
+// neither variable is set.
 func TestBenchTrajectory(t *testing.T) {
 	path := os.Getenv("CENSUSLINK_BENCH_JSON")
-	if path == "" {
-		t.Skip("set CENSUSLINK_BENCH_JSON to write the pre-matching benchmark report")
+	basePath := os.Getenv("CENSUSLINK_BENCH_BASELINE")
+	if path == "" && basePath == "" {
+		t.Skip("set CENSUSLINK_BENCH_JSON to write the pre-matching benchmark report, " +
+			"or CENSUSLINK_BENCH_BASELINE to compare against a committed one")
 	}
 	old, new, err := synth.GeneratePair(synth.TestConfig(benchScale(), 1871), 1871, 1881)
 	if err != nil {
@@ -254,18 +262,59 @@ func TestBenchTrajectory(t *testing.T) {
 		"sim_cache_hit_rate": float64(hits) / float64(hits+misses),
 		"pruned_comparisons": rep.Counters[obs.PrunedComparisons],
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
+	if path != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	t.Logf("prematch naive %v/op, compiled %v/op, speedup %.2fx, memo hit rate %.3f",
 		naive.NsPerOp(), compiled.NsPerOp(), speedup, float64(hits)/float64(hits+misses))
 	if speedup < 2 {
 		t.Errorf("compiled pre-matching speedup %.2fx below the 2x target", speedup)
 	}
+
+	if basePath != "" {
+		base, err := readBenchBaseline(basePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Scale != benchScale() {
+			t.Skipf("baseline scale %.3f != current scale %.3f: not comparable", base.Scale, benchScale())
+		}
+		ratio := float64(compiled.NsPerOp()) / float64(base.CompiledNsOp)
+		t.Logf("compiled prematch vs baseline %s: %d ns/op now, %d ns/op then (%.2fx)",
+			basePath, compiled.NsPerOp(), base.CompiledNsOp, ratio)
+		if ratio > 2 {
+			t.Errorf("compiled pre-matching regressed %.2fx vs the committed baseline (limit 2x): %d ns/op vs %d ns/op",
+				ratio, compiled.NsPerOp(), base.CompiledNsOp)
+		}
+	}
+}
+
+// benchBaseline is the subset of the BENCH_prematch.json report the
+// regression gate compares against.
+type benchBaseline struct {
+	Scale        float64 `json:"scale"`
+	CompiledNsOp int64   `json:"compiled_ns_op"`
+}
+
+func readBenchBaseline(path string) (*benchBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.CompiledNsOp <= 0 {
+		return nil, fmt.Errorf("%s: missing or non-positive compiled_ns_op", path)
+	}
+	return &b, nil
 }
 
 // BenchmarkEvolutionAnalysis times pattern derivation for one linked pair.

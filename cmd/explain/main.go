@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -35,36 +36,59 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("explain: ")
-	oldPath := flag.String("old", "", "older census CSV (required)")
-	newPath := flag.String("new", "", "newer census CSV (required)")
-	oldHH := flag.String("old-household", "", "household ID in the older census (required)")
-	newHH := flag.String("new-household", "", "household ID in the newer census (required)")
-	delta := flag.Float64("delta", 0.5, "pre-matching threshold to explain at")
-	ageTol := flag.Int("age-tolerance", 3, "age tolerance in years")
-	alpha := flag.Float64("alpha", 0.2, "record-similarity weight")
-	beta := flag.Float64("beta", 0.7, "edge-similarity weight")
-	statsPath := flag.String("stats", "", "render this JSON run report as tables and exit")
-	flag.Parse()
-	if *statsPath != "" {
-		if err := renderStats(*statsPath, os.Stdout); err != nil {
-			log.Fatal(err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
 		}
-		return
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command, split from main so tests can drive it with
+// explicit arguments and capture stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "older census CSV (required)")
+	newPath := fs.String("new", "", "newer census CSV (required)")
+	oldHH := fs.String("old-household", "", "household ID in the older census (required)")
+	newHH := fs.String("new-household", "", "household ID in the newer census (required)")
+	delta := fs.Float64("delta", 0.5, "pre-matching threshold to explain at")
+	ageTol := fs.Int("age-tolerance", 3, "age tolerance in years")
+	alpha := fs.Float64("alpha", 0.2, "record-similarity weight")
+	beta := fs.Float64("beta", 0.7, "edge-similarity weight")
+	statsPath := fs.String("stats", "", "render this JSON run report as tables and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *statsPath != "" {
+		return renderStats(*statsPath, stdout)
 	}
 	if *oldPath == "" || *newPath == "" || *oldHH == "" || *newHH == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("-old, -new, -old-household and -new-household are required")
 	}
 
-	oldDS := load(*oldPath)
-	newDS := load(*newPath)
-	gOld := mustHousehold(oldDS, *oldHH)
-	gNew := mustHousehold(newDS, *newHH)
+	oldDS, err := load(*oldPath)
+	if err != nil {
+		return err
+	}
+	newDS, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+	gOld, err := mustHousehold(oldDS, *oldHH)
+	if err != nil {
+		return err
+	}
+	gNew, err := mustHousehold(newDS, *newHH)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("=== %s (%d) ===\n", *oldHH, oldDS.Year)
-	printMembers(oldDS, gOld)
-	fmt.Printf("\n=== %s (%d) ===\n", *newHH, newDS.Year)
-	printMembers(newDS, gNew)
+	fmt.Fprintf(stdout, "=== %s (%d) ===\n", *oldHH, oldDS.Year)
+	printMembers(stdout, oldDS, gOld)
+	fmt.Fprintf(stdout, "\n=== %s (%d) ===\n", *newHH, newDS.Year)
+	printMembers(stdout, newDS, gNew)
 
 	sim := linkage.OmegaTwo(*delta)
 	pre := linkage.PreMatch(oldDS.Records(), oldDS.Year, newDS.Records(), newDS.Year,
@@ -78,7 +102,7 @@ func main() {
 	graphOld := hgraph.Build(oldDS, gOld)
 	graphNew := hgraph.Build(newDS, gNew)
 
-	fmt.Printf("\n--- candidate vertex pairs (delta=%.2f) ---\n", *delta)
+	fmt.Fprintf(stdout, "\n--- candidate vertex pairs (delta=%.2f) ---\n", *delta)
 	candidates := 0
 	for _, o := range graphOld.Members() {
 		lo, okO := pre.Label(o.ID)
@@ -98,43 +122,44 @@ func main() {
 			if direct {
 				kind = "direct"
 			}
-			fmt.Printf("  %-14s %-22s ~ %-22s sim=%.2f  ages %d->%d  [%s] %s\n",
+			fmt.Fprintf(stdout, "  %-14s %-22s ~ %-22s sim=%.2f  ages %d->%d  [%s] %s\n",
 				kind, name(o), name(n), sim.AggSim(o, n), o.Age, n.Age, o.ID+"/"+n.ID, verdict)
 		}
 	}
 	if candidates == 0 {
-		fmt.Println("  none: no member pair is similar at this threshold.")
-		fmt.Println("\nverdict: NO LINK (no shared similar records)")
-		return
+		fmt.Fprintln(stdout, "  none: no member pair is similar at this threshold.")
+		fmt.Fprintln(stdout, "\nverdict: NO LINK (no shared similar records)")
+		return nil
 	}
 
 	sub := linkage.MatchGroups(graphOld, graphNew, pre, sim, cfg)
 	if sub == nil {
-		fmt.Println("\nverdict: NO LINK (fewer than two compatible vertices, or no edge")
-		fmt.Println("with matching relationship type and similar age difference survived)")
-		return
+		fmt.Fprintln(stdout, "\nverdict: NO LINK (fewer than two compatible vertices, or no edge")
+		fmt.Fprintln(stdout, "with matching relationship type and similar age difference survived)")
+		return nil
 	}
 
-	fmt.Println("\n--- matched subgraph ---")
+	fmt.Fprintln(stdout, "\n--- matched subgraph ---")
 	for _, v := range sub.Vertices {
-		fmt.Printf("  vertex  %-22s ~ %-22s sim=%.2f\n", name(v.Old), name(v.New), v.Sim)
+		fmt.Fprintf(stdout, "  vertex  %-22s ~ %-22s sim=%.2f\n", name(v.Old), name(v.New), v.Sim)
 	}
 	for _, e := range sub.Edges {
 		a, b := sub.Vertices[e.I], sub.Vertices[e.J]
 		tOld, dOld, _ := graphOld.EdgeBetween(a.Old.ID, b.Old.ID)
 		_, dNew, _ := graphNew.EdgeBetween(a.New.ID, b.New.ID)
-		fmt.Printf("  edge    %s -- %s  type=%s  age-diff %d vs %d  rp_sim=%.2f\n",
+		fmt.Fprintf(stdout, "  edge    %s -- %s  type=%s  age-diff %d vs %d  rp_sim=%.2f\n",
 			a.Old.FirstName, b.Old.FirstName, tOld, dOld, dNew, e.RpSim)
 	}
-	fmt.Printf("\nscores: avg_sim=%.3f  e_sim=%.3f  unique=%.3f  ->  g_sim=%.3f\n",
+	fmt.Fprintf(stdout, "\nscores: avg_sim=%.3f  e_sim=%.3f  unique=%.3f  ->  g_sim=%.3f\n",
 		sub.AvgSim, sub.ESim, sub.Unique, sub.GSim)
-	fmt.Println("verdict: candidate LINK (subject to Algorithm 2's disjoint selection)")
+	fmt.Fprintln(stdout, "verdict: candidate LINK (subject to Algorithm 2's disjoint selection)")
+	return nil
 }
 
 // renderStats renders a JSON run report (linker -stats / benchall -stats)
 // as human-readable tables: one row per δ iteration, one per pipeline
 // stage, and the run-total counters.
-func renderStats(path string, w *os.File) error {
+func renderStats(path string, w io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -206,34 +231,34 @@ func name(r *census.Record) string {
 	return r.FirstName + " " + r.Surname
 }
 
-func printMembers(d *census.Dataset, h *census.Household) {
+func printMembers(w io.Writer, d *census.Dataset, h *census.Household) {
 	for _, m := range d.Members(h) {
-		fmt.Printf("  %-10s %-24s age=%-3d %s  %s\n", m.Role, name(m), m.Age, m.Occupation, m.Address)
+		fmt.Fprintf(w, "  %-10s %-24s age=%-3d %s  %s\n", m.Role, name(m), m.Age, m.Occupation, m.Address)
 	}
 }
 
-func mustHousehold(d *census.Dataset, id string) *census.Household {
+func mustHousehold(d *census.Dataset, id string) (*census.Household, error) {
 	h := d.Household(id)
 	if h == nil {
-		log.Fatalf("no household %q in the %d census", id, d.Year)
+		return nil, fmt.Errorf("no household %q in the %d census", id, d.Year)
 	}
-	return h
+	return h, nil
 }
 
-func load(path string) *census.Dataset {
+func load(path string) (*census.Dataset, error) {
 	m := regexp.MustCompile(`(1[89]\d\d)`).FindString(filepath.Base(path))
 	if m == "" {
-		log.Fatalf("%s: cannot infer census year from the file name", path)
+		return nil, fmt.Errorf("%s: cannot infer census year from the file name", path)
 	}
 	year, _ := strconv.Atoi(m)
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	defer f.Close()
 	d, err := census.ReadCSV(f, year)
 	if err != nil {
-		log.Fatalf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return d
+	return d, nil
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
+	"censuslink/internal/paperexample"
+)
+
+// writeExample writes the paper's running example as census CSVs.
+func writeExample(t *testing.T) (oldPath, newPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	for _, d := range []*census.Dataset{paperexample.Old(), paperexample.New()} {
+		path := filepath.Join(dir, census.SeriesFileName(d.Year))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := census.WriteCSV(f, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, census.SeriesFileName(1871)), filepath.Join(dir, census.SeriesFileName(1881))
+}
+
+// TestRunExplainsLinkedPair: the Ashworth household survives 1871→1881, so
+// explaining the pair must show candidates and a matched subgraph.
+func TestRunExplainsLinkedPair(t *testing.T) {
+	oldPath, newPath := writeExample(t)
+	var out strings.Builder
+	err := run([]string{
+		"-old", oldPath, "-new", newPath,
+		"-old-household", "1871_a", "-new-household", "1881_a",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"=== 1871_a (1871) ===",
+		"candidate vertex pairs",
+		"matched subgraph",
+		"g_sim=",
+		"candidate LINK",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunExplainsNoLink: two unrelated households must get a NO LINK
+// verdict, not a subgraph.
+func TestRunExplainsNoLink(t *testing.T) {
+	oldPath, newPath := writeExample(t)
+	var out strings.Builder
+	err := run([]string{
+		"-old", oldPath, "-new", newPath,
+		"-old-household", "1871_a", "-new-household", "1881_c",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "NO LINK") {
+		t.Errorf("output missing NO LINK verdict:\n%s", out.String())
+	}
+}
+
+// TestRunRendersStats: -stats renders a pipeline run report as tables.
+func TestRunRendersStats(t *testing.T) {
+	stats := obs.NewStats(nil)
+	cfg := linkage.DefaultConfig()
+	cfg.Obs = stats
+	if _, err := linkage.LinkContext(context.Background(), paperexample.Old(), paperexample.New(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteReport(f, stats.Done()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-stats", path}, &out); err != nil {
+		t.Fatalf("run -stats: %v", err)
+	}
+	// The example converges after δ=0.65 (StopOnEmpty), so exactly those
+	// two iteration rows render.
+	for _, want := range []string{"Iterations", "Stages", "Run totals", "0.70", "0.65"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats rendering missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunFlagErrors: bad invocations return errors.
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags accepted")
+	}
+	oldPath, newPath := writeExample(t)
+	if err := run([]string{
+		"-old", oldPath, "-new", newPath,
+		"-old-household", "nope", "-new-household", "1881_a",
+	}, &out); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown household: err = %v", err)
+	}
+	if err := run([]string{"-stats", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing stats file accepted")
+	}
+}

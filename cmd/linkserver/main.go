@@ -1,0 +1,189 @@
+// Command linkserver serves a census series as a long-lived linkage query
+// service. It loads every census_<year>.csv from -dir, links successive
+// year pairs at most once each — lazily on first demand or eagerly with
+// -eager — and answers JSON queries for record links (with provenance),
+// group links, evolution patterns, household timelines and per-record
+// lifecycles. Pipeline counters and stage timings are exported on /metrics
+// in Prometheus text format; /healthz and /debug/pprof are also served.
+//
+// Usage:
+//
+//	linkserver -dir data/series [-addr :8199] [-eager] \
+//	           [-engine compiled|naive] [-config cfg.json] \
+//	           [-compute-timeout 5m] [-max-concurrent 2] \
+//	           [-stats report.json] [-lenient] [-max-bad-rows 100]
+//
+// SIGINT/SIGTERM drains in-flight requests, cancels any running
+// computations and, with -stats, flushes the final pipeline report.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
+	"censuslink/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("linkserver: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the whole server lifecycle: flag parsing, series loading, serving,
+// graceful drain when ctx is cancelled. Split from main so tests can drive
+// it with their own context and capture stdout.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("linkserver", flag.ContinueOnError)
+	dir := fs.String("dir", "", "directory of census_<year>.csv files (required)")
+	addr := fs.String("addr", "localhost:8199", "HTTP listen address")
+	eager := fs.Bool("eager", false, "compute all year pairs and the evolution graph at startup")
+	engineFlag := fs.String("engine", "compiled", "comparison engine: compiled or naive")
+	configPath := fs.String("config", "", "load the linkage configuration from this JSON file")
+	computeTimeout := fs.Duration("compute-timeout", 0, "cap one year-pair computation (0 = no cap)")
+	maxConcurrent := fs.Int("max-concurrent", 2, "year-pair computations allowed to run at once")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	statsOut := fs.String("stats", "", "write the final pipeline JSON report to this file on shutdown")
+	lenient := fs.Bool("lenient", false, "skip bad input rows instead of aborting")
+	maxBadRows := fs.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("-dir is required")
+	}
+
+	cfg := linkage.DefaultConfig()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		spec, err := linkage.ReadConfigSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if cfg, err = spec.Build(); err != nil {
+			return err
+		}
+	}
+	engineSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
+	if *configPath == "" || engineSet {
+		engine, err := linkage.ParseEngine(*engineFlag)
+		if err != nil {
+			return err
+		}
+		cfg.Engine = engine
+	}
+
+	series, reports, err := census.ReadSeriesDirOptions(*dir,
+		census.LoadOptions{Strict: !*lenient, MaxBadRows: *maxBadRows})
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		if rep != nil && !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "census %d:\n%s", rep.Year, rep.Summary())
+		}
+	}
+	fmt.Fprintf(stdout, "loaded series %v (%d records)\n", series.Years(), totalRecords(series))
+
+	stats := obs.NewStats(nil)
+	srv, err := server.New(server.Config{
+		Series:         series,
+		Linkage:        cfg,
+		MaxConcurrent:  *maxConcurrent,
+		ComputeTimeout: *computeTimeout,
+		Stats:          stats,
+	})
+	if err != nil {
+		return err
+	}
+	if *eager {
+		fmt.Fprintf(stdout, "precomputing %d year pairs...\n", len(series.Pairs()))
+		if err := srv.Precompute(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "precompute done")
+	}
+
+	// Listen explicitly before serving, so "listening on" is only printed
+	// once the address really accepts connections (tests rely on this).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Abort()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests up to
+	// -drain-timeout, then cancel any still-running computations and flush
+	// the pipeline report.
+	fmt.Fprintln(stdout, "shutting down: draining requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	srv.Abort()
+	<-serveErr // always http.ErrServerClosed after Shutdown
+	if *statsOut != "" {
+		f, err := os.Create(*statsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteReport(f, srv.Stats().Done()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *statsOut)
+	}
+	fmt.Fprintln(stdout, "shutdown complete")
+	return shutdownErr
+}
+
+func totalRecords(s *census.Series) int {
+	n := 0
+	for _, d := range s.Datasets {
+		n += d.NumRecords()
+	}
+	return n
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -26,58 +27,79 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tune: ")
-	oldPath := flag.String("old", "", "older census CSV with truth_id (required)")
-	newPath := flag.String("new", "", "newer census CSV with truth_id (required)")
-	delta := flag.Float64("delta", 0.6, "match threshold the weights are tuned for")
-	rounds := flag.Int("rounds", 40, "maximum coordinate-ascent rounds")
-	negRatio := flag.Float64("negatives", 3.0, "non-matches sampled per match")
-	seed := flag.Int64("seed", 1, "sampling seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command, split from main so tests can drive it with
+// explicit arguments and capture stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "older census CSV with truth_id (required)")
+	newPath := fs.String("new", "", "newer census CSV with truth_id (required)")
+	delta := fs.Float64("delta", 0.6, "match threshold the weights are tuned for")
+	rounds := fs.Int("rounds", 40, "maximum coordinate-ascent rounds")
+	negRatio := fs.Float64("negatives", 3.0, "non-matches sampled per match")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *oldPath == "" || *newPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("-old and -new are required")
 	}
 
-	oldDS := load(*oldPath)
-	newDS := load(*newPath)
+	oldDS, err := load(*oldPath)
+	if err != nil {
+		return err
+	}
+	newDS, err := load(*newPath)
+	if err != nil {
+		return err
+	}
 	truth := evaluate.TrueRecordMapping(oldDS, newDS)
 	if len(truth) == 0 {
-		log.Fatal("no ground truth: the input files carry no shared truth_id values")
+		return fmt.Errorf("no ground truth: the input files carry no shared truth_id values")
 	}
 	sample := linkage.BuildTrainingSet(oldDS, newDS, truth,
 		block.DefaultStrategies(), *negRatio, *seed)
-	fmt.Printf("training sample: %d pairs (%d matches)\n", len(sample), len(truth))
+	fmt.Fprintf(stdout, "training sample: %d pairs (%d matches)\n", len(sample), len(truth))
 
 	res, err := linkage.TuneWeights(sample, linkage.OmegaOne(0).Matchers, *delta, *rounds)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("tuned in %d rounds, training F-measure %.3f\n", res.Rounds, res.F1)
-	fmt.Println("learned weights:")
+	fmt.Fprintf(stdout, "tuned in %d rounds, training F-measure %.3f\n", res.Rounds, res.F1)
+	fmt.Fprintln(stdout, "learned weights:")
 	for _, w := range linkage.WeightsByAttribute(res.Sim) {
-		fmt.Printf("  %s\n", w)
+		fmt.Fprintf(stdout, "  %s\n", w)
 	}
 
 	// Compare against the paper's hand-chosen vectors on the same sample.
 	for _, ref := range []linkage.SimFunc{linkage.OmegaOne(*delta), linkage.OmegaTwo(*delta)} {
-		fmt.Printf("reference %s F-measure: %.3f\n", ref.Name, linkage.EvaluateWeights(sample, ref))
+		fmt.Fprintf(stdout, "reference %s F-measure: %.3f\n", ref.Name, linkage.EvaluateWeights(sample, ref))
 	}
+	return nil
 }
 
-func load(path string) *census.Dataset {
+func load(path string) (*census.Dataset, error) {
 	m := regexp.MustCompile(`(1[89]\d\d)`).FindString(filepath.Base(path))
 	if m == "" {
-		log.Fatalf("%s: cannot infer census year from the file name", path)
+		return nil, fmt.Errorf("%s: cannot infer census year from the file name", path)
 	}
 	year, _ := strconv.Atoi(m)
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	defer f.Close()
 	d, err := census.ReadCSV(f, year)
 	if err != nil {
-		log.Fatalf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return d
+	return d, nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/synth"
+)
+
+// writePair generates a small synthetic census pair (with truth_id ground
+// truth) and writes both files into a temp dir.
+func writePair(t *testing.T) (oldPath, newPath string) {
+	t.Helper()
+	oldDS, newDS, err := synth.GeneratePair(synth.TestConfig(0.5, 7), 1871, 1881)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, d := range []*census.Dataset{oldDS, newDS} {
+		path := filepath.Join(dir, census.SeriesFileName(d.Year))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := census.WriteCSV(f, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, census.SeriesFileName(1871)), filepath.Join(dir, census.SeriesFileName(1881))
+}
+
+// TestRunTunesWeights: a tiny end-to-end tuning run over synthetic data
+// with ground truth must learn and print a weight vector.
+func TestRunTunesWeights(t *testing.T) {
+	oldPath, newPath := writePair(t)
+	var out strings.Builder
+	err := run([]string{"-old", oldPath, "-new", newPath, "-rounds", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"training sample:", "tuned in", "learned weights:", "reference"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunFlagErrors: bad invocations return errors instead of tuning.
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -old/-new accepted")
+	}
+	if err := run([]string{"-old", "no-year.csv", "-new", "also-none.csv"}, &out); err == nil {
+		t.Error("year-less file names accepted")
+	}
+	if err := run([]string{"-old", "/does/not/exist_1871.csv", "-new", "/does/not/exist_1881.csv"}, &out); err == nil {
+		t.Error("missing files accepted")
+	}
+}

@@ -76,6 +76,14 @@ type PairAnalysis struct {
 	Moves           [][2]string // move: linked pairs sharing exactly one member
 	Splits          []Split
 	Merges          []Merge
+	// UnclassifiedLinks holds group links whose households share no linked
+	// record members, so none of the pattern definitions applies. The
+	// iterative linkage never produces such links (every selected group pair
+	// is backed by at least one record link), but ground-truth mappings
+	// packed into a linkage.Result can carry them; surfacing them here keeps
+	// the pattern classes a partition of the group mapping instead of
+	// silently dropping links.
+	UnclassifiedLinks [][2]string
 }
 
 // Count returns the number of occurrences of a group pattern.
@@ -169,6 +177,8 @@ func Analyze(old, new *census.Dataset, res *linkage.Result) *PairAnalysis {
 		gp := linkage.GroupPair(g)
 		common := shared[gp]
 		switch {
+		case common == 0:
+			a.UnclassifiedLinks = append(a.UnclassifiedLinks, [2]string{g.Old, g.New})
 		case common == 1:
 			a.Moves = append(a.Moves, [2]string{g.Old, g.New})
 		case common >= 2 && strongOld[g.Old] == 1 && strongNew[g.New] == 1:

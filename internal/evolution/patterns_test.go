@@ -66,6 +66,46 @@ func TestAnalyzeRunningExample(t *testing.T) {
 	}
 }
 
+// TestAnalyzeUnclassifiedLinks: a group link whose households share no
+// linked record members (possible for ground-truth mappings packed into a
+// linkage.Result) fits no pattern definition; it must surface on
+// UnclassifiedLinks rather than vanish from every class.
+func TestAnalyzeUnclassifiedLinks(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	res := exampleResult()
+	// A memberless claim: no record link connects household b to d.
+	res.GroupLinks = append(res.GroupLinks, linkage.GroupLink{Old: "1871_b", New: "1881_d"})
+	a := Analyze(old, new, res)
+
+	if len(a.UnclassifiedLinks) != 1 || a.UnclassifiedLinks[0] != [2]string{"1871_b", "1881_d"} {
+		t.Fatalf("unclassified = %v, want [[1871_b 1881_d]]", a.UnclassifiedLinks)
+	}
+	// The link must not leak into any other pattern class...
+	for _, m := range a.Moves {
+		if m == [2]string{"1871_b", "1881_d"} {
+			t.Error("memberless link classified as move")
+		}
+	}
+	// ...and the linked households must not count as added/removed.
+	for _, id := range a.AddedGroups {
+		if id == "1881_d" {
+			t.Error("1881_d is linked, must not be add_G")
+		}
+	}
+	// The running example's own patterns are unchanged.
+	if len(a.PreservedGroups) != 2 || len(a.Moves) != 2 {
+		t.Errorf("preserve_G=%v move=%v, want 2 and 2", a.PreservedGroups, a.Moves)
+	}
+	// The iterative pipeline itself never produces memberless links.
+	realRes, err := linkage.Link(old, new, linkage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Analyze(old, new, realRes); len(got.UnclassifiedLinks) != 0 {
+		t.Errorf("pipeline result has unclassified links: %v", got.UnclassifiedLinks)
+	}
+}
+
 // TestAnalyzeSplit: one household splitting into two, each part keeping two
 // or more members.
 func TestAnalyzeSplit(t *testing.T) {

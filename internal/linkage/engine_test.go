@@ -203,6 +203,9 @@ func TestLinkEngineDifferentialVariants(t *testing.T) {
 		"one-shot":          func(c *linkage.Config) { c.DeltaHigh, c.DeltaLow, c.DeltaStep = 0.5, 0.5, 0 },
 		"omega1":            func(c *linkage.Config) { c.Sim = linkage.OmegaOne(0.7) },
 		"single-worker":     func(c *linkage.Config) { c.Workers = 1 },
+		// Non-multiple DeltaHigh-DeltaLow: the schedule clamps its last
+		// step to δ_low; both engines must see the identical thresholds.
+		"clamped-schedule": func(c *linkage.Config) { c.DeltaLow = 0.52 },
 	}
 	for name, mutate := range variants {
 		cfg := linkage.DefaultConfig()

@@ -3,6 +3,7 @@ package linkage
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -114,6 +115,33 @@ func (c Config) Validate() error {
 	}
 	return nil
 }
+
+// deltaSchedule returns the pre-matching thresholds of Algorithm 1 in
+// descending order. Each δ is computed from the iteration index
+// (DeltaHigh - i*DeltaStep, snapped to the decimal grid) rather than by
+// repeated subtraction, so binary floating-point drift cannot leak values
+// like 0.6000000000000001 into IterationStats, LinkSource provenance, obs
+// snapshots or JSON reports. The final threshold is clamped to exactly
+// DeltaLow, so the paper-mandated δ_low iteration runs even when
+// DeltaHigh-DeltaLow is not an integer multiple of DeltaStep.
+func (c Config) deltaSchedule() []float64 {
+	if c.DeltaHigh <= c.DeltaLow || c.DeltaStep <= 0 {
+		return []float64{c.DeltaLow} // one-shot configuration
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		d := roundDelta(c.DeltaHigh - float64(i)*c.DeltaStep)
+		if d <= c.DeltaLow {
+			return append(out, c.DeltaLow)
+		}
+		out = append(out, d)
+	}
+}
+
+// roundDelta snaps a computed threshold to nine decimal places, more than
+// enough for any configured step while absorbing one multiply's rounding
+// error.
+func roundDelta(x float64) float64 { return math.Round(x*1e9) / 1e9 }
 
 // IterationStats reports what one relaxation round contributed.
 type IterationStats struct {
@@ -244,8 +272,7 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 		stopCompile()
 	}
 
-	const eps = 1e-9
-	for delta := cfg.DeltaHigh; delta >= cfg.DeltaLow-eps; delta -= cfg.DeltaStep {
+	for _, delta := range cfg.deltaSchedule() {
 		if err := ctx.Err(); err != nil {
 			return nil, cancelErr("iterate", delta, err)
 		}
@@ -326,9 +353,6 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 		cfg.Obs.EndIteration()
 		if cfg.StopOnEmpty && len(groups) == 0 {
 			break
-		}
-		if cfg.DeltaStep <= 0 {
-			break // single-shot configuration with DeltaHigh == DeltaLow
 		}
 	}
 

@@ -103,7 +103,9 @@ func TestLinkRecordMappingIsOneToOne(t *testing.T) {
 }
 
 // TestLinkIterationSchedule: thresholds must descend from DeltaHigh to
-// DeltaLow in steps of DeltaStep.
+// DeltaLow in steps of DeltaStep, and the reported deltas must be exact:
+// repeated subtraction would leak drifted values like 0.6000000000000001
+// into IterationStats, LinkSource provenance and JSON reports.
 func TestLinkIterationSchedule(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.StopOnEmpty = false
@@ -118,9 +120,92 @@ func TestLinkIterationSchedule(t *testing.T) {
 		t.Fatalf("iterations = %d, want %d", len(res.Iterations), len(want))
 	}
 	for i, it := range res.Iterations {
-		if diff := it.Delta - want[i]; diff > 1e-9 || diff < -1e-9 {
-			t.Errorf("iteration %d delta = %v, want %v", i, it.Delta, want[i])
+		if it.Delta != want[i] {
+			t.Errorf("iteration %d delta = %v, want exactly %v", i, it.Delta, want[i])
 		}
+	}
+	// Subgraph-link provenance must carry the same exact thresholds.
+	for p, src := range res.Sources {
+		if src.Kind != SourceSubgraph {
+			continue
+		}
+		ok := false
+		for _, w := range want {
+			if src.Delta == w {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("link %v provenance delta = %v, not on the schedule %v", p, src.Delta, want)
+		}
+	}
+}
+
+// TestDeltaScheduleExact pins the index-based threshold computation: every
+// δ of the default 0.7→0.5/0.05 configuration is the exact decimal literal,
+// with no floating-point drift, and drift-prone steps like 0.1 stay exact
+// over many iterations.
+func TestDeltaScheduleExact(t *testing.T) {
+	cases := []struct {
+		high, low, step float64
+		want            []float64
+	}{
+		{0.7, 0.5, 0.05, []float64{0.7, 0.65, 0.6, 0.55, 0.5}},
+		{0.9, 0.3, 0.1, []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3}},
+		{1.0, 0.85, 0.03, []float64{1.0, 0.97, 0.94, 0.91, 0.88, 0.85}},
+		{0.5, 0.5, 0, []float64{0.5}},    // one-shot
+		{0.5, 0.5, 0.05, []float64{0.5}}, // one-shot with a (unused) step
+	}
+	for _, c := range cases {
+		cfg := Config{DeltaHigh: c.high, DeltaLow: c.low, DeltaStep: c.step}
+		got := cfg.deltaSchedule()
+		if len(got) != len(c.want) {
+			t.Errorf("schedule(%v→%v/%v) = %v, want %v", c.high, c.low, c.step, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("schedule(%v→%v/%v)[%d] = %v, want exactly %v",
+					c.high, c.low, c.step, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestDeltaScheduleClampsToDeltaLow: when DeltaHigh-DeltaLow is not an
+// integer multiple of DeltaStep, the last step must be clamped so the
+// paper-mandated final iteration at δ_low still runs (the old loop stopped
+// at 0.55 and never reached 0.52).
+func TestDeltaScheduleClampsToDeltaLow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeltaLow = 0.52
+	want := []float64{0.7, 0.65, 0.6, 0.55, 0.52}
+	got := cfg.deltaSchedule()
+	if len(got) != len(want) {
+		t.Fatalf("schedule = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("schedule[%d] = %v, want exactly %v", i, got[i], want[i])
+		}
+	}
+
+	cfg.StopOnEmpty = false
+	cfg.Workers = 1
+	res, err := Link(paperexample.Old(), paperexample.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations")
+	}
+	last := res.Iterations[len(res.Iterations)-1]
+	if last.Delta != cfg.DeltaLow {
+		t.Errorf("final iteration delta = %v, want exactly DeltaLow %v", last.Delta, cfg.DeltaLow)
+	}
+	if len(res.Iterations) != len(want) {
+		t.Errorf("iterations = %d, want %d", len(res.Iterations), len(want))
 	}
 }
 

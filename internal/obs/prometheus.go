@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders a run report in the Prometheus text exposition
+// format (version 0.0.4): every pipeline counter becomes a sample of the
+// censuslink_pipeline_total family keyed by a name label, and every stage
+// timer contributes its call count and cumulative wall-clock seconds. The
+// output is sorted, so identical reports scrape identically.
+func WritePrometheus(w io.Writer, r *Report) error {
+	if r == nil {
+		return nil
+	}
+	if len(r.Counters) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP censuslink_pipeline_total Pipeline counter totals across all runs.\n# TYPE censuslink_pipeline_total counter\n"); err != nil {
+			return err
+		}
+		for _, name := range r.CounterNames() {
+			if _, err := fmt.Fprintf(w, "censuslink_pipeline_total{name=%q} %d\n",
+				name, r.Counters[name]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.Stages) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP censuslink_stage_calls_total Completed timer intervals per pipeline stage.\n# TYPE censuslink_stage_calls_total counter\n"); err != nil {
+			return err
+		}
+		for _, name := range r.StageNames() {
+			if _, err := fmt.Fprintf(w, "censuslink_stage_calls_total{stage=%q} %d\n",
+				name, r.Stages[name].Calls); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# HELP censuslink_stage_seconds_total Cumulative wall-clock seconds per pipeline stage.\n# TYPE censuslink_stage_seconds_total counter\n"); err != nil {
+			return err
+		}
+		for _, name := range r.StageNames() {
+			if _, err := fmt.Fprintf(w, "censuslink_stage_seconds_total{stage=%q} %g\n",
+				name, r.Stages[name].TotalNS.Seconds()); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "# HELP censuslink_iterations_total Closed per-delta iteration snapshots.\n# TYPE censuslink_iterations_total counter\ncensuslink_iterations_total %d\n", len(r.Iterations))
+	return err
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheus: counters, stage calls and stage seconds must render
+// as sorted, well-formed exposition-format samples.
+func TestWritePrometheus(t *testing.T) {
+	s := NewStats(nil)
+	s.Add(RecordLinks, 7)
+	s.Add(GroupLinks, 3)
+	stop := s.Stage("prematch")
+	time.Sleep(time.Millisecond)
+	stop()
+	s.BeginIteration(0.7)
+	s.EndIteration()
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, s.Report()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE censuslink_pipeline_total counter",
+		`censuslink_pipeline_total{name="record_links"} 7`,
+		`censuslink_pipeline_total{name="group_links"} 3`,
+		`censuslink_stage_calls_total{stage="prematch"} 1`,
+		`censuslink_stage_seconds_total{stage="prematch"} `,
+		"censuslink_iterations_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// group_links sorts before record_links: deterministic scrape order.
+	if strings.Index(out, `name="group_links"`) > strings.Index(out, `name="record_links"`) {
+		t.Error("counter samples not sorted by name")
+	}
+}
+
+// TestWritePrometheusEmpty: a nil/empty report renders without error and
+// without malformed families.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil report rendered %q", b.String())
+	}
+	b.Reset()
+	if err := WritePrometheus(&b, (*Stats)(nil).Report()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "censuslink_iterations_total 0") {
+		t.Errorf("empty report missing iteration sample:\n%s", b.String())
+	}
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"censuslink/internal/evolution"
+	"censuslink/internal/linkage"
+)
+
+// flight is the single-flight slot of one expensive computation: the first
+// request starts it, concurrent requests share it, and the value is cached
+// on success. A waiter that gives up (request deadline, client gone) stops
+// waiting immediately; when the LAST waiter abandons a still-running
+// computation it is cancelled, so a multi-minute pipeline run never
+// outlives all interest in it. Failed flights are cleared, so a later
+// request retries instead of being poisoned by a bygone cancellation.
+type flight struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+
+	// res/err are written before done is closed (the close is the
+	// happens-before edge), so readers need no lock after <-done.
+	res *linkage.Result
+	err error
+}
+
+// evoBundle is the series-wide evolution state derived from all pair
+// results: the evolution graph, the per-person timelines and an index from
+// record occurrence to the timelines traversing it.
+type evoBundle struct {
+	graph     *evolution.Graph
+	timelines []evolution.Timeline
+	// byRecord maps year|recordID to indices into timelines.
+	byRecord map[recordKey][]int
+	// edgesFrom indexes the graph's typed group edges by source vertex.
+	edgesFrom map[evolution.GroupVertex][]evolution.GroupEdge
+}
+
+type recordKey struct {
+	Year int
+	ID   string
+}
+
+// pairCache holds the single-flight slots: one per successive year pair,
+// plus one for the evolution bundle (which depends on all pairs).
+type pairCache struct {
+	s *Server
+
+	mu      sync.Mutex
+	pairs   []*flight
+	bundleF *bundleFlight
+}
+
+type bundleFlight struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	bundle  *evoBundle
+	err     error
+}
+
+func newPairCache(s *Server) *pairCache {
+	return &pairCache{s: s, pairs: make([]*flight, len(s.series.Pairs()))}
+}
+
+// cached reports how many pair results are computed and resident (for
+// /healthz and /metrics).
+func (c *pairCache) cached() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, f := range c.pairs {
+		if f == nil {
+			continue
+		}
+		select {
+		case <-f.done:
+			if f.err == nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
+}
+
+// result returns the linkage result of pair i, computing it at most once.
+// ctx is the requester's context: its deadline bounds only the wait — the
+// computation itself runs under the server's base context (capped by
+// ComputeTimeout) so one impatient client cannot kill a result another
+// client is still waiting for, yet when every waiter is gone the
+// computation is cancelled.
+func (c *pairCache) result(ctx context.Context, i int) (*linkage.Result, error) {
+	for {
+		c.mu.Lock()
+		f := c.pairs[i]
+		if f == nil {
+			fctx, cancel := context.WithCancel(c.s.baseCtx)
+			f = &flight{done: make(chan struct{}), cancel: cancel}
+			c.pairs[i] = f
+			go c.compute(fctx, i, f)
+		}
+		f.waiters++
+		c.mu.Unlock()
+
+		select {
+		case <-f.done:
+			c.mu.Lock()
+			f.waiters--
+			c.mu.Unlock()
+			// A flight cancelled by earlier waiters' abandonment (not by
+			// this requester, whose ctx is still live, and not by server
+			// shutdown) is nobody's answer: retry on a fresh flight — the
+			// failed slot has already been cleared.
+			if errors.Is(f.err, context.Canceled) && ctx.Err() == nil && !c.s.shuttingDown() {
+				continue
+			}
+			return f.res, f.err
+		case <-ctx.Done():
+			c.mu.Lock()
+			f.waiters--
+			abandoned := f.waiters == 0
+			c.mu.Unlock()
+			if abandoned {
+				f.cancel()
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// compute runs one pair's linkage under the flight's context, bounded by
+// the server-wide semaphore, and publishes the outcome.
+func (c *pairCache) compute(ctx context.Context, i int, f *flight) {
+	defer f.cancel()
+	var res *linkage.Result
+	err := func() error {
+		select {
+		case c.s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer func() { <-c.s.sem }()
+		if c.s.computeTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.s.computeTimeout)
+			defer cancel()
+		}
+		pair := c.s.series.Pairs()[i]
+		cfg := c.s.linkCfg
+		cfg.Obs = c.s.stats
+		var err error
+		res, err = c.s.linkFn(ctx, pair[0], pair[1], cfg)
+		return err
+	}()
+	c.mu.Lock()
+	f.res, f.err = res, err
+	if err != nil && c.pairs[i] == f {
+		c.pairs[i] = nil // failed flights are not cached; retry later
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// allResults returns every pair's result, starting all missing
+// computations concurrently (the semaphore still bounds the actual
+// parallelism).
+func (c *pairCache) allResults(ctx context.Context) ([]*linkage.Result, error) {
+	n := len(c.s.series.Pairs())
+	results := make([]*linkage.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.result(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// bundle returns the evolution bundle, computing it (and any missing pair
+// results) at most once, with the same single-flight and abandonment
+// semantics as result.
+func (c *pairCache) bundle(ctx context.Context) (*evoBundle, error) {
+	for {
+		c.mu.Lock()
+		bf := c.bundleF
+		if bf == nil {
+			bctx, cancel := context.WithCancel(c.s.baseCtx)
+			bf = &bundleFlight{done: make(chan struct{}), cancel: cancel}
+			c.bundleF = bf
+			go c.computeBundle(bctx, bf)
+		}
+		bf.waiters++
+		c.mu.Unlock()
+
+		select {
+		case <-bf.done:
+			c.mu.Lock()
+			bf.waiters--
+			c.mu.Unlock()
+			if errors.Is(bf.err, context.Canceled) && ctx.Err() == nil && !c.s.shuttingDown() {
+				continue // inherited another waiter's abandonment; retry
+			}
+			return bf.bundle, bf.err
+		case <-ctx.Done():
+			c.mu.Lock()
+			bf.waiters--
+			abandoned := bf.waiters == 0
+			c.mu.Unlock()
+			if abandoned {
+				bf.cancel()
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (c *pairCache) computeBundle(ctx context.Context, bf *bundleFlight) {
+	defer bf.cancel()
+	bundle, err := func() (*evoBundle, error) {
+		results, err := c.allResults(ctx)
+		if err != nil {
+			return nil, err
+		}
+		graph, err := evolution.BuildGraphContext(ctx, c.s.series, results, c.s.stats)
+		if err != nil {
+			return nil, err
+		}
+		b := &evoBundle{
+			graph:     graph,
+			timelines: graph.PersonTimelines(1),
+			byRecord:  make(map[recordKey][]int),
+			edgesFrom: make(map[evolution.GroupVertex][]evolution.GroupEdge),
+		}
+		for ti, tl := range b.timelines {
+			for _, e := range tl.Entries {
+				k := recordKey{Year: e.Year, ID: e.RecordID}
+				b.byRecord[k] = append(b.byRecord[k], ti)
+			}
+		}
+		for _, e := range graph.GroupEdges {
+			b.edgesFrom[e.From] = append(b.edgesFrom[e.From], e)
+		}
+		return b, nil
+	}()
+	c.mu.Lock()
+	bf.bundle, bf.err = bundle, err
+	if err != nil && c.bundleF == bf {
+		c.bundleF = nil // not cached; a later request retries
+	}
+	c.mu.Unlock()
+	close(bf.done)
+}

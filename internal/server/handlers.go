@@ -1,0 +1,387 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"censuslink/internal/evolution"
+	"censuslink/internal/linkage"
+)
+
+// writeJSON renders a response body; encoding errors after the header is
+// out are unrecoverable and ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// fail maps a computation error to an HTTP status: deadline overruns are
+// gateway timeouts, cancellations (client gone, server draining) are
+// service-unavailable, anything else is a plain 500.
+func fail(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// pairIndex resolves the {old}/{new} path segments to a year-pair index.
+func (s *Server) pairIndex(r *http.Request) (int, error) {
+	oldYear, err := strconv.Atoi(r.PathValue("old"))
+	if err != nil {
+		return 0, fmt.Errorf("bad old year %q", r.PathValue("old"))
+	}
+	newYear, err := strconv.Atoi(r.PathValue("new"))
+	if err != nil {
+		return 0, fmt.Errorf("bad new year %q", r.PathValue("new"))
+	}
+	for i, p := range s.series.Pairs() {
+		if p[0].Year == oldYear && p[1].Year == newYear {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("no successive census pair %d-%d in series %v", oldYear, newYear, s.series.Years())
+}
+
+// yearParam resolves the {year} path segment against the series.
+func (s *Server) yearParam(r *http.Request) (int, error) {
+	year, err := strconv.Atoi(r.PathValue("year"))
+	if err != nil {
+		return 0, fmt.Errorf("bad year %q", r.PathValue("year"))
+	}
+	if s.series.Dataset(year) == nil {
+		return 0, fmt.Errorf("no census year %d in series %v", year, s.series.Years())
+	}
+	return year, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status      string `json:"status"`
+		Years       []int  `json:"years"`
+		Pairs       int    `json:"pairs"`
+		PairsCached int    `json:"pairs_cached"`
+	}
+	h := health{
+		Status:      "ok",
+		Years:       s.series.Years(),
+		Pairs:       len(s.series.Pairs()),
+		PairsCached: s.cache.cached(),
+	}
+	status := http.StatusOK
+	if s.shuttingDown() {
+		h.Status = "shutting_down"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleYears(w http.ResponseWriter, r *http.Request) {
+	type pairJSON struct {
+		Old int `json:"old"`
+		New int `json:"new"`
+	}
+	pairs := make([]pairJSON, 0, len(s.series.Pairs()))
+	for _, p := range s.series.Pairs() {
+		pairs = append(pairs, pairJSON{Old: p[0].Year, New: p[1].Year})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"years": s.series.Years(),
+		"pairs": pairs,
+	})
+}
+
+type sourceJSON struct {
+	Kind     string  `json:"kind"`
+	Delta    float64 `json:"delta"`
+	GroupOld string  `json:"group_old,omitempty"`
+	GroupNew string  `json:"group_new,omitempty"`
+	GSim     float64 `json:"gsim,omitempty"`
+}
+
+type recordLinkJSON struct {
+	Old    string      `json:"old"`
+	New    string      `json:"new"`
+	Sim    float64     `json:"sim"`
+	Source *sourceJSON `json:"source,omitempty"`
+}
+
+// handleRecordLinks serves the 1:1 record mapping of one census pair with
+// per-link provenance (which stage found the link, at which δ, supported by
+// which group pair). Optional filters: ?record=<id> restricts to links
+// touching the record, ?source=subgraph|remainder to one stage.
+func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
+	i, err := s.pairIndex(r)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	res, err := s.cache.result(r.Context(), i)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	recordFilter := r.URL.Query().Get("record")
+	sourceFilter := r.URL.Query().Get("source")
+	links := make([]recordLinkJSON, 0, len(res.RecordLinks))
+	for _, l := range res.RecordLinks {
+		if recordFilter != "" && l.Old != recordFilter && l.New != recordFilter {
+			continue
+		}
+		lj := recordLinkJSON{Old: l.Old, New: l.New, Sim: l.Sim}
+		if src, ok := res.Sources[linkage.Pair{Old: l.Old, New: l.New}]; ok {
+			if sourceFilter != "" && src.Kind.String() != sourceFilter {
+				continue
+			}
+			lj.Source = &sourceJSON{
+				Kind:     src.Kind.String(),
+				Delta:    src.Delta,
+				GroupOld: src.Group.Old,
+				GroupNew: src.Group.New,
+				GSim:     src.GSim,
+			}
+		} else if sourceFilter != "" {
+			continue
+		}
+		links = append(links, lj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"old_year":     s.series.Pairs()[i][0].Year,
+		"new_year":     s.series.Pairs()[i][1].Year,
+		"count":        len(links),
+		"record_links": links,
+	})
+}
+
+// handleGroupLinks serves the N:M household mapping of one census pair.
+func (s *Server) handleGroupLinks(w http.ResponseWriter, r *http.Request) {
+	i, err := s.pairIndex(r)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	res, err := s.cache.result(r.Context(), i)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	type groupLinkJSON struct {
+		Old string `json:"old"`
+		New string `json:"new"`
+	}
+	links := make([]groupLinkJSON, 0, len(res.GroupLinks))
+	for _, g := range res.GroupLinks {
+		links = append(links, groupLinkJSON{Old: g.Old, New: g.New})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"old_year":    s.series.Pairs()[i][0].Year,
+		"new_year":    s.series.Pairs()[i][1].Year,
+		"count":       len(links),
+		"group_links": links,
+	})
+}
+
+// handlePatterns serves the evolution-pattern analysis of one census pair:
+// the per-pattern counts of Section 4.1 plus the full move/split/merge
+// structures and any unclassified group links.
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	i, err := s.pairIndex(r)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	res, err := s.cache.result(r.Context(), i)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	pair := s.series.Pairs()[i]
+	a := evolution.Analyze(pair[0], pair[1], res)
+	counts := map[string]int{}
+	for p := evolution.PatternPreserve; p <= evolution.PatternMerge; p++ {
+		counts[p.String()] = a.Count(p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"old_year":           a.OldYear,
+		"new_year":           a.NewYear,
+		"counts":             counts,
+		"preserved_groups":   a.PreservedGroups,
+		"moves":              a.Moves,
+		"splits":             a.Splits,
+		"merges":             a.Merges,
+		"unclassified_links": a.UnclassifiedLinks,
+		"preserved_records":  len(a.PreservedRecords),
+		"added_records":      len(a.AddedRecords),
+		"removed_records":    len(a.RemovedRecords),
+	})
+}
+
+type hhEventJSON struct {
+	FromYear int    `json:"from_year"`
+	From     string `json:"from"`
+	ToYear   int    `json:"to_year"`
+	To       string `json:"to"`
+	Pattern  string `json:"pattern"`
+}
+
+// handleHouseholdTimeline serves one household's forward evolution: every
+// typed pattern edge reachable from the household's vertex in the evolution
+// graph, in year order — the per-household slice of Fig. 5.
+func (s *Server) handleHouseholdTimeline(w http.ResponseWriter, r *http.Request) {
+	year, err := s.yearParam(r)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	id := r.PathValue("id")
+	if s.series.Dataset(year).Household(id) == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{
+			Error: fmt.Sprintf("no household %q in the %d census", id, year)})
+		return
+	}
+	b, err := s.cache.bundle(r.Context())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	// Forward reachability over the typed edges.
+	start := evolution.GroupVertex{Year: year, Household: id}
+	var events []hhEventJSON
+	seen := map[evolution.GroupVertex]bool{start: true}
+	queue := []evolution.GroupVertex{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range b.edgesFrom[v] {
+			events = append(events, hhEventJSON{
+				FromYear: e.From.Year, From: e.From.Household,
+				ToYear: e.To.Year, To: e.To.Household,
+				Pattern: e.Pattern.String(),
+			})
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.FromYear != b.FromYear {
+			return a.FromYear < b.FromYear
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Pattern < b.Pattern
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"year":      year,
+		"household": id,
+		"events":    events,
+	})
+}
+
+type timelineJSON struct {
+	Span    int                       `json:"span"`
+	Entries []evolution.TimelineEntry `json:"entries"`
+}
+
+// handleRecordLifecycle serves the reconstructed person history through the
+// given record: every timeline of the evolution graph that traverses the
+// record at that census year.
+func (s *Server) handleRecordLifecycle(w http.ResponseWriter, r *http.Request) {
+	year, err := s.yearParam(r)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	id := r.PathValue("id")
+	rec := s.series.Dataset(year).Record(id)
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{
+			Error: fmt.Sprintf("no record %q in the %d census", id, year)})
+		return
+	}
+	b, err := s.cache.bundle(r.Context())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	tls := make([]timelineJSON, 0, 1)
+	for _, ti := range b.byRecord[recordKey{Year: year, ID: id}] {
+		tl := b.timelines[ti]
+		tls = append(tls, timelineJSON{Span: tl.Span(), Entries: tl.Entries})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"year":      year,
+		"record":    id,
+		"name":      rec.FullName(),
+		"household": rec.HouseholdID,
+		"timelines": tls,
+	})
+}
+
+// handleTimelines serves the per-person timelines of the whole series,
+// longest first. ?min_span=k keeps persons traced through at least k
+// censuses (default 2); ?limit=n caps the response size (default 100).
+func (s *Server) handleTimelines(w http.ResponseWriter, r *http.Request) {
+	minSpan := 2
+	if v := r.URL.Query().Get("min_span"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad min_span %q", v)})
+			return
+		}
+		minSpan = n
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad limit %q", v)})
+			return
+		}
+		limit = n
+	}
+	b, err := s.cache.bundle(r.Context())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	total := 0
+	tls := make([]timelineJSON, 0, limit)
+	for _, tl := range b.timelines {
+		if tl.Span() < minSpan {
+			continue // timelines are sorted by descending span, but keep scanning: cheap and simple
+		}
+		total++
+		if len(tls) < limit {
+			tls = append(tls, timelineJSON{Span: tl.Span(), Entries: tl.Entries})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"min_span":  minSpan,
+		"total":     total,
+		"returned":  len(tls),
+		"timelines": tls,
+	})
+}

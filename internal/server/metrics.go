@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"censuslink/internal/obs"
+)
+
+// requestCounters tracks per-endpoint request totals for /metrics.
+type requestCounters struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+func newRequestCounters() *requestCounters {
+	return &requestCounters{counts: make(map[string]int64)}
+}
+
+func (c *requestCounters) inc(endpoint string) {
+	c.mu.Lock()
+	c.counts[endpoint]++
+	c.mu.Unlock()
+}
+
+// snapshot returns the endpoint names sorted with their counts.
+func (c *requestCounters) snapshot() ([]string, map[string]int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.counts))
+	out := make(map[string]int64, len(c.counts))
+	for n, v := range c.counts {
+		names = append(names, n)
+		out[n] = v
+	}
+	sort.Strings(names)
+	return names, out
+}
+
+// counted wraps a handler with the request counter and in-flight gauge.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.inc(endpoint)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+// handleMetrics exports the pipeline's obs collector (counters, stage
+// timings, iteration count) plus the server's own request metrics in
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.stats.Report()); err != nil {
+		return
+	}
+	names, counts := s.requests.snapshot()
+	fmt.Fprintf(w, "# HELP censuslink_http_requests_total HTTP requests served per endpoint.\n# TYPE censuslink_http_requests_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "censuslink_http_requests_total{endpoint=%q} %d\n", n, counts[n])
+	}
+	fmt.Fprintf(w, "# HELP censuslink_http_in_flight HTTP requests currently being served.\n# TYPE censuslink_http_in_flight gauge\ncensuslink_http_in_flight %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "# HELP censuslink_pairs_cached Year-pair linkage results resident in the cache.\n# TYPE censuslink_pairs_cached gauge\ncensuslink_pairs_cached %d\n", s.cache.cached())
+	fmt.Fprintf(w, "# HELP censuslink_uptime_seconds Seconds since the server started.\n# TYPE censuslink_uptime_seconds gauge\ncensuslink_uptime_seconds %g\n", time.Since(s.started).Seconds())
+}

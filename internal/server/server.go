@@ -1,0 +1,178 @@
+// Package server turns the linkage pipeline into a long-lived query
+// service: it holds one census series, computes each successive year-pair's
+// record and group linkage at most once (lazily on first demand, behind a
+// single-flight cache, or eagerly at startup) and serves the results — with
+// full per-link provenance — plus the household evolution patterns,
+// timelines and per-record lifecycles derived from them over JSON HTTP
+// endpoints. Observability is the same internal/obs collector the CLIs use,
+// exported in Prometheus text format on /metrics alongside /healthz and
+// /debug/pprof; concurrency of the expensive pair computations is bounded
+// by a semaphore and request-scoped deadlines flow into the pipeline's
+// cancellation checkpoints.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
+)
+
+// linkFunc is the pipeline entry point; tests substitute it to observe or
+// stall computations.
+type linkFunc func(ctx context.Context, old, new *census.Dataset, cfg linkage.Config) (*linkage.Result, error)
+
+// Config configures a linkage query service over one census series.
+type Config struct {
+	// Series is the loaded census series; it must hold at least two
+	// datasets and is treated as immutable for the server's lifetime.
+	Series *census.Series
+	// Linkage is the pipeline configuration applied to every year pair. Its
+	// Obs field is overridden by the server's own collector.
+	Linkage linkage.Config
+	// MaxConcurrent bounds how many year-pair linkage computations may run
+	// at once (each one already parallelizes internally via
+	// Linkage.Workers); <= 0 means 2.
+	MaxConcurrent int
+	// ComputeTimeout caps one pair computation; 0 means no cap. A request
+	// that triggers the computation can still abandon it earlier through
+	// its own deadline — when the last waiter gives up, the pipeline run is
+	// cancelled.
+	ComputeTimeout time.Duration
+	// Stats receives pipeline counters and stage timings; a fresh collector
+	// is created when nil. The same collector feeds /metrics.
+	Stats *obs.Stats
+
+	// linkFn substitutes the pipeline in tests; nil means
+	// linkage.LinkContext.
+	linkFn linkFunc
+}
+
+// Server is the HTTP query service. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	series         *census.Series
+	linkCfg        linkage.Config
+	stats          *obs.Stats
+	linkFn         linkFunc
+	computeTimeout time.Duration
+
+	// sem bounds concurrent pair computations.
+	sem chan struct{}
+
+	// baseCtx parents every computation; abort cancels them all on
+	// shutdown.
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	cache *pairCache
+
+	mux      *http.ServeMux
+	handler  http.Handler
+	started  time.Time
+	inflight atomic.Int64
+	requests *requestCounters
+}
+
+// New validates the configuration and builds the service. No computation
+// starts until the first query (or Precompute).
+func New(cfg Config) (*Server, error) {
+	if cfg.Series == nil || len(cfg.Series.Datasets) < 2 {
+		return nil, fmt.Errorf("server: need a series of at least two censuses")
+	}
+	if err := cfg.Linkage.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	stats := cfg.Stats
+	if stats == nil {
+		stats = obs.NewStats(nil)
+	}
+	maxc := cfg.MaxConcurrent
+	if maxc <= 0 {
+		maxc = 2
+	}
+	fn := cfg.linkFn
+	if fn == nil {
+		fn = linkage.LinkContext
+	}
+	baseCtx, abort := context.WithCancel(context.Background())
+	s := &Server{
+		series:         cfg.Series,
+		linkCfg:        cfg.Linkage,
+		stats:          stats,
+		linkFn:         fn,
+		computeTimeout: cfg.ComputeTimeout,
+		sem:            make(chan struct{}, maxc),
+		baseCtx:        baseCtx,
+		abort:          abort,
+		started:        time.Now(),
+		requests:       newRequestCounters(),
+	}
+	s.cache = newPairCache(s)
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.handler = s.mux
+	return s, nil
+}
+
+// routes registers every endpoint. Handlers are wrapped by counted, which
+// feeds the per-endpoint request counters and the in-flight gauge on
+// /metrics.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /api/years", s.counted("years", s.handleYears))
+	s.mux.HandleFunc("GET /api/links/{old}/{new}/records", s.counted("record_links", s.handleRecordLinks))
+	s.mux.HandleFunc("GET /api/links/{old}/{new}/groups", s.counted("group_links", s.handleGroupLinks))
+	s.mux.HandleFunc("GET /api/evolution/{old}/{new}/patterns", s.counted("patterns", s.handlePatterns))
+	s.mux.HandleFunc("GET /api/households/{year}/{id}/timeline", s.counted("household_timeline", s.handleHouseholdTimeline))
+	s.mux.HandleFunc("GET /api/records/{year}/{id}/lifecycle", s.counted("record_lifecycle", s.handleRecordLifecycle))
+	s.mux.HandleFunc("GET /api/timelines", s.counted("timelines", s.handleTimelines))
+
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the service's HTTP handler, for mounting on an
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Stats returns the pipeline collector backing /metrics, so callers can
+// flush a final JSON report on shutdown.
+func (s *Server) Stats() *obs.Stats { return s.stats }
+
+// Precompute runs the linkage of every year pair (bounded by
+// MaxConcurrent) and assembles the evolution bundle, so the first queries
+// hit a warm cache. It shares the single-flight slots with concurrent
+// requests and respects ctx.
+func (s *Server) Precompute(ctx context.Context) error {
+	if _, err := s.cache.allResults(ctx); err != nil {
+		return err
+	}
+	_, err := s.cache.bundle(ctx)
+	return err
+}
+
+// Abort cancels every in-flight and future computation: queries that are
+// waiting fail promptly and new ones are refused by handlers observing the
+// closed base context. Call after draining HTTP requests on shutdown.
+func (s *Server) Abort() { s.abort() }
+
+// shuttingDown reports whether Abort has been called.
+func (s *Server) shuttingDown() bool {
+	select {
+	case <-s.baseCtx.Done():
+		return true
+	default:
+		return false
+	}
+}
