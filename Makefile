@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-regress report fuzz fuzz-smoke clean
+.PHONY: all build test vet check bench bench-regress store-golden report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -31,6 +31,13 @@ bench:
 # BENCH_prematch.json baseline.
 bench-regress:
 	CENSUSLINK_BENCH_BASELINE=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
+
+# Snapshot-store golden gate: format round trip, deterministic payloads,
+# corruption rejection, and the end-to-end incremental differential (a warm
+# re-run performs zero comparisons and returns byte-identical results).
+store-golden:
+	$(GO) test -count=1 -run 'TestRoundTripGolden|TestDeterministicPayload|TestLoadMissing|TestRejectsUntrustedSnapshots|TestWrongKeyDifferentAddress|TestOverwriteIsAtomicSingleFile' ./internal/store/
+	$(GO) test -count=1 -run 'TestLinkSeriesIncremental' ./internal/linkage/
 
 # Regenerate the full experiment report at the canonical scale.
 report:

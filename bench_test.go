@@ -8,6 +8,7 @@
 package censuslink_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"censuslink/internal/experiments"
 	"censuslink/internal/linkage"
 	"censuslink/internal/obs"
+	"censuslink/internal/store"
 	"censuslink/internal/synth"
 )
 
@@ -205,6 +207,51 @@ func BenchmarkLinkSeries(b *testing.B) {
 	}
 }
 
+// BenchmarkLinkSeriesIncremental contrasts a cold series linkage — every
+// pair computed and persisted to a fresh snapshot store — with a warm
+// incremental re-run over unchanged inputs, which skips the pipeline
+// entirely and deserializes the snapshots instead.
+func BenchmarkLinkSeriesIncremental(b *testing.B) {
+	series, err := synth.Generate(synth.TestConfig(benchScale(), 1871))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := linkage.DefaultConfig()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := linkage.LinkSeriesOpts(context.Background(), series, cfg,
+				linkage.SeriesOptions{Store: st, Incremental: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := linkage.LinkSeriesOpts(context.Background(), series, cfg,
+			linkage.SeriesOptions{Store: st, Incremental: true}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := linkage.LinkSeriesOpts(context.Background(), series, cfg,
+				linkage.SeriesOptions{Store: st, Incremental: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // TestBenchTrajectory measures the naive-vs-compiled pre-matching speedup
 // programmatically and writes a JSON report to the path named by the
 // CENSUSLINK_BENCH_JSON environment variable. The report also carries the
@@ -262,6 +309,51 @@ func TestBenchTrajectory(t *testing.T) {
 		"sim_cache_hit_rate": float64(hits) / float64(hits+misses),
 		"pruned_comparisons": rep.Counters[obs.PrunedComparisons],
 	}
+
+	// Incremental series rows: one cold pass per iteration (fresh store,
+	// full pipeline) against a warm re-run served entirely from snapshots.
+	series, err := synth.Generate(synth.TestConfig(benchScale(), 1871))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesCfg := linkage.DefaultConfig()
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := linkage.LinkSeriesOpts(context.Background(), series, seriesCfg,
+				linkage.SeriesOptions{Store: st, Incremental: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warmStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linkage.LinkSeriesOpts(context.Background(), series, seriesCfg,
+		linkage.SeriesOptions{Store: warmStore, Incremental: true}); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := linkage.LinkSeriesOpts(context.Background(), series, seriesCfg,
+				linkage.SeriesOptions{Store: warmStore, Incremental: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	incSpeedup := float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+	report["series_cold_ns_op"] = cold.NsPerOp()
+	report["series_warm_ns_op"] = warm.NsPerOp()
+	report["incremental_speedup"] = incSpeedup
+	t.Logf("series cold %v/op, warm (all snapshots) %v/op, incremental speedup %.2fx",
+		cold.NsPerOp(), warm.NsPerOp(), incSpeedup)
+
 	if path != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"censuslink/internal/linkage"
 	"censuslink/internal/obs"
 	"censuslink/internal/report"
+	"censuslink/internal/store"
 )
 
 func main() {
@@ -34,6 +36,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); the -stats report is still written")
 	lenient := flag.Bool("lenient", false, "skip bad input rows instead of aborting, printing a data-quality summary to stderr")
 	maxBadRows := flag.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped per file (0 = no cap)")
+	storeDir := flag.String("store", "", "persist per-pair linkage results as snapshots in this directory (write-through)")
+	incremental := flag.Bool("incremental", false, "with -store: skip year pairs whose snapshot already matches this input and configuration")
+	pairWorkers := flag.Int("pair-workers", 1, "link up to this many year pairs concurrently")
 	flag.Parse()
 
 	// SIGINT/SIGTERM and -timeout cancel the shared context; the series
@@ -46,7 +51,9 @@ func main() {
 		defer cancel()
 	}
 	var stats *obs.Stats
-	if *statsOut != "" {
+	if *statsOut != "" || *incremental {
+		// Incremental runs need the collector even without -stats: the
+		// store hit/miss counters feed the reuse summary printed below.
 		stats = obs.NewStats(nil)
 	}
 	// fail flushes the run report before exiting so an interrupted run still
@@ -75,9 +82,29 @@ func main() {
 
 	cfg := linkage.DefaultConfig()
 	cfg.Obs = stats
-	results, err := linkage.LinkSeriesContext(ctx, series, cfg)
+	opts := linkage.SeriesOptions{Incremental: *incremental, PairWorkers: *pairWorkers}
+	if *storeDir != "" {
+		snaps, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Store = snaps
+	} else if *incremental {
+		log.Fatal("-incremental requires -store")
+	}
+	results, err := linkage.LinkSeriesOpts(ctx, series, cfg, opts)
 	if err != nil {
+		// Completed pairs are checkpointed in the store (with -store), so a
+		// re-run resumes instead of starting over; say so.
+		var se *linkage.SeriesError
+		if errors.As(err, &se) && opts.Store != nil && *incremental {
+			log.Printf("%d of %d pairs are checkpointed in %s; re-run to resume", se.Completed, se.Pairs, *storeDir)
+		}
 		fail(err)
+	}
+	if *incremental {
+		fmt.Printf("store: %d pairs reused, %d computed\n",
+			stats.Total(obs.StoreHits), stats.Total(obs.StoreMisses)+stats.Total(obs.StoreCorrupt))
 	}
 	for i, pair := range series.Pairs() {
 		fmt.Printf("linked %d-%d: %d record links, %d group links\n",

@@ -29,6 +29,7 @@ import (
 	"censuslink/internal/linkage"
 	"censuslink/internal/obs"
 	"censuslink/internal/report"
+	"censuslink/internal/store"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func main() {
 	maxBadRows := flag.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
 	panicPolicy := flag.String("panic-policy", "fail-fast", "worker panic policy: fail-fast or skip")
 	engineFlag := flag.String("engine", "compiled", "comparison engine: compiled (interned values + similarity memo) or naive (interpreted oracle)")
+	storeDir := flag.String("store", "", "persist the linkage result as a content-addressed snapshot in this directory (iterative/oneshot only)")
+	incremental := flag.Bool("incremental", false, "with -store: serve a stored snapshot matching this input and configuration instead of recomputing")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -169,7 +172,16 @@ func main() {
 			log.Fatalf("unknown -panic-policy %q (want fail-fast or skip)", *panicPolicy)
 		}
 		cfg.Obs = stats
-		res, err := runLinkage(ctx, oldDS, newDS, cfg, stats, *statsOut)
+		var snaps *store.Store
+		if *storeDir != "" {
+			var err error
+			if snaps, err = store.Open(*storeDir); err != nil {
+				log.Fatal(err)
+			}
+		} else if *incremental {
+			log.Fatal("-incremental requires -store")
+		}
+		res, err := runLinkage(ctx, oldDS, newDS, cfg, stats, *statsOut, snaps, *incremental)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -289,14 +301,44 @@ func loadCensus(path string, year int, opts census.LoadOptions) *census.Dataset 
 
 // runLinkage runs the context-aware linkage and, when it fails (timeout,
 // SIGINT, worker panic), still writes the -stats report before returning so
-// an aborted run keeps its partial observability data.
+// an aborted run keeps its partial observability data. With a snapshot
+// store, -incremental first tries the stored result for this exact
+// (configuration, input datasets) address — zero comparisons on a hit — and
+// every computed result is written back (write-through).
 func runLinkage(ctx context.Context, oldDS, newDS *census.Dataset, cfg linkage.Config,
-	stats *obs.Stats, statsPath string) (*linkage.Result, error) {
-	res, err := linkage.LinkContext(ctx, oldDS, newDS, cfg)
-	if err != nil && statsPath != "" {
-		writeStats(statsPath, stats)
+	stats *obs.Stats, statsPath string, snaps *store.Store, incremental bool) (*linkage.Result, error) {
+	var cfgHash string
+	if snaps != nil {
+		cfgHash = cfg.Fingerprint()
 	}
-	return res, err
+	if snaps != nil && incremental {
+		res, err := snaps.LoadResult(cfgHash, oldDS, newDS)
+		switch {
+		case err != nil:
+			stats.Add(obs.StoreCorrupt, 1)
+			log.Printf("store: %v (recomputing)", err)
+		case res != nil:
+			stats.Add(obs.StoreHits, 1)
+			fmt.Printf("reused snapshot from %s\n", snaps.Dir())
+			return res, nil
+		default:
+			stats.Add(obs.StoreMisses, 1)
+		}
+	}
+	res, err := linkage.LinkContext(ctx, oldDS, newDS, cfg)
+	if err != nil {
+		if statsPath != "" {
+			writeStats(statsPath, stats)
+		}
+		return res, err
+	}
+	if snaps != nil {
+		if serr := snaps.SaveResult(cfgHash, oldDS, newDS, res); serr != nil {
+			return nil, serr
+		}
+		fmt.Printf("stored snapshot in %s\n", snaps.Dir())
+	}
+	return res, nil
 }
 
 // writeStats finalizes the collector and writes its JSON run report.

@@ -55,7 +55,7 @@ func TestRunLinkageFlushesStatsOnAbort(t *testing.T) {
 	cfg.Obs = stats
 	statsPath := filepath.Join(t.TempDir(), "stats.json")
 
-	_, err := runLinkage(ctx, paperexample.Old(), paperexample.New(), cfg, stats, statsPath)
+	_, err := runLinkage(ctx, paperexample.Old(), paperexample.New(), cfg, stats, statsPath, nil, false)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -35,6 +35,7 @@ import (
 	"censuslink/internal/linkage"
 	"censuslink/internal/obs"
 	"censuslink/internal/server"
+	"censuslink/internal/store"
 )
 
 func main() {
@@ -64,6 +65,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxConcurrent := fs.Int("max-concurrent", 2, "year-pair computations allowed to run at once")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	statsOut := fs.String("stats", "", "write the final pipeline JSON report to this file on shutdown")
+	storeDir := fs.String("store", "", "warm-start the pair cache from snapshots in this directory and write computed pairs back")
 	lenient := fs.Bool("lenient", false, "skip bad input rows instead of aborting")
 	maxBadRows := fs.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
 	if err := fs.Parse(args); err != nil {
@@ -116,15 +118,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "loaded series %v (%d records)\n", series.Years(), totalRecords(series))
 
 	stats := obs.NewStats(nil)
-	srv, err := server.New(server.Config{
+	srvCfg := server.Config{
 		Series:         series,
 		Linkage:        cfg,
 		MaxConcurrent:  *maxConcurrent,
 		ComputeTimeout: *computeTimeout,
 		Stats:          stats,
-	})
+	}
+	if *storeDir != "" {
+		snaps, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		srvCfg.Store = snaps
+	}
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		return err
+	}
+	if *storeDir != "" {
+		fmt.Fprintf(stdout, "store %s: %d of %d pairs warm\n",
+			*storeDir, int(stats.Total(obs.StoreHits)), len(series.Pairs()))
 	}
 	if *eager {
 		fmt.Fprintf(stdout, "precomputing %d year pairs...\n", len(series.Pairs()))

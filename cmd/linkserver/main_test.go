@@ -92,10 +92,12 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Errorf("healthz = %+v, want ok with 1 cached pair", h)
 	}
 	var rl struct {
-		Count int `json:"count"`
+		Page struct {
+			Total int `json:"total"`
+		} `json:"page"`
 	}
-	getJSON(t, base+"/api/links/1871/1881/records", &rl)
-	if rl.Count == 0 {
+	getJSON(t, base+"/v1/links/1871/1881/records", &rl)
+	if rl.Page.Total == 0 {
 		t.Error("no record links served")
 	}
 	resp, err := http.Get(base + "/metrics")

@@ -1,0 +1,53 @@
+package census
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// contentHashVersion is bumped whenever the canonical serialization below
+// changes, so hashes from different schemes can never collide silently.
+const contentHashVersion = "censuslink/dataset-v1"
+
+// contentHashCache memoizes ContentHash per *Dataset. Datasets are treated
+// as immutable once loaded (the server and series pipelines already rely on
+// that), so hashing each dataset once per process is sound and keeps
+// repeated store lookups cheap.
+var contentHashCache sync.Map // *Dataset -> string
+
+// ContentHash returns a stable hex-encoded SHA-256 digest of the dataset's
+// linkage-visible content: the census year, every record in insertion order
+// with all comparable attributes plus role and household, and every
+// household in insertion order with its member list. TruthID is excluded —
+// linkage code never reads it, so two datasets differing only in ground
+// truth produce identical linkage results and share one hash.
+//
+// The hash is the dataset half of the store's content address: a snapshot
+// keyed by (config fingerprint, old hash, new hash) is valid exactly as
+// long as both hashes still describe the loaded data.
+func (d *Dataset) ContentHash() string {
+	if h, ok := contentHashCache.Load(d); ok {
+		return h.(string)
+	}
+	h := sha256.New()
+	// Every field is written with %q (length-unambiguous quoting) and a
+	// field-kind prefix, so no two distinct datasets serialize identically.
+	fmt.Fprintf(h, "%s\nyear %d\n", contentHashVersion, d.Year)
+	for _, r := range d.records {
+		fmt.Fprintf(h, "r %q %q %q %q %d %q %q %q %q %q\n",
+			r.ID, r.FirstName, r.Surname, r.Sex.String(), r.Age,
+			r.Address, r.Occupation, r.Birthplace, string(r.Role), r.HouseholdID)
+	}
+	for _, hh := range d.households {
+		fmt.Fprintf(h, "h %q %q", hh.ID, hh.Address)
+		for _, id := range hh.MemberIDs {
+			fmt.Fprintf(h, " %q", id)
+		}
+		fmt.Fprintf(h, "\n")
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	contentHashCache.Store(d, sum)
+	return sum
+}

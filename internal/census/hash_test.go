@@ -1,0 +1,72 @@
+package census
+
+import "testing"
+
+func hashFixture(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset(1871)
+	if err := d.AddHousehold(&Household{ID: "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Record{
+		{ID: "r1", FirstName: "john", Surname: "ashworth", Sex: SexMale, Age: 30, HouseholdID: "h1"},
+		{ID: "r2", FirstName: "mary", Surname: "ashworth", Sex: SexFemale, Age: 28, HouseholdID: "h1"},
+	} {
+		if err := d.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestContentHashStableAndMemoized(t *testing.T) {
+	d := hashFixture(t)
+	h1 := d.ContentHash()
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", h1)
+	}
+	if h2 := d.ContentHash(); h2 != h1 {
+		t.Errorf("repeated hash drifted: %s != %s", h2, h1)
+	}
+	// An identically built dataset hashes identically.
+	if h3 := hashFixture(t).ContentHash(); h3 != h1 {
+		t.Errorf("equal datasets hash differently: %s != %s", h3, h1)
+	}
+}
+
+func TestContentHashSeesEveryLinkageField(t *testing.T) {
+	base := hashFixture(t).ContentHash()
+	mutations := map[string]func(*Dataset){
+		"age":       func(d *Dataset) { d.Records()[0].Age++ },
+		"name":      func(d *Dataset) { d.Records()[0].FirstName = "jon" },
+		"surname":   func(d *Dataset) { d.Records()[1].Surname = "ashword" },
+		"sex":       func(d *Dataset) { d.Records()[1].Sex = SexMale },
+		"household": func(d *Dataset) { d.Records()[0].HouseholdID = "h2" },
+	}
+	for name, mutate := range mutations {
+		d := hashFixture(t)
+		mutate(d)
+		if d.ContentHash() == base {
+			t.Errorf("mutating %s did not change the content hash", name)
+		}
+	}
+}
+
+func TestContentHashIgnoresTruthID(t *testing.T) {
+	d := hashFixture(t)
+	base := d.ContentHash()
+	d2 := hashFixture(t)
+	d2.Records()[0].TruthID = "t42"
+	// TruthID is evaluation-only; linkage never reads it, so it must not
+	// invalidate snapshots.
+	if d2.ContentHash() != base {
+		t.Error("TruthID changed the content hash; it must not")
+	}
+}
+
+func TestContentHashSeesYear(t *testing.T) {
+	a, b := NewDataset(1871), NewDataset(1881)
+	if a.ContentHash() == b.ContentHash() {
+		t.Error("datasets of different years hash identically")
+	}
+}

@@ -87,6 +87,33 @@ func (e *PipelineError) Canceled() bool {
 	return errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded)
 }
 
+// SeriesError is the typed failure of a series linkage run (LinkSeriesOpts
+// and friends): it names the year pair that failed and how many of the
+// series' pairs completed before the run stopped. The completed results are
+// returned alongside this error — in incremental mode they have already
+// been checkpointed to the store, so a re-run resumes from them instead of
+// recomputing the whole series.
+type SeriesError struct {
+	// OldYear and NewYear identify the failing pair.
+	OldYear, NewYear int
+	// Completed is how many pair results are available despite the failure.
+	Completed int
+	// Pairs is the total number of successive pairs in the series.
+	Pairs int
+	// Err is the underlying per-pair failure (usually a *PipelineError);
+	// errors.Is/As see through it.
+	Err error
+}
+
+// Error renders the failing pair and the checkpoint progress.
+func (e *SeriesError) Error() string {
+	return fmt.Sprintf("linkage: pair %d-%d: %v (%d of %d pairs completed)",
+		e.OldYear, e.NewYear, e.Err, e.Completed, e.Pairs)
+}
+
+// Unwrap exposes the underlying cause to errors.Is and errors.As.
+func (e *SeriesError) Unwrap() error { return e.Err }
+
 // cancelErr wraps a context error observed at a pipeline checkpoint.
 func cancelErr(stage string, delta float64, err error) *PipelineError {
 	return &PipelineError{Stage: stage, Delta: delta, Chunk: -1, Err: err}

@@ -1,0 +1,67 @@
+package linkage
+
+import (
+	"testing"
+
+	"censuslink/internal/obs"
+)
+
+// TestFingerprintSeesOutputAffectingKnobs: every configuration field that
+// changes what the pipeline produces must change the fingerprint, so a
+// stale snapshot can never be served for a different configuration.
+func TestFingerprintSeesOutputAffectingKnobs(t *testing.T) {
+	base := DefaultConfig().Fingerprint()
+	if base != DefaultConfig().Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	mutations := map[string]func(*Config){
+		"delta-high":       func(c *Config) { c.DeltaHigh = 0.9 },
+		"delta-low":        func(c *Config) { c.DeltaLow = 0.4 },
+		"delta-step":       func(c *Config) { c.DeltaStep = 0.1 },
+		"alpha":            func(c *Config) { c.Alpha = 0.3 },
+		"beta":             func(c *Config) { c.Beta = 0.5 },
+		"age-tolerance":    func(c *Config) { c.AgeTolerance = 5 },
+		"sim-delta":        func(c *Config) { c.Sim.Delta = 0.66 },
+		"sim-weights":      func(c *Config) { c.Sim.Matchers[0].Weight *= 2 },
+		"remainder":        func(c *Config) { c.Remainder.Delta = 0.9 },
+		"stop-on-empty":    func(c *Config) { c.StopOnEmpty = !c.StopOnEmpty },
+		"direct-vertices":  func(c *Config) { c.DirectVerticesOnly = !c.DirectVerticesOnly },
+		"vertex-guards":    func(c *Config) { c.VertexGuards = !c.VertexGuards },
+		"optimal-remaind":  func(c *Config) { c.OptimalRemainder = !c.OptimalRemainder },
+		"blocking":         func(c *Config) { c.Strategies = c.Strategies[:1] },
+		"matcher-identity": func(c *Config) { c.Sim.Matchers[0].Name = "levenshtein" },
+	}
+	seen := map[string]string{"": base}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		fp := cfg.Fingerprint()
+		if fp == base {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutations %q and %q collide on the same fingerprint", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintIgnoresExecutionKnobs: fields proven not to affect the
+// output — scheduling, observability, engine selection (differentially
+// tested identical) — must NOT invalidate snapshots.
+func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
+	base := DefaultConfig().Fingerprint()
+	mutations := map[string]func(*Config){
+		"workers": func(c *Config) { c.Workers = 7 },
+		"engine":  func(c *Config) { c.Engine = EngineNaive },
+		"panics":  func(c *Config) { c.Panics = PanicSkip },
+		"obs":     func(c *Config) { c.Obs = obs.NewStats(nil) },
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Fingerprint() != base {
+			t.Errorf("execution knob %s changed the fingerprint; it must not", name)
+		}
+	}
+}

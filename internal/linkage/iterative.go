@@ -688,29 +688,3 @@ func withoutLinked(recs []*census.Record, links []RecordLink, oldSide bool) []*c
 	}
 	return out
 }
-
-// LinkSeries links every successive pair of a census series with the same
-// configuration, returning one result per pair (results[i] links
-// Datasets[i] to Datasets[i+1]).
-func LinkSeries(series *census.Series, cfg Config) ([]*Result, error) {
-	return LinkSeriesContext(context.Background(), series, cfg)
-}
-
-// LinkSeriesContext is LinkSeries with cooperative cancellation: the
-// context is observed between pairs and inside every pair's pipeline (see
-// LinkContext), so a deadline or SIGINT aborts a multi-decade run promptly.
-func LinkSeriesContext(ctx context.Context, series *census.Series, cfg Config) ([]*Result, error) {
-	pairs := series.Pairs()
-	if len(pairs) == 0 {
-		return nil, fmt.Errorf("linkage: series has %d datasets, need at least 2", len(series.Datasets))
-	}
-	out := make([]*Result, 0, len(pairs))
-	for _, pair := range pairs {
-		res, err := LinkContext(ctx, pair[0], pair[1], cfg)
-		if err != nil {
-			return nil, fmt.Errorf("linkage: pair %d-%d: %w", pair[0].Year, pair[1].Year, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
-}

@@ -50,18 +50,71 @@ func (p *PreMatchResult) Label(id string) (int, bool) {
 	return l, ok
 }
 
+// PreMatchOptions configures one standalone pre-matching pass (see
+// PreMatchOpts). The zero value of every field is usable: year 0, the
+// naive engine, GOMAXPROCS workers, fail-fast panics, no observability.
+type PreMatchOptions struct {
+	// Sim is the record similarity function; pairs below its Delta are
+	// dropped.
+	Sim SimFunc
+	// OldYear and NewYear are the census years of the two record lists;
+	// blocking keys may depend on them (e.g. birth-year bands).
+	OldYear, NewYear int
+	// Strategies is the blocking configuration; it must not be empty.
+	Strategies []block.Strategy
+	// Workers bounds the chunk parallelism; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Engine selects the comparison path. EngineNaive (the zero value here,
+	// matching the historical PreMatch behaviour) compares strings directly;
+	// EngineCompiled interns the record lists, builds the blocking index and
+	// scores through the memoizing engine — compile cost included. The
+	// result is identical either way.
+	Engine EngineKind
+	// Panics selects the worker panic policy (fail-fast by default).
+	Panics PanicPolicy
+	// Obs, when non-nil, receives the PanicsRecovered counter under
+	// PanicSkip.
+	Obs *obs.Stats
+}
+
+// PreMatchOpts is the single pre-matching entry point: it applies the
+// similarity function to every blocked candidate pair between the old and
+// new records, keeps pairs reaching f's δ, and clusters records via the
+// transitive closure of those links (Section 3.2). Cancellation is
+// cooperative — chunk workers observe ctx between records and the call
+// returns a *PipelineError wrapping ctx.Err(). Worker panics surface as
+// typed errors naming the offending chunk (or are skipped and counted,
+// per opts.Panics).
+//
+// The legacy PreMatch / PreMatchEngine / PreMatchContext entry points are
+// thin wrappers over this function.
+func PreMatchOpts(ctx context.Context, old, new []*census.Record, opts PreMatchOptions) (*PreMatchResult, error) {
+	var cp *compiledPair
+	if opts.Engine == EngineCompiled {
+		cp = &compiledPair{
+			eng:    opts.Sim.Compile(old, new),
+			ix:     block.NewIndex(new, opts.NewYear, opts.Strategies),
+			active: make([]bool, len(new)),
+		}
+		cp.setActive(new)
+	}
+	return preMatch(ctx, old, opts.OldYear, new, opts.NewYear, opts.Sim, opts.Strategies,
+		opts.Workers, opts.Panics, opts.Obs, cp)
+}
+
 // PreMatch applies the similarity function to every blocked candidate pair
 // between the old records (from the dataset of year oldYear) and the new
 // records (year newYear), keeps pairs reaching δ, and clusters records via
 // the transitive closure of those links. workers <= 0 selects GOMAXPROCS.
 //
-// PreMatch is the legacy fail-fast entry point without cancellation; a
-// worker failure (only possible under fault injection) propagates as a
-// panic, matching the pre-isolation behaviour. Use PreMatchContext for
-// cooperative cancellation and a typed error instead.
+// Deprecated: use PreMatchOpts. PreMatch is the legacy fail-fast entry
+// point without cancellation; a worker failure (only possible under fault
+// injection) propagates as a panic, matching the pre-isolation behaviour.
 func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, strategies []block.Strategy, workers int) *PreMatchResult {
-	pre, err := preMatch(context.Background(), old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil, nil)
+	pre, err := PreMatchOpts(context.Background(), old, new, PreMatchOptions{
+		Sim: f, OldYear: oldYear, NewYear: newYear, Strategies: strategies, Workers: workers,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -69,22 +122,14 @@ func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear i
 }
 
 // PreMatchEngine is PreMatch through an explicitly selected comparison
-// engine. EngineNaive behaves exactly like PreMatch; EngineCompiled interns
-// the record lists, builds the blocking index and scores through the
-// memoizing engine — compile cost included — so the two kinds are directly
-// comparable in benchmarks. The result is identical either way.
+// engine.
+//
+// Deprecated: use PreMatchOpts with the Engine option.
 func PreMatchEngine(old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, strategies []block.Strategy, workers int, kind EngineKind) *PreMatchResult {
-	var cp *compiledPair
-	if kind == EngineCompiled {
-		cp = &compiledPair{
-			eng:    f.Compile(old, new),
-			ix:     block.NewIndex(new, newYear, strategies),
-			active: make([]bool, len(new)),
-		}
-		cp.setActive(new)
-	}
-	pre, err := preMatch(context.Background(), old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil, cp)
+	pre, err := PreMatchOpts(context.Background(), old, new, PreMatchOptions{
+		Sim: f, OldYear: oldYear, NewYear: newYear, Strategies: strategies, Workers: workers, Engine: kind,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -93,11 +138,14 @@ func PreMatchEngine(old []*census.Record, oldYear int, new []*census.Record, new
 
 // PreMatchContext is PreMatch with cooperative cancellation: chunk workers
 // observe ctx between records and the call returns a *PipelineError wrapping
-// ctx.Err() instead of a partial result. Worker panics surface as typed
-// errors naming the offending chunk.
+// ctx.Err() instead of a partial result.
+//
+// Deprecated: use PreMatchOpts.
 func PreMatchContext(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, strategies []block.Strategy, workers int) (*PreMatchResult, error) {
-	return preMatch(ctx, old, oldYear, new, newYear, f, strategies, workers, PanicFailFast, nil, nil)
+	return PreMatchOpts(ctx, old, new, PreMatchOptions{
+		Sim: f, OldYear: oldYear, NewYear: newYear, Strategies: strategies, Workers: workers,
+	})
 }
 
 // cancelCheckEvery is the number of records a pipeline loop processes

@@ -1,0 +1,247 @@
+package linkage
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"censuslink/internal/census"
+	"censuslink/internal/obs"
+)
+
+// ResultStore is the persistence surface LinkSeriesOpts talks to. It is
+// satisfied by *store.Store (internal/store); the interface lives here so
+// linkage does not depend on the store's serialization format.
+//
+// LoadResult returns the stored result for (configHash, oldDS, newDS), or
+// (nil, nil) when no snapshot exists. A non-nil error means a snapshot was
+// found but could not be trusted (corrupt, truncated, wrong version); the
+// caller recomputes and overwrites it.
+type ResultStore interface {
+	LoadResult(configHash string, oldDS, newDS *census.Dataset) (*Result, error)
+	SaveResult(configHash string, oldDS, newDS *census.Dataset, res *Result) error
+}
+
+// SeriesOptions controls persistence and scheduling of a series linkage run
+// beyond the per-pair Config.
+type SeriesOptions struct {
+	// Store, when non-nil, receives every freshly computed pair result
+	// (write-through). With Incremental it is also consulted first.
+	Store ResultStore
+	// Incremental skips any year pair whose (config fingerprint, old-dataset
+	// hash, new-dataset hash) already has a snapshot in Store, loading the
+	// stored result instead of recomputing. Store hits, misses and rejected
+	// snapshots are counted on the obs.StoreHits/StoreMisses/StoreCorrupt
+	// counters of Config.Obs.
+	Incremental bool
+	// PairWorkers bounds how many year pairs are linked concurrently. The
+	// pairs of Algorithm 1 are data-independent, so they parallelize freely;
+	// output order and per-pair iteration stats are preserved regardless.
+	// <= 1 runs the pairs sequentially (the historical behaviour).
+	PairWorkers int
+}
+
+// LinkSeries links every successive pair of a census series with the same
+// configuration, returning one result per pair (results[i] links
+// Datasets[i] to Datasets[i+1]).
+func LinkSeries(series *census.Series, cfg Config) ([]*Result, error) {
+	return LinkSeriesContext(context.Background(), series, cfg)
+}
+
+// LinkSeriesContext is LinkSeries with cooperative cancellation: the
+// context is observed between pairs and inside every pair's pipeline (see
+// LinkContext), so a deadline or SIGINT aborts a multi-decade run promptly.
+func LinkSeriesContext(ctx context.Context, series *census.Series, cfg Config) ([]*Result, error) {
+	return LinkSeriesOpts(ctx, series, cfg, SeriesOptions{})
+}
+
+// LinkSeriesOpts is the full series entry point: LinkSeriesContext plus
+// snapshot persistence and bounded pair-level parallelism (see
+// SeriesOptions).
+//
+// On failure the completed pair results are NOT discarded: the returned
+// slice has one slot per pair with nil marking the failed and unstarted
+// ones, and the error is a *SeriesError naming the failing pair and how
+// many pairs completed — so an incremental caller with a Store has already
+// checkpointed the finished pairs and a re-run resumes where it stopped.
+func LinkSeriesOpts(ctx context.Context, series *census.Series, cfg Config, opts SeriesOptions) ([]*Result, error) {
+	pairs := series.Pairs()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("linkage: series has %d datasets, need at least 2", len(series.Datasets))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var cfgHash string
+	if opts.Store != nil {
+		cfgHash = cfg.Fingerprint()
+	}
+
+	out := make([]*Result, len(pairs))
+	var todo []int
+	for i, pair := range pairs {
+		if opts.Incremental && opts.Store != nil {
+			res, err := opts.Store.LoadResult(cfgHash, pair[0], pair[1])
+			switch {
+			case res != nil:
+				out[i] = res
+				cfg.Obs.Add(obs.StoreHits, 1)
+				continue
+			case err != nil:
+				// A snapshot existed but was rejected (corrupt, truncated,
+				// version mismatch): recompute and overwrite it below.
+				cfg.Obs.Add(obs.StoreCorrupt, 1)
+			default:
+				cfg.Obs.Add(obs.StoreMisses, 1)
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	var err error
+	if opts.PairWorkers <= 1 || len(todo) <= 1 {
+		err = linkPairsSequential(ctx, pairs, cfg, cfgHash, opts, todo, out)
+	} else {
+		err = linkPairsParallel(ctx, pairs, cfg, cfgHash, opts, todo, out)
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// savePair writes one freshly computed result through to the store.
+func savePair(opts SeriesOptions, cfgHash string, pair [2]*census.Dataset, res *Result) error {
+	if opts.Store == nil {
+		return nil
+	}
+	if err := opts.Store.SaveResult(cfgHash, pair[0], pair[1], res); err != nil {
+		return fmt.Errorf("linkage: store pair %d-%d: %w", pair[0].Year, pair[1].Year, err)
+	}
+	return nil
+}
+
+// completedCount counts the non-nil slots, i.e. the pairs whose results the
+// caller gets back despite a failure elsewhere.
+func completedCount(out []*Result) int {
+	n := 0
+	for _, r := range out {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// linkPairsSequential runs the remaining pairs one by one in index order,
+// sharing cfg.Obs directly (iteration snapshots cannot interleave).
+func linkPairsSequential(ctx context.Context, pairs [][2]*census.Dataset, cfg Config, cfgHash string,
+	opts SeriesOptions, todo []int, out []*Result) error {
+	for _, i := range todo {
+		pair := pairs[i]
+		res, err := LinkContext(ctx, pair[0], pair[1], cfg)
+		if err == nil {
+			err = savePair(opts, cfgHash, pair, res)
+		}
+		if err != nil {
+			return &SeriesError{
+				OldYear:   pair[0].Year,
+				NewYear:   pair[1].Year,
+				Completed: completedCount(out),
+				Pairs:     len(pairs),
+				Err:       err,
+			}
+		}
+		out[i] = res
+	}
+	return nil
+}
+
+// linkPairsParallel runs the remaining pairs under a bounded worker pool.
+// Results are slotted by pair index, so the output order is identical to
+// the sequential path's. Each pair collects into its own obs.Stats child;
+// the children are merged into cfg.Obs in pair order after the pool drains,
+// so iteration snapshots never interleave across pairs. The first failure
+// (in pair order) cancels the remaining work fail-fast; pairs that already
+// finished keep their slots.
+func linkPairsParallel(ctx context.Context, pairs [][2]*census.Dataset, cfg Config, cfgHash string,
+	opts SeriesOptions, todo []int, out []*Result) error {
+	workers := opts.PairWorkers
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	children := make([]*obs.Stats, len(todo))
+	errs := make([]error, len(todo))
+	next := make(chan int) // index into todo
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				pair := pairs[todo[ti]]
+				pcfg := cfg
+				if cfg.Obs != nil {
+					children[ti] = obs.NewStats(nil)
+					pcfg.Obs = children[ti]
+				}
+				res, err := LinkContext(pctx, pair[0], pair[1], pcfg)
+				if err == nil {
+					err = savePair(opts, cfgHash, pair, res)
+				}
+				if err != nil {
+					errs[ti] = err
+					cancel() // fail fast: stop feeding and unblock running pairs
+					continue
+				}
+				out[todo[ti]] = res
+			}
+		}()
+	}
+feed:
+	for ti := range todo {
+		select {
+		case next <- ti:
+		case <-pctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for ti := range todo {
+		if children[ti] != nil {
+			cfg.Obs.Merge(children[ti].Report())
+		}
+	}
+	// Report the first real failure in pair order. Cancellation errors may
+	// only echo a sibling's fail-fast (or the parent context), so they rank
+	// behind any genuine failure and are reported only when nothing else is.
+	first := -1
+	for ti, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == -1 {
+			first = ti
+		}
+		if pe, ok := err.(*PipelineError); !ok || !pe.Canceled() {
+			first = ti
+			break
+		}
+	}
+	if first >= 0 {
+		pair := pairs[todo[first]]
+		return &SeriesError{
+			OldYear:   pair[0].Year,
+			NewYear:   pair[1].Year,
+			Completed: completedCount(out),
+			Pairs:     len(pairs),
+			Err:       errs[first],
+		}
+	}
+	return nil
+}

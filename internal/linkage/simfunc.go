@@ -22,6 +22,12 @@ type AttributeMatcher struct {
 	Sim    strsim.Func
 	Prof   *strsim.Profiled
 	Weight float64
+	// Name identifies the similarity function for serialization and for the
+	// store's config fingerprint (see Config.Fingerprint). The built-in
+	// constructors and ConfigSpec.Build always set it; hand-built matchers
+	// with an empty Name fingerprint as "?", so callers sharing a snapshot
+	// store across custom matcher functions should name them distinctly.
+	Name string
 }
 
 // SimFunc is the paper's Sim_func: a set of weighted attribute matchers
@@ -101,11 +107,11 @@ func OmegaOne(delta float64) SimFunc {
 		Name:  "omega1",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
-			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Weight: 0.2},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
-			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
-			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.2},
+			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Name: "exact", Weight: 0.2},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.2},
+			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.2},
+			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.2},
 		},
 	}
 }
@@ -117,11 +123,11 @@ func OmegaTwo(delta float64) SimFunc {
 		Name:  "omega2",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.4},
-			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Weight: 0.2},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
-			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.1},
-			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.1},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.4},
+			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Name: "exact", Weight: 0.2},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.2},
+			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.1},
+			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.1},
 		},
 	}
 }
@@ -133,8 +139,8 @@ func NameOnly(delta float64) SimFunc {
 		Name:  "name-only",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.5},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.5},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.5},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.5},
 		},
 	}
 }
@@ -148,12 +154,12 @@ func OmegaTwoBirthplace(delta float64) SimFunc {
 		Name:  "omega2+birthplace",
 		Delta: delta,
 		Matchers: []AttributeMatcher{
-			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.35},
-			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Weight: 0.15},
-			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.2},
-			{Attr: census.AttrBirthplace, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.15},
-			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.075},
-			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Weight: 0.075},
+			{Attr: census.AttrFirstName, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.35},
+			{Attr: census.AttrSex, Sim: strsim.Exact, Prof: strsim.ExactProfiled, Name: "exact", Weight: 0.15},
+			{Attr: census.AttrSurname, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.2},
+			{Attr: census.AttrBirthplace, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.15},
+			{Attr: census.AttrAddress, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.075},
+			{Attr: census.AttrOccupation, Sim: strsim.Bigram, Prof: strsim.BigramProfiled, Name: "qgram2", Weight: 0.075},
 		},
 	}
 }

@@ -107,7 +107,7 @@ func (s SimFuncSpec) Build() (SimFunc, error) {
 			return SimFunc{}, fmt.Errorf("linkage: unknown matcher %q (known: %s)",
 				m.Matcher, strings.Join(MatcherNames(), ", "))
 		}
-		f.Matchers = append(f.Matchers, AttributeMatcher{Attr: attr, Sim: sim, Prof: profiledRegistry[name], Weight: m.Weight})
+		f.Matchers = append(f.Matchers, AttributeMatcher{Attr: attr, Sim: sim, Prof: profiledRegistry[name], Name: name, Weight: m.Weight})
 	}
 	if err := f.Validate(); err != nil {
 		return SimFunc{}, err

@@ -7,6 +7,7 @@ import (
 
 	"censuslink/internal/evolution"
 	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
 )
 
 // flight is the single-flight slot of one expensive computation: the first
@@ -64,6 +65,31 @@ type bundleFlight struct {
 
 func newPairCache(s *Server) *pairCache {
 	return &pairCache{s: s, pairs: make([]*flight, len(s.series.Pairs()))}
+}
+
+// warmStart pre-fills the cache from the persistent store: every pair whose
+// (config fingerprint, dataset hashes) address has a trusted snapshot gets a
+// completed flight, so no request ever triggers its computation. Each pair
+// is probed exactly once, here — compute never re-reads the store — so the
+// store_hits/store_misses/store_corrupt counters partition the pairs.
+func (c *pairCache) warmStart() {
+	if c.s.store == nil {
+		return
+	}
+	for i, pair := range c.s.series.Pairs() {
+		res, err := c.s.store.LoadResult(c.s.cfgHash, pair[0], pair[1])
+		switch {
+		case err != nil:
+			c.s.stats.Add(obs.StoreCorrupt, 1)
+		case res == nil:
+			c.s.stats.Add(obs.StoreMisses, 1)
+		default:
+			c.s.stats.Add(obs.StoreHits, 1)
+			f := &flight{done: make(chan struct{}), cancel: func() {}, res: res}
+			close(f.done)
+			c.pairs[i] = f
+		}
+	}
 }
 
 // cached reports how many pair results are computed and resident (for
@@ -154,6 +180,13 @@ func (c *pairCache) compute(ctx context.Context, i int, f *flight) {
 		cfg.Obs = c.s.stats
 		var err error
 		res, err = c.s.linkFn(ctx, pair[0], pair[1], cfg)
+		if err == nil && c.s.store != nil {
+			// Write-through: persistence failures don't fail the request —
+			// the result is good — but they are counted.
+			if serr := c.s.store.SaveResult(c.s.cfgHash, pair[0], pair[1], res); serr != nil {
+				c.s.stats.Add("store_save_errors", 1)
+			}
+		}
 		return err
 	}()
 	c.mu.Lock()

@@ -13,6 +13,17 @@ import (
 	"censuslink/internal/linkage"
 )
 
+// Error codes of the v1 envelope. Every non-2xx response carries
+// {"error": {"code": <one of these>, "message": <human text>}} so clients
+// can branch on the code without parsing prose.
+const (
+	codeBadRequest  = "bad_request"  // malformed parameter (400)
+	codeNotFound    = "not_found"    // unknown year, pair, record, household (404)
+	codeTimeout     = "timeout"      // computation exceeded its deadline (504)
+	codeUnavailable = "unavailable"  // computation cancelled / server draining (503)
+	codeInternal    = "internal"     // anything else (500)
+)
+
 // writeJSON renders a response body; encoding errors after the header is
 // out are unrecoverable and ignored.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -23,22 +34,82 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorJSON is the uniform error envelope of the v1 API.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
 
-// fail maps a computation error to an HTTP status: deadline overruns are
-// gateway timeouts, cancellations (client gone, server draining) are
-// service-unavailable, anything else is a plain 500.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError writes the uniform error envelope.
+func apiError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorJSON{Error: errorBody{Code: code, Message: message}})
+}
+
+// fail maps a computation error to an HTTP status and error code: deadline
+// overruns are gateway timeouts, cancellations (client gone, server
+// draining) are service-unavailable, anything else is a plain 500.
 func fail(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, codeInternal
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		status, code = http.StatusGatewayTimeout, codeTimeout
 	case errors.Is(err, context.Canceled):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, codeUnavailable
 	}
-	writeJSON(w, status, errorJSON{Error: err.Error()})
+	apiError(w, status, code, err.Error())
+}
+
+// pageJSON describes the window a list-shaped response covers: the
+// requested limit/offset, the total number of items after filtering, and
+// how many of them this response carries.
+type pageJSON struct {
+	Limit    int `json:"limit"`
+	Offset   int `json:"offset"`
+	Total    int `json:"total"`
+	Returned int `json:"returned"`
+}
+
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// pageParams parses the uniform ?limit= / ?offset= pagination parameters.
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	limit = defaultPageLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, e := strconv.Atoi(v)
+		if e != nil || n < 1 || n > maxPageLimit {
+			return 0, 0, fmt.Errorf("bad limit %q: want an integer in 1..%d", v, maxPageLimit)
+		}
+		limit = n
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, e := strconv.Atoi(v)
+		if e != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q: want an integer >= 0", v)
+		}
+		offset = n
+	}
+	return limit, offset, nil
+}
+
+// pageWindow clamps the [offset, offset+limit) window to a list of total
+// items and returns the slice bounds plus the filled page descriptor.
+func pageWindow(total, limit, offset int) (lo, hi int, page pageJSON) {
+	lo = offset
+	if lo > total {
+		lo = total
+	}
+	hi = lo + limit
+	if hi > total {
+		hi = total
+	}
+	return lo, hi, pageJSON{Limit: limit, Offset: offset, Total: total, Returned: hi - lo}
 }
 
 // pairIndex resolves the {old}/{new} path segments to a year-pair index.
@@ -125,11 +196,17 @@ type recordLinkJSON struct {
 // handleRecordLinks serves the 1:1 record mapping of one census pair with
 // per-link provenance (which stage found the link, at which δ, supported by
 // which group pair). Optional filters: ?record=<id> restricts to links
-// touching the record, ?source=subgraph|remainder to one stage.
+// touching the record, ?source=subgraph|remainder to one stage. The page
+// window applies after filtering.
 func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 	i, err := s.pairIndex(r)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		return
+	}
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	res, err := s.cache.result(r.Context(), i)
@@ -161,11 +238,12 @@ func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 		}
 		links = append(links, lj)
 	}
+	lo, hi, page := pageWindow(len(links), limit, offset)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"old_year":     s.series.Pairs()[i][0].Year,
 		"new_year":     s.series.Pairs()[i][1].Year,
-		"count":        len(links),
-		"record_links": links,
+		"page":         page,
+		"record_links": links[lo:hi],
 	})
 }
 
@@ -173,7 +251,12 @@ func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGroupLinks(w http.ResponseWriter, r *http.Request) {
 	i, err := s.pairIndex(r)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		return
+	}
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	res, err := s.cache.result(r.Context(), i)
@@ -189,21 +272,36 @@ func (s *Server) handleGroupLinks(w http.ResponseWriter, r *http.Request) {
 	for _, g := range res.GroupLinks {
 		links = append(links, groupLinkJSON{Old: g.Old, New: g.New})
 	}
+	lo, hi, page := pageWindow(len(links), limit, offset)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"old_year":    s.series.Pairs()[i][0].Year,
 		"new_year":    s.series.Pairs()[i][1].Year,
-		"count":       len(links),
-		"group_links": links,
+		"page":        page,
+		"group_links": links[lo:hi],
 	})
 }
 
+// patternEventJSON is one typed evolution event in the flattened pattern
+// list: the pattern name plus the old- and new-census households involved.
+type patternEventJSON struct {
+	Pattern string   `json:"pattern"`
+	Old     []string `json:"old"`
+	New     []string `json:"new"`
+}
+
 // handlePatterns serves the evolution-pattern analysis of one census pair:
-// the per-pattern counts of Section 4.1 plus the full move/split/merge
-// structures and any unclassified group links.
+// the per-pattern counts of Section 4.1 plus a flattened, paginated list of
+// the typed events (preserve/add/remove/move/split/merge and any
+// unclassified group links).
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	i, err := s.pairIndex(r)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		return
+	}
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	res, err := s.cache.result(r.Context(), i)
@@ -217,14 +315,42 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	for p := evolution.PatternPreserve; p <= evolution.PatternMerge; p++ {
 		counts[p.String()] = a.Count(p)
 	}
+	var events []patternEventJSON
+	for _, pg := range a.PreservedGroups {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternPreserve.String(), Old: []string{pg[0]}, New: []string{pg[1]}})
+	}
+	for _, g := range a.AddedGroups {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternAdd.String(), Old: []string{}, New: []string{g}})
+	}
+	for _, g := range a.RemovedGroups {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternRemove.String(), Old: []string{g}, New: []string{}})
+	}
+	for _, mv := range a.Moves {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternMove.String(), Old: []string{mv[0]}, New: []string{mv[1]}})
+	}
+	for _, sp := range a.Splits {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternSplit.String(), Old: []string{sp.Old}, New: sp.News})
+	}
+	for _, mg := range a.Merges {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternMerge.String(), Old: mg.Olds, New: []string{mg.New}})
+	}
+	for _, ul := range a.UnclassifiedLinks {
+		events = append(events, patternEventJSON{
+			Pattern: "unclassified", Old: []string{ul[0]}, New: []string{ul[1]}})
+	}
+	lo, hi, page := pageWindow(len(events), limit, offset)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"old_year":           a.OldYear,
 		"new_year":           a.NewYear,
 		"counts":             counts,
-		"preserved_groups":   a.PreservedGroups,
-		"moves":              a.Moves,
-		"splits":             a.Splits,
-		"merges":             a.Merges,
+		"page":               page,
+		"events":             events[lo:hi],
 		"unclassified_links": a.UnclassifiedLinks,
 		"preserved_records":  len(a.PreservedRecords),
 		"added_records":      len(a.AddedRecords),
@@ -246,13 +372,13 @@ type hhEventJSON struct {
 func (s *Server) handleHouseholdTimeline(w http.ResponseWriter, r *http.Request) {
 	year, err := s.yearParam(r)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	id := r.PathValue("id")
 	if s.series.Dataset(year).Household(id) == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{
-			Error: fmt.Sprintf("no household %q in the %d census", id, year)})
+		apiError(w, http.StatusNotFound, codeNotFound,
+			fmt.Sprintf("no household %q in the %d census", id, year))
 		return
 	}
 	b, err := s.cache.bundle(r.Context())
@@ -311,14 +437,14 @@ type timelineJSON struct {
 func (s *Server) handleRecordLifecycle(w http.ResponseWriter, r *http.Request) {
 	year, err := s.yearParam(r)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	id := r.PathValue("id")
 	rec := s.series.Dataset(year).Record(id)
 	if rec == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{
-			Error: fmt.Sprintf("no record %q in the %d census", id, year)})
+		apiError(w, http.StatusNotFound, codeNotFound,
+			fmt.Sprintf("no record %q in the %d census", id, year))
 		return
 	}
 	b, err := s.cache.bundle(r.Context())
@@ -341,47 +467,39 @@ func (s *Server) handleRecordLifecycle(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTimelines serves the per-person timelines of the whole series,
-// longest first. ?min_span=k keeps persons traced through at least k
-// censuses (default 2); ?limit=n caps the response size (default 100).
+// longest first, under the uniform page window. ?min_span=k keeps persons
+// traced through at least k censuses (default 2).
 func (s *Server) handleTimelines(w http.ResponseWriter, r *http.Request) {
 	minSpan := 2
 	if v := r.URL.Query().Get("min_span"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad min_span %q", v)})
+			apiError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad min_span %q", v))
 			return
 		}
 		minSpan = n
 	}
-	limit := 100
-	if v := r.URL.Query().Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad limit %q", v)})
-			return
-		}
-		limit = n
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
 	}
 	b, err := s.cache.bundle(r.Context())
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	total := 0
-	tls := make([]timelineJSON, 0, limit)
+	var kept []timelineJSON
 	for _, tl := range b.timelines {
 		if tl.Span() < minSpan {
 			continue // timelines are sorted by descending span, but keep scanning: cheap and simple
 		}
-		total++
-		if len(tls) < limit {
-			tls = append(tls, timelineJSON{Span: tl.Span(), Entries: tl.Entries})
-		}
+		kept = append(kept, timelineJSON{Span: tl.Span(), Entries: tl.Entries})
 	}
+	lo, hi, page := pageWindow(len(kept), limit, offset)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"min_span":  minSpan,
-		"total":     total,
-		"returned":  len(tls),
-		"timelines": tls,
+		"page":      page,
+		"timelines": kept[lo:hi],
 	})
 }

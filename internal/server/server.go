@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +49,14 @@ type Config struct {
 	// Stats receives pipeline counters and stage timings; a fresh collector
 	// is created when nil. The same collector feeds /metrics.
 	Stats *obs.Stats
+	// Store, when non-nil, persists pair results across restarts
+	// (internal/store implements it). The cache warm-starts from it at
+	// construction — every pair whose (config fingerprint, dataset hashes)
+	// address has a trusted snapshot is served without running the pipeline —
+	// and each freshly computed pair is written back. Hits, misses and
+	// rejected snapshots appear on /metrics as the store_hits, store_misses
+	// and store_corrupt counters.
+	Store linkage.ResultStore
 
 	// linkFn substitutes the pipeline in tests; nil means
 	// linkage.LinkContext.
@@ -62,6 +71,11 @@ type Server struct {
 	stats          *obs.Stats
 	linkFn         linkFunc
 	computeTimeout time.Duration
+
+	// store persists pair results (nil: no persistence); cfgHash is the
+	// linkage configuration fingerprint all snapshot addresses share.
+	store   linkage.ResultStore
+	cfgHash string
 
 	// sem bounds concurrent pair computations.
 	sem chan struct{}
@@ -114,32 +128,64 @@ func New(cfg Config) (*Server, error) {
 		started:        time.Now(),
 		requests:       newRequestCounters(),
 	}
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.cfgHash = cfg.Linkage.Fingerprint()
+	}
 	s.cache = newPairCache(s)
+	s.cache.warmStart()
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.handler = s.mux
 	return s, nil
 }
 
-// routes registers every endpoint. Handlers are wrapped by counted, which
-// feeds the per-endpoint request counters and the in-flight gauge on
-// /metrics.
+// routes registers every endpoint. Query endpoints live under /v1/; the
+// historical unprefixed /api/ paths stay as aliases answering identically
+// but emitting a Deprecation header pointing at the successor. Handlers are
+// wrapped by counted, which feeds the per-endpoint request counters and the
+// in-flight gauge on /metrics; /healthz and /metrics are infrastructure,
+// not API, and stay unversioned.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
-	s.mux.HandleFunc("GET /api/years", s.counted("years", s.handleYears))
-	s.mux.HandleFunc("GET /api/links/{old}/{new}/records", s.counted("record_links", s.handleRecordLinks))
-	s.mux.HandleFunc("GET /api/links/{old}/{new}/groups", s.counted("group_links", s.handleGroupLinks))
-	s.mux.HandleFunc("GET /api/evolution/{old}/{new}/patterns", s.counted("patterns", s.handlePatterns))
-	s.mux.HandleFunc("GET /api/households/{year}/{id}/timeline", s.counted("household_timeline", s.handleHouseholdTimeline))
-	s.mux.HandleFunc("GET /api/records/{year}/{id}/lifecycle", s.counted("record_lifecycle", s.handleRecordLifecycle))
-	s.mux.HandleFunc("GET /api/timelines", s.counted("timelines", s.handleTimelines))
+
+	api := []struct {
+		path string
+		name string
+		h    http.HandlerFunc
+	}{
+		{"/years", "years", s.handleYears},
+		{"/links/{old}/{new}/records", "record_links", s.handleRecordLinks},
+		{"/links/{old}/{new}/groups", "group_links", s.handleGroupLinks},
+		{"/evolution/{old}/{new}/patterns", "patterns", s.handlePatterns},
+		{"/households/{year}/{id}/timeline", "household_timeline", s.handleHouseholdTimeline},
+		{"/records/{year}/{id}/lifecycle", "record_lifecycle", s.handleRecordLifecycle},
+		{"/timelines", "timelines", s.handleTimelines},
+	}
+	for _, e := range api {
+		s.mux.HandleFunc("GET /v1"+e.path, s.counted(e.name, e.h))
+		s.mux.HandleFunc("GET /api"+e.path, s.counted(e.name, deprecatedAlias(e.h)))
+	}
 
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// deprecatedAlias wraps a legacy unprefixed /api handler: it answers
+// exactly like its /v1 twin but emits a Deprecation header (RFC 9745) and a
+// Link header naming the successor path, so clients learn where to migrate
+// without breaking today.
+func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link",
+			fmt.Sprintf("<%s>; rel=\"successor-version\"", "/v1"+strings.TrimPrefix(r.URL.Path, "/api")))
+		h(w, r)
+	}
 }
 
 // Handler returns the service's HTTP handler, for mounting on an

@@ -120,13 +120,14 @@ func TestServerEndpoints(t *testing.T) {
 	}
 
 	// Record links carry provenance; the running example has remainder links.
+	// The same handler serves /v1 and the deprecated /api alias identically.
 	var rl struct {
 		OldYear int              `json:"old_year"`
-		Count   int              `json:"count"`
+		Page    pageJSON         `json:"page"`
 		Links   []recordLinkJSON `json:"record_links"`
 	}
-	getJSON(t, ts, "/api/links/1871/1881/records", &rl)
-	if rl.OldYear != 1871 || rl.Count == 0 {
+	getJSON(t, ts, "/v1/links/1871/1881/records", &rl)
+	if rl.OldYear != 1871 || rl.Page.Total == 0 || rl.Page.Returned != len(rl.Links) {
 		t.Fatalf("record links = %+v", rl)
 	}
 	kinds := map[string]int{}
@@ -144,26 +145,77 @@ func TestServerEndpoints(t *testing.T) {
 		t.Errorf("source kinds = %v, want both subgraph and remainder", kinds)
 	}
 
-	// Filtering by record.
+	// Filtering by record; the page total reflects the filtered list.
 	var one struct {
-		Count int `json:"count"`
+		Page pageJSON `json:"page"`
 	}
-	getJSON(t, ts, "/api/links/1871/1881/records?record=1871_1", &one)
-	if one.Count != 1 {
-		t.Errorf("filtered count = %d, want 1", one.Count)
+	getJSON(t, ts, "/v1/links/1871/1881/records?record=1871_1", &one)
+	if one.Page.Total != 1 {
+		t.Errorf("filtered total = %d, want 1", one.Page.Total)
 	}
 
-	// Patterns carry counts and the unclassified surface.
-	var pat struct {
-		Counts       map[string]int `json:"counts"`
-		Unclassified [][2]string    `json:"unclassified_links"`
+	// Pagination: limit/offset windows tile the full list.
+	var win struct {
+		Page  pageJSON         `json:"page"`
+		Links []recordLinkJSON `json:"record_links"`
 	}
-	getJSON(t, ts, "/api/evolution/1871/1881/patterns", &pat)
+	getJSON(t, ts, "/v1/links/1871/1881/records?limit=2&offset=1", &win)
+	if win.Page.Limit != 2 || win.Page.Offset != 1 || win.Page.Total != rl.Page.Total {
+		t.Errorf("page window = %+v", win.Page)
+	}
+	if len(win.Links) != 2 || win.Links[0].Old != rl.Links[1].Old || win.Links[1].Old != rl.Links[2].Old {
+		t.Errorf("page slice = %+v, want links[1:3] of %+v", win.Links, rl.Links)
+	}
+	if status, body := get(t, ts, "/v1/links/1871/1881/records?limit=0"); status != http.StatusBadRequest {
+		t.Errorf("limit=0: status %d: %s, want 400", status, body)
+	}
+
+	// The deprecated alias answers identically, plus migration headers.
+	resp, err := ts.Client().Get(ts.URL + "/api/links/1871/1881/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Errorf("alias Deprecation header = %q, want true", resp.Header.Get("Deprecation"))
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/links/1871/1881/records") {
+		t.Errorf("alias Link header = %q, want successor /v1 path", link)
+	}
+	respV1, err := ts.Client().Get(ts.URL + "/v1/links/1871/1881/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respV1.Body.Close()
+	if respV1.Header.Get("Deprecation") != "" {
+		t.Errorf("/v1 path carries a Deprecation header")
+	}
+
+	// Patterns carry counts plus the flattened, paginated event list.
+	var pat struct {
+		Counts       map[string]int     `json:"counts"`
+		Page         pageJSON           `json:"page"`
+		Events       []patternEventJSON `json:"events"`
+		Unclassified [][2]string        `json:"unclassified_links"`
+	}
+	getJSON(t, ts, "/v1/evolution/1871/1881/patterns", &pat)
 	if pat.Counts["preserve_G"] == 0 {
 		t.Errorf("pattern counts = %v, want preserved groups", pat.Counts)
 	}
 	if len(pat.Unclassified) != 0 {
 		t.Errorf("unclassified = %v, want none from the pipeline", pat.Unclassified)
+	}
+	if pat.Page.Total != len(pat.Events) {
+		t.Errorf("pattern events page = %+v with %d events", pat.Page, len(pat.Events))
+	}
+	byPattern := map[string]int{}
+	for _, e := range pat.Events {
+		byPattern[e.Pattern]++
+	}
+	for name, n := range pat.Counts {
+		if byPattern[name] != n {
+			t.Errorf("events carry %d %q, counts say %d", byPattern[name], name, n)
+		}
 	}
 
 	// Household timeline has events leaving 1871_a.
@@ -193,14 +245,21 @@ func TestServerEndpoints(t *testing.T) {
 		t.Errorf("lifecycle timelines = %+v, want a span-3 chain", lc.Timelines)
 	}
 
-	// Unknown years and entities are 404s.
+	// Unknown years and entities are 404s carrying the typed error envelope,
+	// on /v1 and on the legacy aliases alike.
 	for _, p := range []string{
+		"/v1/links/1871/1901/records",
+		"/v1/households/1871/nope/timeline",
+		"/v1/records/1900/1871_1/lifecycle",
 		"/api/links/1871/1901/records",
-		"/api/households/1871/nope/timeline",
-		"/api/records/1900/1871_1/lifecycle",
 	} {
-		if status, _ := get(t, ts, p); status != http.StatusNotFound {
+		status, body := get(t, ts, p)
+		if status != http.StatusNotFound {
 			t.Errorf("GET %s: status %d, want 404", p, status)
+		}
+		var envelope errorJSON
+		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != codeNotFound || envelope.Error.Message == "" {
+			t.Errorf("GET %s: error envelope = %s", p, body)
 		}
 	}
 

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"fmt"
+
+	"censuslink/internal/linkage"
+)
+
+// resultPayload is the serialized form of a linkage.Result. It mirrors the
+// Result field by field with stable lower-case JSON keys; the Sources map
+// (struct-keyed, so not directly JSON-serializable) is flattened into an
+// entry list. encoding/json emits float64 with the shortest representation
+// that round-trips exactly, so a decoded payload is deep-equal to what was
+// saved.
+type resultPayload struct {
+	RecordLinks          []recordLinkJSON  `json:"record_links"`
+	GroupLinks           []groupLinkJSON   `json:"group_links"`
+	Iterations           []iterationJSON   `json:"iterations"`
+	Sources              []sourceEntryJSON `json:"sources"`
+	RemainderRecordLinks int               `json:"remainder_record_links"`
+	RemainderGroupLinks  int               `json:"remainder_group_links"`
+}
+
+type recordLinkJSON struct {
+	Old string  `json:"old"`
+	New string  `json:"new"`
+	Sim float64 `json:"sim"`
+}
+
+type groupLinkJSON struct {
+	Old string `json:"old"`
+	New string `json:"new"`
+}
+
+type iterationJSON struct {
+	Delta          float64 `json:"delta"`
+	ComparedPairs  int     `json:"compared_pairs"`
+	CandidateLinks int     `json:"candidate_links"`
+	GroupPairs     int     `json:"group_pairs"`
+	NewGroupLinks  int     `json:"new_group_links"`
+	NewRecordLinks int     `json:"new_record_links"`
+	RemainingOld   int     `json:"remaining_old"`
+	RemainingNew   int     `json:"remaining_new"`
+}
+
+type sourceEntryJSON struct {
+	Old      string  `json:"old"`
+	New      string  `json:"new"`
+	Kind     string  `json:"kind"`
+	Delta    float64 `json:"delta"`
+	GroupOld string  `json:"group_old,omitempty"`
+	GroupNew string  `json:"group_new,omitempty"`
+	GSim     float64 `json:"gsim,omitempty"`
+}
+
+func encodePayload(res *linkage.Result) *resultPayload {
+	p := &resultPayload{
+		RemainderRecordLinks: res.RemainderRecordLinks,
+		RemainderGroupLinks:  res.RemainderGroupLinks,
+	}
+	for _, l := range res.RecordLinks {
+		p.RecordLinks = append(p.RecordLinks, recordLinkJSON{Old: l.Old, New: l.New, Sim: l.Sim})
+	}
+	for _, g := range res.GroupLinks {
+		p.GroupLinks = append(p.GroupLinks, groupLinkJSON{Old: g.Old, New: g.New})
+	}
+	for _, it := range res.Iterations {
+		p.Iterations = append(p.Iterations, iterationJSON(it))
+	}
+	// Sources in the deterministic order of the sorted record-link list, so
+	// identical results serialize byte-identically. Links the map does not
+	// cover (none in practice) are simply absent.
+	for _, l := range res.RecordLinks {
+		pair := linkage.Pair{Old: l.Old, New: l.New}
+		src, ok := res.Sources[pair]
+		if !ok {
+			continue
+		}
+		p.Sources = append(p.Sources, sourceEntryJSON{
+			Old:      pair.Old,
+			New:      pair.New,
+			Kind:     src.Kind.String(),
+			Delta:    src.Delta,
+			GroupOld: src.Group.Old,
+			GroupNew: src.Group.New,
+			GSim:     src.GSim,
+		})
+	}
+	return p
+}
+
+func decodePayload(p *resultPayload) (*linkage.Result, error) {
+	// Empty collections decode to nil slices (matching a fresh pipeline
+	// result); Sources is always a non-nil map, as LinkContext guarantees.
+	res := &linkage.Result{
+		Sources:              make(map[linkage.Pair]linkage.LinkSource, len(p.Sources)),
+		RemainderRecordLinks: p.RemainderRecordLinks,
+		RemainderGroupLinks:  p.RemainderGroupLinks,
+	}
+	for _, l := range p.RecordLinks {
+		res.RecordLinks = append(res.RecordLinks, linkage.RecordLink{Old: l.Old, New: l.New, Sim: l.Sim})
+	}
+	for _, g := range p.GroupLinks {
+		res.GroupLinks = append(res.GroupLinks, linkage.GroupLink{Old: g.Old, New: g.New})
+	}
+	for _, it := range p.Iterations {
+		res.Iterations = append(res.Iterations, linkage.IterationStats(it))
+	}
+	for _, e := range p.Sources {
+		var kind linkage.SourceKind
+		switch e.Kind {
+		case linkage.SourceSubgraph.String():
+			kind = linkage.SourceSubgraph
+		case linkage.SourceRemainder.String():
+			kind = linkage.SourceRemainder
+		default:
+			return nil, fmt.Errorf("unknown link source kind %q", e.Kind)
+		}
+		res.Sources[linkage.Pair{Old: e.Old, New: e.New}] = linkage.LinkSource{
+			Kind:  kind,
+			Delta: e.Delta,
+			Group: linkage.GroupPair{Old: e.GroupOld, New: e.GroupNew},
+			GSim:  e.GSim,
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,291 @@
+// Package store is the persistent, content-addressed snapshot store for
+// linkage results. The paper's pipeline (Alg. 1) links each decade pair
+// independently, which makes every pair's output a pure function of
+// (configuration, old dataset, new dataset) — so it can be stored once and
+// served forever. A snapshot file holds one linkage.Result (record links
+// with provenance, group links, per-iteration stats) together with the
+// content address that produced it; LinkSeriesOpts and the query server
+// skip any pair whose address already has a trusted snapshot.
+//
+// Format: each snapshot is a two-line JSON-lines file. Line 1 is a
+// self-describing header carrying the format name, format version, the
+// three address hashes, the census years and a SHA-256 checksum of the
+// payload; line 2 is the payload — the serialized result. Corrupt,
+// truncated or version-mismatched snapshots are detected by the header and
+// checksum and rejected with a *CorruptError, never misread; callers count
+// the rejection and recompute. Writes go through a temp file and rename,
+// so a crashed writer leaves no half snapshot under the final name.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+)
+
+// FormatName and FormatVersion identify the snapshot file format. A reader
+// refuses any file whose header does not carry exactly this name and
+// version — an old or future format is rejected, not guessed at.
+const (
+	FormatName    = "censuslink/snapshot"
+	FormatVersion = 1
+)
+
+// ErrNotFound reports that no snapshot exists for the requested key.
+var ErrNotFound = errors.New("store: snapshot not found")
+
+// CorruptError reports a snapshot that exists but cannot be trusted: a
+// damaged or truncated file, a checksum mismatch, a header for a different
+// format version, or a payload that does not decode. The caller should
+// recompute the pair and overwrite the snapshot.
+type CorruptError struct {
+	Path   string
+	Reason string
+	Err    error // underlying parse/IO error, may be nil
+}
+
+// Error renders the file and the rejection reason.
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("store: %s: %s: %v", e.Path, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("store: %s: %s", e.Path, e.Reason)
+}
+
+// Unwrap exposes the underlying cause to errors.Is and errors.As.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Key is the content address of one snapshot: the linkage configuration
+// fingerprint (linkage.Config.Fingerprint) and the content hashes of the
+// two input datasets (census.Dataset.ContentHash). Any change to any of
+// the three produces a different key, which is the whole invalidation
+// story — snapshots are never updated in place, only superseded.
+type Key struct {
+	ConfigHash string
+	OldHash    string
+	NewHash    string
+}
+
+// addr returns the hex digest the snapshot file is named after.
+func (k Key) addr() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s", k.ConfigHash, k.OldHash, k.NewHash)
+	return hex.EncodeToString(h.Sum(nil))[:40]
+}
+
+// Header is the self-describing first line of a snapshot file.
+type Header struct {
+	Format        string `json:"format"`
+	Version       int    `json:"version"`
+	ConfigHash    string `json:"config_hash"`
+	OldHash       string `json:"old_hash"`
+	NewHash       string `json:"new_hash"`
+	OldYear       int    `json:"old_year"`
+	NewYear       int    `json:"new_year"`
+	PayloadSHA256 string `json:"payload_sha256"`
+	CreatedUnix   int64  `json:"created_unix"`
+}
+
+// Store is a directory of snapshot files. Create with Open; it is safe for
+// concurrent use (writes are atomic renames, reads never see partial
+// files).
+type Store struct {
+	dir string
+}
+
+// Open creates the directory if needed and returns the store.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, "snap_"+k.addr()+".jsonl")
+}
+
+// Save writes the result for the key atomically (temp file + rename),
+// overwriting any previous snapshot at the same address.
+func (s *Store) Save(k Key, oldYear, newYear int, res *linkage.Result) error {
+	payload, err := json.Marshal(encodePayload(res))
+	if err != nil {
+		return fmt.Errorf("store: encode payload: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	hdr, err := json.Marshal(Header{
+		Format:        FormatName,
+		Version:       FormatVersion,
+		ConfigHash:    k.ConfigHash,
+		OldHash:       k.OldHash,
+		NewHash:       k.NewHash,
+		OldYear:       oldYear,
+		NewYear:       newYear,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		CreatedUnix:   time.Now().Unix(),
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode header: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-snap-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var buf bytes.Buffer
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	buf.Write(payload)
+	buf.WriteByte('\n')
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Load reads, verifies and decodes the snapshot for the key. It returns
+// ErrNotFound when no file exists and a *CorruptError when the file cannot
+// be trusted (bad header, wrong format or version, checksum mismatch,
+// address mismatch, undecodable payload).
+func (s *Store) Load(k Key) (*linkage.Result, error) {
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, &CorruptError{Path: path, Reason: "unreadable", Err: err}
+	}
+	hdr, payload, cerr := split(path, data)
+	if cerr != nil {
+		return nil, cerr
+	}
+	if hdr.Format != FormatName {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("unknown format %q", hdr.Format)}
+	}
+	if hdr.Version != FormatVersion {
+		return nil, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("format version %d, this build reads only %d", hdr.Version, FormatVersion)}
+	}
+	// The file name is a truncated digest of the key; the full hashes in the
+	// header are authoritative and must match what the caller asked for.
+	if hdr.ConfigHash != k.ConfigHash || hdr.OldHash != k.OldHash || hdr.NewHash != k.NewHash {
+		return nil, &CorruptError{Path: path, Reason: "header address does not match requested key"}
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != hdr.PayloadSHA256 {
+		return nil, &CorruptError{Path: path, Reason: "payload checksum mismatch"}
+	}
+	var p resultPayload
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, &CorruptError{Path: path, Reason: "payload does not decode", Err: err}
+	}
+	res, err := decodePayload(&p)
+	if err != nil {
+		return nil, &CorruptError{Path: path, Reason: "invalid payload", Err: err}
+	}
+	return res, nil
+}
+
+// split separates the header line from the payload bytes and parses the
+// header. The payload is everything after the first newline with the final
+// newline stripped; a file without both parts is truncated.
+func split(path string, data []byte) (*Header, []byte, *CorruptError) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, nil, &CorruptError{Path: path, Reason: "truncated: no header line"}
+	}
+	var hdr Header
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, nil, &CorruptError{Path: path, Reason: "header does not parse", Err: err}
+	}
+	payload := data[nl+1:]
+	if len(payload) == 0 || payload[len(payload)-1] != '\n' {
+		return nil, nil, &CorruptError{Path: path, Reason: "truncated: payload incomplete"}
+	}
+	return &hdr, payload[:len(payload)-1], nil
+}
+
+// LoadResult implements linkage.ResultStore: a missing snapshot is
+// (nil, nil), a rejected one (nil, *CorruptError). The dataset hashes are
+// computed (and cached) via census.Dataset.ContentHash.
+func (s *Store) LoadResult(configHash string, oldDS, newDS *census.Dataset) (*linkage.Result, error) {
+	res, err := s.Load(Key{ConfigHash: configHash, OldHash: oldDS.ContentHash(), NewHash: newDS.ContentHash()})
+	if errors.Is(err, ErrNotFound) {
+		return nil, nil
+	}
+	return res, err
+}
+
+// SaveResult implements linkage.ResultStore (write-through).
+func (s *Store) SaveResult(configHash string, oldDS, newDS *census.Dataset, res *linkage.Result) error {
+	k := Key{ConfigHash: configHash, OldHash: oldDS.ContentHash(), NewHash: newDS.ContentHash()}
+	return s.Save(k, oldDS.Year, newDS.Year, res)
+}
+
+// Snapshots lists the headers of every snapshot in the store, sorted by
+// (old year, new year, config hash) for stable output. Files that do not
+// parse are skipped — listing is diagnostic, not load-bearing.
+func (s *Store) Snapshots() ([]Header, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []Header
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "snap_") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			continue
+		}
+		var hdr Header
+		if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+			continue
+		}
+		out = append(out, hdr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.OldYear != b.OldYear {
+			return a.OldYear < b.OldYear
+		}
+		if a.NewYear != b.NewYear {
+			return a.NewYear < b.NewYear
+		}
+		return a.ConfigHash < b.ConfigHash
+	})
+	return out, nil
+}

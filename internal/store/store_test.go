@@ -1,0 +1,278 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+)
+
+// linkedPair runs the real pipeline over the paper's running example once,
+// giving the tests a result with every feature populated: subgraph and
+// remainder provenance, multiple iterations, group links.
+func linkedPair(t *testing.T) (old, new *census.Dataset, cfgHash string, res *linkage.Result) {
+	t.Helper()
+	old, new = paperexample.Old(), paperexample.New()
+	cfg := linkage.DefaultConfig()
+	cfg.Workers = 1
+	res, err := linkage.LinkContext(context.Background(), old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RecordLinks) == 0 || len(res.GroupLinks) == 0 || len(res.Iterations) == 0 {
+		t.Fatalf("running example produced a degenerate result: %+v", res)
+	}
+	return old, new, cfg.Fingerprint(), res
+}
+
+// TestRoundTripGolden: write → reload → deep-equal, the golden guarantee
+// the incremental mode rests on. The listing must show the snapshot too.
+func TestRoundTripGolden(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveResult(cfgHash, old, new, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadResult(cfgHash, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadResult found nothing after SaveResult")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", got, res)
+	}
+	headers, err := s.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 1 {
+		t.Fatalf("Snapshots() = %d entries, want 1", len(headers))
+	}
+	h := headers[0]
+	if h.OldYear != old.Year || h.NewYear != new.Year ||
+		h.ConfigHash != cfgHash || h.OldHash != old.ContentHash() || h.NewHash != new.ContentHash() {
+		t.Errorf("listed header = %+v", h)
+	}
+}
+
+// TestDeterministicPayload: the same result serializes to byte-identical
+// payloads, so re-linking unchanged inputs re-creates the identical
+// snapshot body (the header differs only in created_unix).
+func TestDeterministicPayload(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	payloadOf := func(dir string) []byte {
+		t.Helper()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveResult(cfgHash, old, new, res); err != nil {
+			t.Fatal(err)
+		}
+		k := Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()}
+		data, err := os.ReadFile(s.path(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := bytes.IndexByte(data, '\n')
+		return data[nl+1:]
+	}
+	a, b := payloadOf(t.TempDir()), payloadOf(t.TempDir())
+	if !bytes.Equal(a, b) {
+		t.Errorf("payloads differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	old, new, cfgHash, _ := linkedPair(t)
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(Key{ConfigHash: "x", OldHash: "y", NewHash: "z"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Load on empty store: err = %v, want ErrNotFound", err)
+	}
+	res, err := s.LoadResult(cfgHash, old, new)
+	if res != nil || err != nil {
+		t.Errorf("LoadResult on empty store = (%v, %v), want (nil, nil)", res, err)
+	}
+}
+
+// TestRejectsUntrustedSnapshots: every way a snapshot file can go bad —
+// truncation, bit rot, format drift, address mismatch, malformed payload —
+// must surface as a *CorruptError, never as a silently misread result, and
+// a fresh Save must recover the slot.
+func TestRejectsUntrustedSnapshots(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	key := Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()}
+
+	// rewrite re-frames the snapshot with a mutated header and/or payload;
+	// fixChecksum re-seals the header over the new payload so the test
+	// reaches the layer behind the checksum.
+	type mutation struct {
+		name        string
+		fixChecksum bool
+		mutate      func(h *Header, payload []byte) (header *Header, newPayload []byte, raw []byte)
+	}
+	mutations := []mutation{
+		{name: "empty file", mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			return nil, nil, []byte{}
+		}},
+		{name: "no header line", mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			return nil, nil, []byte("not json and no newline")
+		}},
+		{name: "unparsable header", mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			return nil, nil, append([]byte("{broken\n"), append(p, '\n')...)
+		}},
+		{name: "truncated payload", mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			hdr, _ := json.Marshal(h)
+			return nil, nil, append(append(hdr, '\n'), p[:len(p)/2]...) // no trailing newline
+		}},
+		{name: "payload bit rot", mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			p = append([]byte(nil), p...)
+			p[len(p)/2] ^= 0x40
+			return h, p, nil
+		}},
+		{name: "future format version", fixChecksum: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			h.Version = FormatVersion + 1
+			return h, p, nil
+		}},
+		{name: "unknown format name", fixChecksum: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			h.Format = "someone-elses/format"
+			return h, p, nil
+		}},
+		{name: "address mismatch", fixChecksum: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			h.OldHash = "0000"
+			return h, p, nil
+		}},
+		{name: "unknown payload field", fixChecksum: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			p = append(p[:len(p)-1], []byte(`,"surprise":1}`)...)
+			return h, p, nil
+		}},
+		{name: "unknown source kind", fixChecksum: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+			p = bytes.Replace(p, []byte(`"kind":"subgraph"`), []byte(`"kind":"psychic"`), 1)
+			return h, p, nil
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save(key, old.Year, new.Year, res); err != nil {
+				t.Fatal(err)
+			}
+			path := s.path(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl := bytes.IndexByte(data, '\n')
+			var hdr Header
+			if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+				t.Fatal(err)
+			}
+			payload := data[nl+1 : len(data)-1]
+
+			h, p, raw := m.mutate(&hdr, payload)
+			if raw == nil {
+				if m.fixChecksum {
+					sum := sha256sum(p)
+					h.PayloadSHA256 = sum
+				}
+				hb, err := json.Marshal(h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw = append(append(hb, '\n'), append(p, '\n')...)
+			}
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			_, err = s.Load(key)
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Load after %q: err = %v, want *CorruptError", m.name, err)
+			}
+			if _, lerr := s.LoadResult(cfgHash, old, new); lerr == nil {
+				t.Errorf("LoadResult after %q returned no error", m.name)
+			}
+
+			// Recompute-and-overwrite restores the slot.
+			if err := s.Save(key, old.Year, new.Year, res); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Load(key)
+			if err != nil || !reflect.DeepEqual(got, res) {
+				t.Errorf("recovery Save+Load after %q: err = %v", m.name, err)
+			}
+		})
+	}
+}
+
+// sha256sum re-seals a tampered payload, mirroring Save's checksum.
+func sha256sum(p []byte) string {
+	sum := sha256.Sum256(p)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestWrongKeyDifferentAddress: a snapshot saved under one configuration is
+// simply not found under another — content addressing, not invalidation
+// logic.
+func TestWrongKeyDifferentAddress(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveResult(cfgHash, old, new, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadResult("different-config-fingerprint", old, new)
+	if got != nil || err != nil {
+		t.Errorf("LoadResult under a different config = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+// TestOverwriteIsAtomicSingleFile: re-saving the same key leaves exactly
+// one snapshot file and no temp litter.
+func TestOverwriteIsAtomicSingleFile(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.SaveResult(cfgHash, old, new, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("store dir holds %v, want exactly one snapshot", names)
+	}
+}
