@@ -21,16 +21,21 @@ test:
 	$(GO) test ./...
 
 # One iteration of every table/figure benchmark plus the micro benchmarks,
-# then the naive-vs-compiled pre-matching trajectory report.
+# then the naive-vs-compiled pre-matching trajectory report and the
+# serving-layer load report (the loadgen harness against a precomputed
+# synthetic series).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	CENSUSLINK_BENCH_JSON=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
+	CENSUSLINK_SERVER_BENCH_JSON=$(CURDIR)/BENCH_server.json $(GO) test -count=1 -run TestServerBenchTrajectory -v ./cmd/loadgen
 
 # Performance regression gate: re-measure the compiled pre-matching pass
-# and fail if it is more than 2x slower per op than the committed
-# BENCH_prematch.json baseline.
+# and the serving layer, failing when either is slower than its committed
+# baseline allows (2x per op for pre-matching, 5x p50 for serving) or when
+# the conditional-GET revalidation ratio drops below 0.9.
 bench-regress:
 	CENSUSLINK_BENCH_BASELINE=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
+	CENSUSLINK_SERVER_BENCH_BASELINE=$(CURDIR)/BENCH_server.json $(GO) test -count=1 -run TestServerBenchTrajectory -v ./cmd/loadgen
 
 # Snapshot-store golden gate: format round trip, deterministic payloads,
 # corruption rejection, and the end-to-end incremental differential (a warm

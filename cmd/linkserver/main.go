@@ -11,6 +11,9 @@
 //	linkserver -dir data/series [-addr :8199] [-eager] \
 //	           [-engine compiled|naive] [-config cfg.json] \
 //	           [-compute-timeout 5m] [-max-concurrent 2] \
+//	           [-max-inflight 256] [-rate-limit 50 -rate-burst 32] \
+//	           [-read-header-timeout 5s] [-read-timeout 60s] \
+//	           [-write-timeout 2m] [-idle-timeout 2m] \
 //	           [-stats report.json] [-lenient] [-max-bad-rows 100]
 //
 // SIGINT/SIGTERM drains in-flight requests, cancels any running
@@ -64,6 +67,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	computeTimeout := fs.Duration("compute-timeout", 0, "cap one year-pair computation (0 = no cap)")
 	maxConcurrent := fs.Int("max-concurrent", 2, "year-pair computations allowed to run at once")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "drop a connection whose request header has not arrived in time")
+	readTimeout := fs.Duration("read-timeout", 60*time.Second, "cap reading one full request (0 = no cap)")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "cap writing one full response (0 = no cap)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "close keep-alive connections idle this long")
+	maxInFlight := fs.Int("max-inflight", 256, "API requests served at once before shedding with 503 (0 = no cap)")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client sustained requests/second before 429 (0 = no limit)")
+	rateBurst := fs.Int("rate-burst", 32, "per-client token-bucket burst capacity for -rate-limit")
 	statsOut := fs.String("stats", "", "write the final pipeline JSON report to this file on shutdown")
 	storeDir := fs.String("store", "", "warm-start the pair cache from snapshots in this directory and write computed pairs back")
 	lenient := fs.Bool("lenient", false, "skip bad input rows instead of aborting")
@@ -124,6 +134,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxConcurrent:  *maxConcurrent,
 		ComputeTimeout: *computeTimeout,
 		Stats:          stats,
+		MaxInFlight:    *maxInFlight,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 	}
 	if *storeDir != "" {
 		snaps, err := store.Open(*storeDir)
@@ -154,7 +167,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Every timeout set: a listener with none lets one stalled client hold
+	// a connection (and its goroutine) forever — classic slowloris. The
+	// write timeout also bounds streamed list responses, so it defaults
+	// well above the compute timeout a cold pair may need.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)

@@ -3,7 +3,9 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -135,6 +137,85 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 	if len(rep.Counters) == 0 {
 		t.Errorf("stats report has no counters:\n%s", data)
+	}
+}
+
+// bootServer starts run() in the background with the given extra flags and
+// returns the live base URL once the listener line appears. Cleanup cancels
+// the run context and waits for the graceful exit.
+func bootServer(t *testing.T, extra ...string) string {
+	t.Helper()
+	dir := writeSeries(t)
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-dir", dir, "-addr", "127.0.0.1:0"}, extra...), &out)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Errorf("run did not shut down:\n%s", out.String())
+		}
+	})
+	addrRE := regexp.MustCompile(`listening on (http://[^\s]+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening line after 10s:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStalledHeaderDropped: a client that opens a connection and never
+// finishes its request header is cut off by ReadHeaderTimeout instead of
+// holding a server goroutine forever (the slowloris regression — the
+// listener used to be built with no timeouts at all).
+func TestStalledHeaderDropped(t *testing.T) {
+	base := bootServer(t, "-read-header-timeout", "200ms")
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A partial request header: no terminating blank line, then silence.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: stalled\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := conn.Read(make([]byte, 256))
+	if err == nil || n > 0 {
+		t.Fatalf("server answered a half-written header: n=%d err=%v", n, err)
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("connection still open 5s after the 200ms header timeout")
+	}
+	// The server dropped us — promptly, not at some multi-second default.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("connection dropped only after %v", elapsed)
+	}
+
+	// A well-formed client on a fresh connection is unaffected.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after stalled peer: %d", resp.StatusCode)
 	}
 }
 

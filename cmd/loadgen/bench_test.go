@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"censuslink/internal/linkage"
+	"censuslink/internal/server"
+	"censuslink/internal/synth"
+)
+
+func serverBenchScale() float64 {
+	if s := os.Getenv("CENSUSLINK_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.02
+}
+
+// TestServerBenchTrajectory measures the serving layer under the loadgen
+// harness — sustained QPS, latency percentiles and the conditional-GET
+// revalidation ratio against a precomputed synthetic series — and writes
+// the report named by CENSUSLINK_SERVER_BENCH_JSON (BENCH_server.json).
+//
+// With CENSUSLINK_SERVER_BENCH_BASELINE set to a previously committed
+// report, it also acts as the serving-layer performance regression gate:
+// it fails when the unconditional p50 is more than 5x the baseline (the
+// wide limit absorbs CI machine variance) or when the pair-link 304 ratio
+// falls below 0.9. Skipped when neither variable is set.
+func TestServerBenchTrajectory(t *testing.T) {
+	path := os.Getenv("CENSUSLINK_SERVER_BENCH_JSON")
+	basePath := os.Getenv("CENSUSLINK_SERVER_BENCH_BASELINE")
+	if path == "" && basePath == "" {
+		t.Skip("set CENSUSLINK_SERVER_BENCH_JSON to write the serving benchmark report, " +
+			"or CENSUSLINK_SERVER_BENCH_BASELINE to compare against a committed one")
+	}
+
+	series, err := synth.Generate(synth.TestConfig(serverBenchScale(), 1871))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Series:  series,
+		Linkage: linkage.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Abort()
+	if err := srv.Precompute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	load := func(conditional bool) *Summary {
+		h, err := NewHarness(context.Background(), Options{
+			BaseURL:     ts.URL,
+			Concurrency: 8,
+			Duration:    2 * time.Second,
+			Conditional: conditional,
+			Seed:        1871,
+			Client:      ts.Client(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := h.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	plain := load(false)
+	conditional := load(true)
+
+	t.Logf("plain: %.1f req/s, p50 %.2fms p95 %.2fms p99 %.2fms (%d requests)",
+		plain.QPS, plain.P50Ms, plain.P95Ms, plain.P99Ms, plain.Requests)
+	t.Logf("conditional: %.1f req/s, p50 %.2fms, pair-link 304 ratio %.3f",
+		conditional.QPS, conditional.P50Ms, conditional.PairLinkNotModifiedRatio)
+
+	if plain.TransportErrors != 0 || plain.ServerErrors != 0 ||
+		conditional.TransportErrors != 0 || conditional.ServerErrors != 0 {
+		t.Errorf("errors under load: plain %d/%d, conditional %d/%d (transport/5xx)",
+			plain.TransportErrors, plain.ServerErrors,
+			conditional.TransportErrors, conditional.ServerErrors)
+	}
+	if conditional.PairLinkNotModifiedRatio < 0.9 {
+		t.Errorf("pair-link 304 ratio %.3f below the 0.9 acceptance bar",
+			conditional.PairLinkNotModifiedRatio)
+	}
+
+	report := map[string]any{
+		"benchmark":            "LinkserverLoad",
+		"scale":                serverBenchScale(),
+		"concurrency":          8,
+		"duration_seconds":     plain.DurationSeconds,
+		"qps":                  plain.QPS,
+		"p50_ms":               plain.P50Ms,
+		"p95_ms":               plain.P95Ms,
+		"p99_ms":               plain.P99Ms,
+		"requests":             plain.Requests,
+		"transport_errors":     plain.TransportErrors,
+		"server_errors":        plain.ServerErrors,
+		"conditional_qps":      conditional.QPS,
+		"conditional_p50_ms":   conditional.P50Ms,
+		"not_modified_ratio":   conditional.PairLinkNotModifiedRatio,
+		"conditional_requests": conditional.Requests,
+	}
+	if path != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if basePath != "" {
+		base, err := readServerBenchBaseline(basePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Scale != serverBenchScale() {
+			t.Skipf("baseline scale %.3f != current scale %.3f: not comparable",
+				base.Scale, serverBenchScale())
+		}
+		ratio := plain.P50Ms / base.P50Ms
+		t.Logf("p50 vs baseline %s: %.2fms now, %.2fms then (%.2fx)",
+			basePath, plain.P50Ms, base.P50Ms, ratio)
+		if ratio > 5 {
+			t.Errorf("serving p50 regressed %.2fx vs the committed baseline (limit 5x): %.2fms vs %.2fms",
+				ratio, plain.P50Ms, base.P50Ms)
+		}
+	}
+}
+
+// serverBenchBaseline is the subset of BENCH_server.json the regression
+// gate compares against.
+type serverBenchBaseline struct {
+	Scale float64 `json:"scale"`
+	P50Ms float64 `json:"p50_ms"`
+}
+
+func readServerBenchBaseline(path string) (*serverBenchBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b serverBenchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.P50Ms <= 0 {
+		return nil, fmt.Errorf("%s: missing or non-positive p50_ms", path)
+	}
+	return &b, nil
+}

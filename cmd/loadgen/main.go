@@ -1,0 +1,155 @@
+// Command loadgen drives a running linkserver with a configurable request
+// load and reports latency percentiles, sustained QPS, error rates and —
+// in conditional mode — how much of the traffic revalidated to 304s. It is
+// the in-repo harness behind BENCH_server.json: the serving-layer analogue
+// of the pipeline benchmarks, so "did the server get slower under load" is
+// a question `make bench-regress` can answer.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8199 [-c 8] [-duration 10s] \
+//	        [-mix records=4,groups=2,patterns=2,timelines=1,household_timeline=2,record_lifecycle=2,years=1] \
+//	        [-conditional] [-timeout 30s] [-seed 1] [-out BENCH_server.json]
+//
+// The endpoint mix weights the /v1 query surface; discovery (one request to
+// /v1/years plus two sampled link pages) finds the concrete years, record
+// IDs and household IDs to query. With -conditional every target is fetched
+// once up front and the measured window replays the URLs with
+// If-None-Match, exercising the server's conditional-GET path the way a
+// caching client would.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the whole harness lifecycle, split from main so tests can drive it
+// against an httptest server and capture stdout.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "base URL of the linkserver (required)")
+	concurrency := fs.Int("c", 8, "concurrent workers")
+	duration := fs.Duration("duration", 10*time.Second, "measured load window")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	mixFlag := fs.String("mix", "", "endpoint mix as name=weight pairs, comma separated (default: the built-in read-heavy mix)")
+	conditional := fs.Bool("conditional", false, "prime ETags, then replay with If-None-Match")
+	seed := fs.Int64("seed", 1, "seed for the per-worker request schedules")
+	out := fs.String("out", "", "write the JSON summary to this file")
+	sampleIDs := fs.Int("sample-ids", 8, "record/household IDs sampled per pair for drill-down endpoints")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		fs.Usage()
+		return fmt.Errorf("-url is required")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	h, err := NewHarness(ctx, Options{
+		BaseURL:     *url,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Timeout:     *timeout,
+		Mix:         mix,
+		Conditional: *conditional,
+		SampleIDs:   *sampleIDs,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loadgen: %d workers for %s against %s (conditional=%v)\n",
+		*concurrency, *duration, *url, *conditional)
+	summary, err := h.Run(ctx)
+	if err != nil {
+		return err
+	}
+	printSummary(stdout, summary)
+	if *out != "" {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if summary.TransportErrors > 0 || summary.ServerErrors > 0 {
+		return fmt.Errorf("%d transport errors, %d server errors",
+			summary.TransportErrors, summary.ServerErrors)
+	}
+	return nil
+}
+
+// parseMix turns "records=4,groups=2" into endpoint weights; empty input
+// selects the built-in mix.
+func parseMix(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	mix := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q: want name=weight", part)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		mix[name] = w
+	}
+	return mix, nil
+}
+
+func printSummary(w io.Writer, s *Summary) {
+	fmt.Fprintf(w, "%d requests in %.2fs: %.1f req/s\n", s.Requests, s.DurationSeconds, s.QPS)
+	fmt.Fprintf(w, "latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs)
+	fmt.Fprintf(w, "errors: transport %d, 5xx %d; shed (429/503): %d\n",
+		s.TransportErrors, s.ServerErrors, s.Shed)
+	if s.Conditional {
+		fmt.Fprintf(w, "conditional: %d × 304 overall, pair-link revalidation ratio %.3f\n",
+			s.NotModified, s.PairLinkNotModifiedRatio)
+	}
+	names := make([]string, 0, len(s.Endpoints))
+	for name := range s.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := s.Endpoints[name]
+		fmt.Fprintf(w, "  %-20s %7d reqs  p50 %8.2fms  p99 %8.2fms  304s %d\n",
+			name, e.Requests, e.P50Ms, e.P99Ms, e.NotModified)
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+	"censuslink/internal/server"
+)
+
+// testServer boots the query service over the paper's running example and
+// mounts it on httptest.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cfg := linkage.DefaultConfig()
+	cfg.Workers = 1
+	srv, err := server.New(server.Config{
+		Series:  census.NewSeries(paperexample.Old(), paperexample.New()),
+		Linkage: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Abort)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestHarnessConditionalSmoke runs the full harness concurrently against a
+// live handler: discovery, ETag priming, a measured conditional window. The
+// acceptance bar is the conditional-GET criterion — once primed, at least
+// 90% of pair-link requests must revalidate to 304.
+func TestHarnessConditionalSmoke(t *testing.T) {
+	ts := testServer(t)
+	h, err := NewHarness(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Duration:    400 * time.Millisecond,
+		Conditional: true,
+		Seed:        1,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if s.TransportErrors != 0 || s.ServerErrors != 0 {
+		t.Errorf("errors under smoke load: transport %d, 5xx %d", s.TransportErrors, s.ServerErrors)
+	}
+	if s.PairLinkNotModifiedRatio < 0.9 {
+		t.Errorf("pair-link 304 ratio = %.3f, want >= 0.9 after priming", s.PairLinkNotModifiedRatio)
+	}
+	if s.QPS <= 0 || s.P50Ms <= 0 {
+		t.Errorf("degenerate summary: qps %.1f p50 %.3fms", s.QPS, s.P50Ms)
+	}
+	for _, name := range []string{"records", "groups", "patterns", "household_timeline", "record_lifecycle"} {
+		if s.Endpoints[name].Requests == 0 {
+			t.Errorf("endpoint %s never exercised", name)
+		}
+	}
+}
+
+// TestHarnessUnconditional: without -conditional nothing revalidates; the
+// run still completes cleanly with all responses full 200s.
+func TestHarnessUnconditional(t *testing.T) {
+	ts := testServer(t)
+	h, err := NewHarness(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		Mix:         map[string]int{"records": 1, "years": 1},
+		Seed:        7,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NotModified != 0 {
+		t.Errorf("unconditional run saw %d 304s", s.NotModified)
+	}
+	if s.TransportErrors != 0 || s.ServerErrors != 0 {
+		t.Errorf("errors: transport %d, 5xx %d", s.TransportErrors, s.ServerErrors)
+	}
+	if n := s.Endpoints["groups"].Requests; n != 0 {
+		t.Errorf("endpoint outside the mix exercised %d times", n)
+	}
+}
+
+// TestRunCLI drives the command end to end: flags, harness, stdout report
+// and the JSON summary file.
+func TestRunCLI(t *testing.T) {
+	ts := testServer(t)
+	out := filepath.Join(t.TempDir(), "BENCH_server.json")
+	var buf strings.Builder
+	err := run(context.Background(), []string{
+		"-url", ts.URL, "-c", "2", "-duration", "250ms", "-conditional", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "req/s") {
+		t.Errorf("summary line missing:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("bad summary JSON: %v\n%s", err, data)
+	}
+	if s.Requests == 0 || !s.Conditional {
+		t.Errorf("summary = %+v, want a conditional run with requests", s)
+	}
+}
+
+// TestRunFlagErrors: bad invocations fail fast.
+func TestRunFlagErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), nil, &buf); err == nil {
+		t.Error("missing -url accepted")
+	}
+	if err := run(context.Background(), []string{"-url", "http://x", "-mix", "records"}, &buf); err == nil {
+		t.Error("mix entry without weight accepted")
+	}
+	ts := testServer(t)
+	if err := run(context.Background(), []string{"-url", ts.URL, "-mix", "bogus=1"}, &buf); err == nil {
+		t.Error("unknown mix endpoint accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("records=4, groups=2,years=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["records"] != 4 || mix["groups"] != 2 || mix["years"] != 0 {
+		t.Errorf("mix = %v", mix)
+	}
+	for _, bad := range []string{"records", "records=x", "records=-1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	if mix, err := parseMix(""); err != nil || mix != nil {
+		t.Errorf("empty mix = %v, %v; want nil, nil", mix, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 0.5); p != 6 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := percentile(sorted, 0.99); p != 10 {
+		t.Errorf("p99 = %g", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %g", p)
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyBuckets are the upper bounds (in seconds) of the HTTP
+// request-latency histograms: a log-ish ladder from half a millisecond to
+// ten seconds, matching the range between a cache hit on loopback and a
+// cold pair computation.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. Like the
+// rest of the package it is goroutine-safe and all methods are no-ops on a
+// nil receiver. Construct with NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1; counts[len(bounds)] is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds
+// (DefaultLatencyBuckets when nil or empty). The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a consistent copy of a histogram's state. Cumulative
+// holds, for each bound, the number of observations less than or equal to
+// it; the final total (the +Inf bucket) is Count.
+type HistogramSnapshot struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []uint64  `json:"cumulative"`
+	Sum        float64   `json:"sum"`
+	Count      uint64    `json:"count"`
+}
+
+// Snapshot returns a copy of the current state with per-bucket counts
+// already accumulated into the Prometheus-style cumulative form.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.bounds)),
+		Sum:        h.sum,
+		Count:      h.count,
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i]
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation within the containing bucket, the same estimate
+// Prometheus's histogram_quantile computes. It returns 0 on an empty
+// histogram; a quantile landing in the +Inf bucket reports the largest
+// finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	for i, cum := range s.Cumulative {
+		if float64(cum) >= rank {
+			lo, loCum := 0.0, uint64(0)
+			if i > 0 {
+				lo, loCum = s.Bounds[i-1], s.Cumulative[i-1]
+			}
+			in := float64(cum - loCum)
+			if in == 0 {
+				return s.Bounds[i]
+			}
+			return lo + (s.Bounds[i]-lo)*(rank-float64(loCum))/in
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// WriteHistogram renders one snapshot as a Prometheus histogram sample set:
+// name_bucket lines for every bound plus +Inf, then name_sum and
+// name_count. labels is the pre-rendered label pairs without braces (for
+// example `endpoint="record_links"`), empty for an unlabelled family; the
+// caller writes the family's HELP/TYPE header once before the first call.
+func WriteHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range s.Bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatBound(b), s.Cumulative[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count); err != nil {
+		return err
+	}
+	var lb string
+	if labels != "" {
+		lb = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, lb, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, lb, s.Count)
+	return err
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantCum := []uint64{2, 3, 4}
+	for i, c := range s.Cumulative {
+		if c != wantCum[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, c, wantCum[i])
+		}
+	}
+	if got := s.Sum; math.Abs(got-5.56) > 1e-9 {
+		t.Errorf("sum = %g, want 5.56", got)
+	}
+	// The median rank (2.5 of 5) lands in the second bucket (0.01, 0.1].
+	if q := s.Quantile(0.5); q <= 0.01 || q > 0.1 {
+		t.Errorf("p50 = %g, want within (0.01, 0.1]", q)
+	}
+	// A quantile in the +Inf bucket reports the largest finite bound.
+	if q := s.Quantile(0.999); q != 1 {
+		t.Errorf("p99.9 = %g, want 1 (largest finite bound)", q)
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	h.ObserveDuration(time.Second)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Errorf("nil histogram snapshot = %+v", s)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.9); q != 0 {
+		t.Errorf("empty snapshot quantile = %g, want 0", q)
+	}
+	NewHistogram(nil).Observe(math.NaN()) // dropped, not counted
+	if n := NewHistogram(nil).Snapshot().Count; n != 0 {
+		t.Errorf("NaN observation counted: %d", n)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+func TestWriteHistogramPrometheus(t *testing.T) {
+	h := NewHistogram([]float64{0.05, 0.5})
+	h.ObserveDuration(10 * time.Millisecond)
+	h.ObserveDuration(100 * time.Millisecond)
+	h.ObserveDuration(2 * time.Second)
+	var b strings.Builder
+	if err := WriteHistogram(&b, "x_seconds", `endpoint="records"`, h.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds_bucket{endpoint="records",le="0.05"} 1`,
+		`x_seconds_bucket{endpoint="records",le="0.5"} 2`,
+		`x_seconds_bucket{endpoint="records",le="+Inf"} 3`,
+		`x_seconds_sum{endpoint="records"} 2.11`,
+		`x_seconds_count{endpoint="records"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Unlabelled families get bare sum/count names.
+	b.Reset()
+	if err := WriteHistogram(&b, "y_seconds", "", h.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `y_seconds_bucket{le="0.05"} 1`) ||
+		!strings.Contains(b.String(), "y_seconds_count 3") {
+		t.Errorf("unlabelled output wrong:\n%s", b.String())
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Linkage results are immutable: every pair's output is a pure function of
+// (configuration, old dataset, new dataset), which is exactly the content
+// address the snapshot store files results under. That makes strong ETags
+// free — hash the address plus the canonical request URL, no result bytes
+// needed — and a conditional revalidation can answer 304 without even
+// touching the cache, let alone recomputing the pair.
+
+// etagSurface salts every ETag with the version of the JSON representation.
+// Bump it whenever a response shape changes, so clients holding ETags from
+// an older build revalidate to fresh bodies instead of keeping stale shapes.
+const etagSurface = "v1.1"
+
+// pairETag is the strong validator of a pair-scoped resource: the content
+// address of pair i (config fingerprint + both dataset hashes) plus the
+// canonical request URL, so every filter/page window validates separately.
+func (s *Server) pairETag(i int, r *http.Request) string {
+	pair := s.series.Pairs()[i]
+	return makeETag(etagSurface, s.cfgHash,
+		pair[0].ContentHash(), pair[1].ContentHash(), canonicalURL(r))
+}
+
+// seriesETag is the validator of series-wide resources (years, timelines,
+// lifecycles, household timelines): it covers every dataset's content hash,
+// since those responses derive from the whole evolution graph.
+func (s *Server) seriesETag(r *http.Request) string {
+	parts := make([]string, 0, len(s.series.Datasets)+3)
+	parts = append(parts, etagSurface, s.cfgHash)
+	for _, d := range s.series.Datasets {
+		parts = append(parts, d.ContentHash())
+	}
+	parts = append(parts, canonicalURL(r))
+	return makeETag(parts...)
+}
+
+// makeETag hashes the NUL-separated parts into a strong entity tag.
+func makeETag(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return `"` + hex.EncodeToString(h.Sum(nil))[:32] + `"`
+}
+
+// canonicalURL renders the request path with the query parameters in sorted
+// order, so ?limit=2&offset=1 and ?offset=1&limit=2 share one validator.
+func canonicalURL(r *http.Request) string {
+	return r.URL.Path + "?" + r.URL.Query().Encode()
+}
+
+// notModified stamps the response with the resource's ETag and, when the
+// request's If-None-Match matches it, short-circuits with 304 Not Modified
+// and reports true — the caller sends no body. Cache-Control: no-cache
+// makes intermediaries revalidate on every use: the data at a given address
+// never changes, but the same URL can serve a different series after a
+// restart.
+func notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", "no-cache")
+	if !etagMatches(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// etagMatches implements the If-None-Match comparison of RFC 9110 §13.1.2:
+// a comma-separated list of entity tags, compared weakly (a W/ prefix on
+// the client's copy still matches our strong tag), or the wildcard *.
+func etagMatches(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" {
+			return true
+		}
+		c = strings.TrimPrefix(c, "W/")
+		if c != "" && c == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -21,17 +23,84 @@ const (
 	codeNotFound    = "not_found"    // unknown year, pair, record, household (404)
 	codeTimeout     = "timeout"      // computation exceeded its deadline (504)
 	codeUnavailable = "unavailable"  // computation cancelled / server draining (503)
+	codeOverloaded  = "overloaded"   // shed by the in-flight cap (503)
+	codeRateLimited = "rate_limited" // shed by the per-client token bucket (429)
 	codeInternal    = "internal"     // anything else (500)
 )
 
-// writeJSON renders a response body; encoding errors after the header is
-// out are unrecoverable and ignored.
+// statusClientClosedRequest is nginx's non-standard 499: the requester went
+// away before a response was written. No body accompanies it — nobody is
+// left to read one — but the code keeps client disconnects distinguishable
+// from genuine 5xx in the per-endpoint response counters.
+const statusClientClosedRequest = 499
+
+// writeJSON renders a small, non-list response body. The value is encoded
+// to a buffer first, so a marshal failure becomes a clean 500 envelope —
+// the status is never committed before the body is known good.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		data, _ = json.Marshal(errorJSON{Error: errorBody{
+			Code: codeInternal, Message: "response encoding failed: " + err.Error()}})
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// field is one scalar member of a list response's envelope.
+type field struct {
+	name  string
+	value any
+}
+
+// writeListJSON streams a list-shaped response: the envelope fields are
+// marshalled up front — any encoding error there still becomes a clean 500
+// — then the page's items are encoded one at a time through a buffered
+// writer, so the response is never materialized as one whole indented byte
+// slice. An item that fails to encode after the header is out cannot be
+// unsent; the failure is counted and the connection aborted, so the client
+// sees a broken transfer instead of a clean 200 with a truncated body.
+func (s *Server) writeListJSON(w http.ResponseWriter, status int, fields []field, listName string, n int, item func(int) any) {
+	var head bytes.Buffer
+	head.WriteByte('{')
+	for _, f := range fields {
+		data, err := json.Marshal(f.value)
+		if err != nil {
+			apiError(w, http.StatusInternalServerError, codeInternal,
+				fmt.Sprintf("response encoding failed on %q: %v", f.name, err))
+			return
+		}
+		key, _ := json.Marshal(f.name)
+		head.Write(key)
+		head.WriteByte(':')
+		head.Write(data)
+		head.WriteByte(',')
+	}
+	key, _ := json.Marshal(listName)
+	head.Write(key)
+	head.WriteString(":[")
+
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	bw := bufio.NewWriterSize(w, 16<<10)
+	_, _ = bw.Write(head.Bytes())
+	for i := 0; i < n; i++ {
+		data, err := json.Marshal(item(i))
+		if err != nil {
+			s.requests.encodeErrors.Add(1)
+			panic(http.ErrAbortHandler)
+		}
+		if i > 0 {
+			_ = bw.WriteByte(',')
+		}
+		_, _ = bw.Write(data)
+	}
+	_, _ = bw.WriteString("]}\n")
+	_ = bw.Flush() // a flush error means the client is gone; nothing to do
 }
 
 // errorJSON is the uniform error envelope of the v1 API.
@@ -49,18 +118,22 @@ func apiError(w http.ResponseWriter, status int, code, message string) {
 	writeJSON(w, status, errorJSON{Error: errorBody{Code: code, Message: message}})
 }
 
-// fail maps a computation error to an HTTP status and error code: deadline
-// overruns are gateway timeouts, cancellations (client gone, server
-// draining) are service-unavailable, anything else is a plain 500.
-func fail(w http.ResponseWriter, err error) {
-	status, code := http.StatusInternalServerError, codeInternal
+// fail maps a computation error to a response. Deadline overruns are
+// gateway timeouts; a requester that hung up before the answer gets status
+// 499 with no body (nobody reads it) and is counted as client_gone rather
+// than polluting the unavailable tally; a server-side cancellation
+// (draining) is 503 unavailable; anything else is a plain 500.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		status, code = http.StatusGatewayTimeout, codeTimeout
+		apiError(w, http.StatusGatewayTimeout, codeTimeout, err.Error())
+	case r.Context().Err() != nil && !s.shuttingDown():
+		w.WriteHeader(statusClientClosedRequest)
 	case errors.Is(err, context.Canceled):
-		status, code = http.StatusServiceUnavailable, codeUnavailable
+		apiError(w, http.StatusServiceUnavailable, codeUnavailable, err.Error())
+	default:
+		apiError(w, http.StatusInternalServerError, codeInternal, err.Error())
 	}
-	apiError(w, status, code, err.Error())
 }
 
 // pageJSON describes the window a list-shaped response covers: the
@@ -98,18 +171,30 @@ func pageParams(r *http.Request) (limit, offset int, err error) {
 	return limit, offset, nil
 }
 
-// pageWindow clamps the [offset, offset+limit) window to a list of total
-// items and returns the slice bounds plus the filled page descriptor.
-func pageWindow(total, limit, offset int) (lo, hi int, page pageJSON) {
-	lo = offset
-	if lo > total {
-		lo = total
+// window collects the [offset, offset+limit) page of a filtered sequence
+// without materializing the rest: feed every passing item to add, then read
+// the page slice and descriptor. Only up to limit items are ever kept.
+type window[T any] struct {
+	limit, offset int
+	total         int
+	page          []T
+}
+
+func newWindow[T any](limit, offset int) *window[T] {
+	return &window[T]{limit: limit, offset: offset}
+}
+
+// add admits one item that passed the handler's filters.
+func (w *window[T]) add(v T) {
+	if w.total >= w.offset && len(w.page) < w.limit {
+		w.page = append(w.page, v)
 	}
-	hi = lo + limit
-	if hi > total {
-		hi = total
-	}
-	return lo, hi, pageJSON{Limit: limit, Offset: offset, Total: total, Returned: hi - lo}
+	w.total++
+}
+
+// pageDesc returns the filled page descriptor.
+func (w *window[T]) pageDesc() pageJSON {
+	return pageJSON{Limit: w.limit, Offset: w.offset, Total: w.total, Returned: len(w.page)}
 }
 
 // pairIndex resolves the {old}/{new} path segments to a year-pair index.
@@ -164,6 +249,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleYears(w http.ResponseWriter, r *http.Request) {
+	if notModified(w, r, s.seriesETag(r)) {
+		return
+	}
 	type pairJSON struct {
 		Old int `json:"old"`
 		New int `json:"new"`
@@ -197,7 +285,8 @@ type recordLinkJSON struct {
 // per-link provenance (which stage found the link, at which δ, supported by
 // which group pair). Optional filters: ?record=<id> restricts to links
 // touching the record, ?source=subgraph|remainder to one stage. The page
-// window applies after filtering.
+// window applies after filtering; only the window's items are materialized
+// and they stream straight to the connection.
 func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 	i, err := s.pairIndex(r)
 	if err != nil {
@@ -209,14 +298,17 @@ func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
+	if notModified(w, r, s.pairETag(i, r)) {
+		return
+	}
 	res, err := s.cache.result(r.Context(), i)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	recordFilter := r.URL.Query().Get("record")
 	sourceFilter := r.URL.Query().Get("source")
-	links := make([]recordLinkJSON, 0, len(res.RecordLinks))
+	win := newWindow[recordLinkJSON](limit, offset)
 	for _, l := range res.RecordLinks {
 		if recordFilter != "" && l.Old != recordFilter && l.New != recordFilter {
 			continue
@@ -236,15 +328,13 @@ func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 		} else if sourceFilter != "" {
 			continue
 		}
-		links = append(links, lj)
+		win.add(lj)
 	}
-	lo, hi, page := pageWindow(len(links), limit, offset)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"old_year":     s.series.Pairs()[i][0].Year,
-		"new_year":     s.series.Pairs()[i][1].Year,
-		"page":         page,
-		"record_links": links[lo:hi],
-	})
+	s.writeListJSON(w, http.StatusOK, []field{
+		{"old_year", s.series.Pairs()[i][0].Year},
+		{"new_year", s.series.Pairs()[i][1].Year},
+		{"page", win.pageDesc()},
+	}, "record_links", len(win.page), func(i int) any { return win.page[i] })
 }
 
 // handleGroupLinks serves the N:M household mapping of one census pair.
@@ -259,26 +349,27 @@ func (s *Server) handleGroupLinks(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
+	if notModified(w, r, s.pairETag(i, r)) {
+		return
+	}
 	res, err := s.cache.result(r.Context(), i)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	type groupLinkJSON struct {
 		Old string `json:"old"`
 		New string `json:"new"`
 	}
-	links := make([]groupLinkJSON, 0, len(res.GroupLinks))
+	win := newWindow[groupLinkJSON](limit, offset)
 	for _, g := range res.GroupLinks {
-		links = append(links, groupLinkJSON{Old: g.Old, New: g.New})
+		win.add(groupLinkJSON{Old: g.Old, New: g.New})
 	}
-	lo, hi, page := pageWindow(len(links), limit, offset)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"old_year":    s.series.Pairs()[i][0].Year,
-		"new_year":    s.series.Pairs()[i][1].Year,
-		"page":        page,
-		"group_links": links[lo:hi],
-	})
+	s.writeListJSON(w, http.StatusOK, []field{
+		{"old_year", s.series.Pairs()[i][0].Year},
+		{"new_year", s.series.Pairs()[i][1].Year},
+		{"page", win.pageDesc()},
+	}, "group_links", len(win.page), func(i int) any { return win.page[i] })
 }
 
 // patternEventJSON is one typed evolution event in the flattened pattern
@@ -304,9 +395,12 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
+	if notModified(w, r, s.pairETag(i, r)) {
+		return
+	}
 	res, err := s.cache.result(r.Context(), i)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	pair := s.series.Pairs()[i]
@@ -315,47 +409,45 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	for p := evolution.PatternPreserve; p <= evolution.PatternMerge; p++ {
 		counts[p.String()] = a.Count(p)
 	}
-	var events []patternEventJSON
+	win := newWindow[patternEventJSON](limit, offset)
 	for _, pg := range a.PreservedGroups {
-		events = append(events, patternEventJSON{
+		win.add(patternEventJSON{
 			Pattern: evolution.PatternPreserve.String(), Old: []string{pg[0]}, New: []string{pg[1]}})
 	}
 	for _, g := range a.AddedGroups {
-		events = append(events, patternEventJSON{
+		win.add(patternEventJSON{
 			Pattern: evolution.PatternAdd.String(), Old: []string{}, New: []string{g}})
 	}
 	for _, g := range a.RemovedGroups {
-		events = append(events, patternEventJSON{
+		win.add(patternEventJSON{
 			Pattern: evolution.PatternRemove.String(), Old: []string{g}, New: []string{}})
 	}
 	for _, mv := range a.Moves {
-		events = append(events, patternEventJSON{
+		win.add(patternEventJSON{
 			Pattern: evolution.PatternMove.String(), Old: []string{mv[0]}, New: []string{mv[1]}})
 	}
 	for _, sp := range a.Splits {
-		events = append(events, patternEventJSON{
+		win.add(patternEventJSON{
 			Pattern: evolution.PatternSplit.String(), Old: []string{sp.Old}, New: sp.News})
 	}
 	for _, mg := range a.Merges {
-		events = append(events, patternEventJSON{
+		win.add(patternEventJSON{
 			Pattern: evolution.PatternMerge.String(), Old: mg.Olds, New: []string{mg.New}})
 	}
 	for _, ul := range a.UnclassifiedLinks {
-		events = append(events, patternEventJSON{
+		win.add(patternEventJSON{
 			Pattern: "unclassified", Old: []string{ul[0]}, New: []string{ul[1]}})
 	}
-	lo, hi, page := pageWindow(len(events), limit, offset)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"old_year":           a.OldYear,
-		"new_year":           a.NewYear,
-		"counts":             counts,
-		"page":               page,
-		"events":             events[lo:hi],
-		"unclassified_links": a.UnclassifiedLinks,
-		"preserved_records":  len(a.PreservedRecords),
-		"added_records":      len(a.AddedRecords),
-		"removed_records":    len(a.RemovedRecords),
-	})
+	s.writeListJSON(w, http.StatusOK, []field{
+		{"old_year", a.OldYear},
+		{"new_year", a.NewYear},
+		{"counts", counts},
+		{"page", win.pageDesc()},
+		{"unclassified_links", a.UnclassifiedLinks},
+		{"preserved_records", len(a.PreservedRecords)},
+		{"added_records", len(a.AddedRecords)},
+		{"removed_records", len(a.RemovedRecords)},
+	}, "events", len(win.page), func(i int) any { return win.page[i] })
 }
 
 type hhEventJSON struct {
@@ -381,9 +473,12 @@ func (s *Server) handleHouseholdTimeline(w http.ResponseWriter, r *http.Request)
 			fmt.Sprintf("no household %q in the %d census", id, year))
 		return
 	}
+	if notModified(w, r, s.seriesETag(r)) {
+		return
+	}
 	b, err := s.cache.bundle(r.Context())
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	// Forward reachability over the typed edges.
@@ -419,11 +514,10 @@ func (s *Server) handleHouseholdTimeline(w http.ResponseWriter, r *http.Request)
 		}
 		return a.Pattern < b.Pattern
 	})
-	writeJSON(w, http.StatusOK, map[string]any{
-		"year":      year,
-		"household": id,
-		"events":    events,
-	})
+	s.writeListJSON(w, http.StatusOK, []field{
+		{"year", year},
+		{"household", id},
+	}, "events", len(events), func(i int) any { return events[i] })
 }
 
 type timelineJSON struct {
@@ -447,9 +541,12 @@ func (s *Server) handleRecordLifecycle(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("no record %q in the %d census", id, year))
 		return
 	}
+	if notModified(w, r, s.seriesETag(r)) {
+		return
+	}
 	b, err := s.cache.bundle(r.Context())
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	tls := make([]timelineJSON, 0, 1)
@@ -457,13 +554,12 @@ func (s *Server) handleRecordLifecycle(w http.ResponseWriter, r *http.Request) {
 		tl := b.timelines[ti]
 		tls = append(tls, timelineJSON{Span: tl.Span(), Entries: tl.Entries})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"year":      year,
-		"record":    id,
-		"name":      rec.FullName(),
-		"household": rec.HouseholdID,
-		"timelines": tls,
-	})
+	s.writeListJSON(w, http.StatusOK, []field{
+		{"year", year},
+		{"record", id},
+		{"name", rec.FullName()},
+		{"household", rec.HouseholdID},
+	}, "timelines", len(tls), func(i int) any { return tls[i] })
 }
 
 // handleTimelines serves the per-person timelines of the whole series,
@@ -484,22 +580,23 @@ func (s *Server) handleTimelines(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
-	b, err := s.cache.bundle(r.Context())
-	if err != nil {
-		fail(w, err)
+	if notModified(w, r, s.seriesETag(r)) {
 		return
 	}
-	var kept []timelineJSON
+	b, err := s.cache.bundle(r.Context())
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	win := newWindow[timelineJSON](limit, offset)
 	for _, tl := range b.timelines {
 		if tl.Span() < minSpan {
 			continue // timelines are sorted by descending span, but keep scanning: cheap and simple
 		}
-		kept = append(kept, timelineJSON{Span: tl.Span(), Entries: tl.Entries})
+		win.add(timelineJSON{Span: tl.Span(), Entries: tl.Entries})
 	}
-	lo, hi, page := pageWindow(len(kept), limit, offset)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"min_span":  minSpan,
-		"page":      page,
-		"timelines": kept[lo:hi],
-	})
+	s.writeListJSON(w, http.StatusOK, []field{
+		{"min_span", minSpan},
+		{"page", win.pageDesc()},
+	}, "timelines", len(win.page), func(i int) any { return win.page[i] })
 }

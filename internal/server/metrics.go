@@ -5,19 +5,39 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"censuslink/internal/obs"
 )
 
-// requestCounters tracks per-endpoint request totals for /metrics.
+// requestCounters tracks per-endpoint request totals, per-status response
+// counts, shed decisions and latency histograms for /metrics.
 type requestCounters struct {
 	mu     sync.Mutex
 	counts map[string]int64
+	// status counts finished responses by endpoint and HTTP status code;
+	// statusClientClosedRequest entries double as the client_gone counter.
+	status map[string]map[int]int64
+	// shed counts rejected requests by endpoint and reason
+	// ("overload" | "rate_limit").
+	shedCounts map[string]map[string]int64
+	// latency holds one fixed-bucket histogram of response seconds per
+	// endpoint.
+	latency map[string]*obs.Histogram
+	// encodeErrors counts JSON items that failed to encode after the
+	// response header was committed (the connection is aborted instead of
+	// finishing a broken body under a 200).
+	encodeErrors atomic.Int64
 }
 
 func newRequestCounters() *requestCounters {
-	return &requestCounters{counts: make(map[string]int64)}
+	return &requestCounters{
+		counts:     make(map[string]int64),
+		status:     make(map[string]map[int]int64),
+		shedCounts: make(map[string]map[string]int64),
+		latency:    make(map[string]*obs.Histogram),
+	}
 }
 
 func (c *requestCounters) inc(endpoint string) {
@@ -26,7 +46,37 @@ func (c *requestCounters) inc(endpoint string) {
 	c.mu.Unlock()
 }
 
-// snapshot returns the endpoint names sorted with their counts.
+// observe records one finished response: its status code and latency.
+func (c *requestCounters) observe(endpoint string, status int, d time.Duration) {
+	c.mu.Lock()
+	byStatus := c.status[endpoint]
+	if byStatus == nil {
+		byStatus = make(map[int]int64)
+		c.status[endpoint] = byStatus
+	}
+	byStatus[status]++
+	h := c.latency[endpoint]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		c.latency[endpoint] = h
+	}
+	c.mu.Unlock()
+	h.ObserveDuration(d)
+}
+
+// shed records one rejected request and its reason.
+func (c *requestCounters) shed(endpoint, reason string) {
+	c.mu.Lock()
+	byReason := c.shedCounts[endpoint]
+	if byReason == nil {
+		byReason = make(map[string]int64)
+		c.shedCounts[endpoint] = byReason
+	}
+	byReason[reason]++
+	c.mu.Unlock()
+}
+
+// snapshot returns the endpoint names sorted with their request counts.
 func (c *requestCounters) snapshot() ([]string, map[string]int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -40,19 +90,89 @@ func (c *requestCounters) snapshot() ([]string, map[string]int64) {
 	return names, out
 }
 
-// counted wraps a handler with the request counter and in-flight gauge.
+// export copies the status, shed and latency state for rendering.
+func (c *requestCounters) export() (statuses map[string]map[int]int64, sheds map[string]map[string]int64, hists map[string]obs.HistogramSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	statuses = make(map[string]map[int]int64, len(c.status))
+	for e, m := range c.status {
+		cp := make(map[int]int64, len(m))
+		for code, v := range m {
+			cp[code] = v
+		}
+		statuses[e] = cp
+	}
+	sheds = make(map[string]map[string]int64, len(c.shedCounts))
+	for e, m := range c.shedCounts {
+		cp := make(map[string]int64, len(m))
+		for reason, v := range m {
+			cp[reason] = v
+		}
+		sheds[e] = cp
+	}
+	hists = make(map[string]obs.HistogramSnapshot, len(c.latency))
+	for e, h := range c.latency {
+		hists[e] = h.Snapshot()
+	}
+	return statuses, sheds, hists
+}
+
+// statusWriter captures the response status code for the per-endpoint
+// counters; a handler that never calls WriteHeader committed an implicit
+// 200 on first write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if !sw.wrote {
+		sw.status = http.StatusOK
+		sw.wrote = true
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so streamed responses keep
+// flushing through the wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// counted wraps a handler with the request counter, the in-flight gauge,
+// status capture and the per-endpoint latency histogram. The observation
+// runs in a defer so even a handler aborted mid-stream (http.ErrAbortHandler)
+// is counted.
 func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.inc(endpoint)
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		h(w, r)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			s.requests.observe(endpoint, sw.status, time.Since(start))
+		}()
+		h(sw, r)
 	}
 }
 
 // handleMetrics exports the pipeline's obs collector (counters, stage
-// timings, iteration count) plus the server's own request metrics in
-// Prometheus text exposition format.
+// timings, iteration count) plus the server's own request metrics —
+// per-endpoint totals, per-status response counts, shed counts, the
+// client-gone tally and latency histograms — in Prometheus text exposition
+// format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.WritePrometheus(w, s.stats.Report()); err != nil {
@@ -63,7 +183,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, n := range names {
 		fmt.Fprintf(w, "censuslink_http_requests_total{endpoint=%q} %d\n", n, counts[n])
 	}
+
+	statuses, sheds, hists := s.requests.export()
+
+	fmt.Fprintf(w, "# HELP censuslink_http_responses_total Finished responses per endpoint and status code.\n# TYPE censuslink_http_responses_total counter\n")
+	for _, e := range sortedKeys(statuses) {
+		codes := make([]int, 0, len(statuses[e]))
+		for code := range statuses[e] {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "censuslink_http_responses_total{endpoint=%q,code=\"%d\"} %d\n", e, code, statuses[e][code])
+		}
+	}
+	fmt.Fprintf(w, "# HELP censuslink_http_client_gone_total Requests whose client disconnected before the response.\n# TYPE censuslink_http_client_gone_total counter\n")
+	for _, e := range sortedKeys(statuses) {
+		if n := statuses[e][statusClientClosedRequest]; n > 0 {
+			fmt.Fprintf(w, "censuslink_http_client_gone_total{endpoint=%q} %d\n", e, n)
+		}
+	}
+	if len(sheds) > 0 {
+		fmt.Fprintf(w, "# HELP censuslink_http_shed_total Requests rejected by the load-shedding gates.\n# TYPE censuslink_http_shed_total counter\n")
+		for _, e := range sortedKeys(sheds) {
+			for _, reason := range sortedKeys(sheds[e]) {
+				fmt.Fprintf(w, "censuslink_http_shed_total{endpoint=%q,reason=%q} %d\n", e, reason, sheds[e][reason])
+			}
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Fprintf(w, "# HELP censuslink_http_request_seconds Response latency per endpoint.\n# TYPE censuslink_http_request_seconds histogram\n")
+		for _, e := range sortedKeys(hists) {
+			obs.WriteHistogram(w, "censuslink_http_request_seconds", fmt.Sprintf("endpoint=%q", e), hists[e])
+		}
+	}
+	fmt.Fprintf(w, "# HELP censuslink_http_encode_errors_total Response bodies aborted because an item failed to encode mid-stream.\n# TYPE censuslink_http_encode_errors_total counter\ncensuslink_http_encode_errors_total %d\n", s.requests.encodeErrors.Load())
 	fmt.Fprintf(w, "# HELP censuslink_http_in_flight HTTP requests currently being served.\n# TYPE censuslink_http_in_flight gauge\ncensuslink_http_in_flight %d\n", s.inflight.Load())
 	fmt.Fprintf(w, "# HELP censuslink_pairs_cached Year-pair linkage results resident in the cache.\n# TYPE censuslink_pairs_cached gauge\ncensuslink_pairs_cached %d\n", s.cache.cached())
 	fmt.Fprintf(w, "# HELP censuslink_uptime_seconds Seconds since the server started.\n# TYPE censuslink_uptime_seconds gauge\ncensuslink_uptime_seconds %g\n", time.Since(s.started).Seconds())
+}
+
+// sortedKeys returns a map's string keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -49,6 +49,20 @@ type Config struct {
 	// Stats receives pipeline counters and stage timings; a fresh collector
 	// is created when nil. The same collector feeds /metrics.
 	Stats *obs.Stats
+	// MaxInFlight bounds how many API requests may be in flight at once;
+	// excess requests are shed immediately with a 503 `overloaded` envelope
+	// and a Retry-After hint instead of queueing into collapse. <= 0 means
+	// no cap. /healthz and /metrics are exempt, so the server stays
+	// observable while shedding.
+	MaxInFlight int
+	// RateLimit caps each client's sustained request rate (requests per
+	// second, keyed by remote IP) with a token bucket of RateBurst
+	// capacity; a client over budget gets 429 `rate_limited` with
+	// Retry-After. <= 0 disables per-client limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity of RateLimit; values < 1 are
+	// clamped to 1.
+	RateBurst int
 	// Store, when non-nil, persists pair results across restarts
 	// (internal/store implements it). The cache warm-starts from it at
 	// construction — every pair whose (config fingerprint, dataset hashes)
@@ -79,6 +93,13 @@ type Server struct {
 
 	// sem bounds concurrent pair computations.
 	sem chan struct{}
+
+	// maxInFlight caps concurrently served API requests (apiInflight is
+	// the live count); limiter is the per-client token bucket (nil: no
+	// limiting).
+	maxInFlight int
+	apiInflight atomic.Int64
+	limiter     *tokenBuckets
 
 	// baseCtx parents every computation; abort cancels them all on
 	// shutdown.
@@ -123,14 +144,19 @@ func New(cfg Config) (*Server, error) {
 		linkFn:         fn,
 		computeTimeout: cfg.ComputeTimeout,
 		sem:            make(chan struct{}, maxc),
+		maxInFlight:    cfg.MaxInFlight,
+		limiter:        newTokenBuckets(cfg.RateLimit, cfg.RateBurst),
 		baseCtx:        baseCtx,
 		abort:          abort,
 		started:        time.Now(),
 		requests:       newRequestCounters(),
+		// The configuration fingerprint is half of every response's content
+		// address: the snapshot store keys by it, and the ETags of the
+		// immutable query endpoints hash it in.
+		cfgHash: cfg.Linkage.Fingerprint(),
 	}
 	if cfg.Store != nil {
 		s.store = cfg.Store
-		s.cfgHash = cfg.Linkage.Fingerprint()
 	}
 	s.cache = newPairCache(s)
 	s.cache.warmStart()
@@ -142,10 +168,12 @@ func New(cfg Config) (*Server, error) {
 
 // routes registers every endpoint. Query endpoints live under /v1/; the
 // historical unprefixed /api/ paths stay as aliases answering identically
-// but emitting a Deprecation header pointing at the successor. Handlers are
-// wrapped by counted, which feeds the per-endpoint request counters and the
-// in-flight gauge on /metrics; /healthz and /metrics are infrastructure,
-// not API, and stay unversioned.
+// but emitting a Deprecation header pointing at the successor. Query
+// handlers are wrapped by api — load shedding and per-client rate limits
+// ahead of the request counters, latency histograms and the in-flight
+// gauge on /metrics; /healthz and /metrics are infrastructure, not API:
+// they are counted but never shed, so the server stays observable under
+// overload.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
@@ -164,8 +192,8 @@ func (s *Server) routes() {
 		{"/timelines", "timelines", s.handleTimelines},
 	}
 	for _, e := range api {
-		s.mux.HandleFunc("GET /v1"+e.path, s.counted(e.name, e.h))
-		s.mux.HandleFunc("GET /api"+e.path, s.counted(e.name, deprecatedAlias(e.h)))
+		s.mux.HandleFunc("GET /v1"+e.path, s.api(e.name, e.h))
+		s.mux.HandleFunc("GET /api"+e.path, s.api(e.name, deprecatedAlias(e.h)))
 	}
 
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Load shedding: a server that accepts every request under overload serves
+// none of them well. Two gates run ahead of the query handlers — a bounded
+// in-flight cap that sheds excess concurrency with 503, and a per-client
+// token bucket that throttles any single chatty client with 429 — both
+// answering with the typed error envelope and a Retry-After hint, and both
+// exempting /healthz and /metrics so the server stays observable while it
+// sheds.
+
+// maxTrackedClients caps the rate limiter's client table; beyond it, idle
+// (fully refilled) buckets are evicted before new clients are admitted.
+const maxTrackedClients = 8192
+
+// tokenBuckets is a per-client token-bucket rate limiter. Each client key
+// (the request's remote IP) owns a bucket of `burst` tokens refilled at
+// `rate` tokens per second; a request spends one token or is rejected with
+// the time until the next token.
+type tokenBuckets struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBuckets builds a limiter; rate <= 0 disables limiting entirely
+// (nil limiter). burst < 1 is clamped to 1 so a conforming client can
+// always make progress.
+func newTokenBuckets(rate float64, burst int) *tokenBuckets {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBuckets{
+		rate:    rate,
+		burst:   b,
+		clients: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token of the client's bucket. When the bucket is empty
+// it reports false plus how long until a token is available.
+func (t *tokenBuckets) allow(key string) (ok bool, retryAfter time.Duration) {
+	if t == nil {
+		return true, 0
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.clients[key]
+	if b == nil {
+		if len(t.clients) >= maxTrackedClients {
+			t.evictIdleLocked()
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.clients[key] = b
+	} else {
+		b.tokens = math.Min(t.burst, b.tokens+t.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+}
+
+// evictIdleLocked drops every bucket that has fully refilled — a client
+// idle long enough to be indistinguishable from a new one. If every bucket
+// is active the table grows past the cap rather than punishing live
+// clients.
+func (t *tokenBuckets) evictIdleLocked() {
+	now := t.now()
+	for k, b := range t.clients {
+		if math.Min(t.burst, b.tokens+t.rate*now.Sub(b.last).Seconds()) >= t.burst {
+			delete(t.clients, k)
+		}
+	}
+}
+
+// clientKey identifies the requester for rate limiting: the remote IP
+// without the ephemeral port, so one client's many connections share one
+// bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterHeader renders a Retry-After value in whole seconds, at least 1
+// — a 0 would invite an immediate retry storm.
+func retryAfterHeader(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// api wraps a query handler with the two shedding gates ahead of the usual
+// accounting. Infrastructure endpoints use counted directly and are never
+// shed.
+func (s *Server) api(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.counted(endpoint, func(w http.ResponseWriter, r *http.Request) {
+		if ok, retry := s.limiter.allow(clientKey(r)); !ok {
+			s.requests.shed(endpoint, "rate_limit")
+			w.Header().Set("Retry-After", retryAfterHeader(retry))
+			apiError(w, http.StatusTooManyRequests, codeRateLimited,
+				"per-client rate limit exceeded, slow down")
+			return
+		}
+		if s.maxInFlight > 0 {
+			if n := s.apiInflight.Add(1); n > int64(s.maxInFlight) {
+				s.apiInflight.Add(-1)
+				s.requests.shed(endpoint, "overload")
+				w.Header().Set("Retry-After", "1")
+				apiError(w, http.StatusServiceUnavailable, codeOverloaded,
+					"server at capacity ("+strconv.Itoa(s.maxInFlight)+" requests in flight), retry later")
+				return
+			}
+			defer s.apiInflight.Add(-1)
+		}
+		h(w, r)
+	})
+}
