@@ -7,6 +7,15 @@
 //	linker -old census_1871.csv -new census_1881.csv \
 //	       [-method iterative|oneshot|cl|graphsim] \
 //	       [-records records.csv] [-groups groups.csv]
+//
+// Maintenance mode:
+//
+//	linker -store snapdir -store-verify
+//
+// verifies every snapshot in the directory (header, address, checksum,
+// payload), quarantines the corrupt ones, removes stale temp litter and
+// prints the typed summary — run it after a crash or before trusting a
+// replicated snapshot directory.
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -59,6 +69,7 @@ func main() {
 	engineFlag := flag.String("engine", "compiled", "comparison engine: compiled (interned values + similarity memo) or naive (interpreted oracle)")
 	storeDir := flag.String("store", "", "persist the linkage result as a content-addressed snapshot in this directory (iterative/oneshot only)")
 	incremental := flag.Bool("incremental", false, "with -store: serve a stored snapshot matching this input and configuration instead of recomputing")
+	storeVerify := flag.Bool("store-verify", false, "with -store: verify and repair the snapshot directory, print the summary and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -96,6 +107,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *writeConfig)
+		return
+	}
+	if *storeVerify {
+		if *storeDir == "" {
+			log.Fatal("-store-verify requires -store")
+		}
+		if err := storeVerifyRun(*storeDir, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *oldPath == "" || *newPath == "" {
@@ -276,6 +296,30 @@ func main() {
 // loadCensus reads a census CSV under the given load policy; the year is
 // parsed from the file name when not given explicitly. A lenient load that
 // skipped or repaired rows prints the data-quality summary to stderr.
+// storeVerifyRun is the -store-verify maintenance mode: heal the snapshot
+// directory and print the typed summary. Corrupt snapshots are a success
+// (found, quarantined, reported); only the directory itself failing is an
+// error.
+func storeVerifyRun(dir string, out io.Writer) error {
+	snaps, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	rep, err := snaps.Repair()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "store %s: %s\n", snaps.Dir(), rep.Summary())
+	for _, p := range rep.Problems {
+		suffix := ""
+		if p.Quarantined {
+			suffix = " (quarantined)"
+		}
+		fmt.Fprintf(out, "  %s: %s%s\n", p.File, p.Reason, suffix)
+	}
+	return nil
+}
+
 func loadCensus(path string, year int, opts census.LoadOptions) *census.Dataset {
 	if year == 0 {
 		m := regexp.MustCompile(`(1[89]\d\d)`).FindString(filepath.Base(path))

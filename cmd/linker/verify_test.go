@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+	"censuslink/internal/store"
+)
+
+// TestStoreVerifyRun seeds a snapshot directory with one good snapshot, one
+// bit-rotted one and temp litter, then runs the -store-verify mode: the
+// corrupt file must be quarantined with its reason printed, the good one
+// left serving, and a second pass must come back clean.
+func TestStoreVerifyRun(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, new := paperexample.Old(), paperexample.New()
+	cfg := linkage.DefaultConfig()
+	cfg.Workers = 1
+	res, err := linkage.LinkContext(context.Background(), old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveResult(cfg.Fingerprint(), old, new, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveResult("other-config", old, new, res); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-rot the second snapshot.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap_*.jsonl"))
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("snapshots = %v, %v", snaps, err)
+	}
+	var rotted string
+	for _, p := range snaps {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), `"config_hash":"other-config"`) {
+			data[len(data)/2] ^= 0x10
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rotted = filepath.Base(p)
+		}
+	}
+	if rotted == "" {
+		t.Fatal("could not locate the other-config snapshot to rot")
+	}
+
+	var out strings.Builder
+	if err := storeVerifyRun(dir, &out); err != nil {
+		t.Fatalf("storeVerifyRun: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "corrupt 1") || !strings.Contains(got, "ok 1") {
+		t.Errorf("summary does not report 1 corrupt / 1 ok:\n%s", got)
+	}
+	if !strings.Contains(got, rotted) || !strings.Contains(got, "(quarantined)") {
+		t.Errorf("problem listing missing %s or its quarantine mark:\n%s", rotted, got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, rotted+".corrupt")); err != nil {
+		t.Errorf("rotted snapshot not quarantined: %v", err)
+	}
+
+	// The good snapshot still loads; a second pass is clean apart from the
+	// quarantined corpse.
+	loaded, err := s.LoadResult(cfg.Fingerprint(), old, new)
+	if err != nil || loaded == nil {
+		t.Errorf("good snapshot lost: (%v, %v)", loaded, err)
+	}
+	out.Reset()
+	if err := storeVerifyRun(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "corrupt 0") {
+		t.Errorf("second pass still reports corruption:\n%s", out.String())
+	}
+}

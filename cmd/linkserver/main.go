@@ -14,7 +14,16 @@
 //	           [-max-inflight 256] [-rate-limit 50 -rate-burst 32] \
 //	           [-read-header-timeout 5s] [-read-timeout 60s] \
 //	           [-write-timeout 2m] [-idle-timeout 2m] \
-//	           [-stats report.json] [-lenient] [-max-bad-rows 100]
+//	           [-stats report.json] [-lenient] [-max-bad-rows 100] \
+//	           [-store snapdir -store-refresh 2s -store-retry 3]
+//
+// With -store, N linkservers may share one snapshot directory: each writes
+// the pairs it computes and adopts (every -store-refresh) those its
+// replicas wrote. A store that stops answering flips the server into
+// degraded mode — queries keep being served from cache and pipeline, the
+// censuslink_store_degraded gauge reads 1 and /healthz carries
+// "store":"degraded" — and recovery is automatic once the directory works
+// again.
 //
 // SIGINT/SIGTERM drains in-flight requests, cancels any running
 // computations and, with -stats, flushes the final pipeline report.
@@ -76,6 +85,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	rateBurst := fs.Int("rate-burst", 32, "per-client token-bucket burst capacity for -rate-limit")
 	statsOut := fs.String("stats", "", "write the final pipeline JSON report to this file on shutdown")
 	storeDir := fs.String("store", "", "warm-start the pair cache from snapshots in this directory and write computed pairs back")
+	storeRefresh := fs.Duration("store-refresh", 2*time.Second, "with -store: adopt snapshots other replicas write, every this often (0 = no refresh loop)")
+	storeRetry := fs.Int("store-retry", 0, "with -store: attempts per snapshot I/O operation on transient errors (0 = default)")
 	lenient := fs.Bool("lenient", false, "skip bad input rows instead of aborting")
 	maxBadRows := fs.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
 	if err := fs.Parse(args); err != nil {
@@ -139,11 +150,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		RateBurst:      *rateBurst,
 	}
 	if *storeDir != "" {
-		snaps, err := store.Open(*storeDir)
+		snaps, err := store.OpenOptions(*storeDir, store.Options{Retry: store.RetryPolicy{Attempts: *storeRetry}})
 		if err != nil {
 			return err
 		}
 		srvCfg.Store = snaps
+		srvCfg.StoreRefresh = *storeRefresh
 	}
 	srv, err := server.New(srvCfg)
 	if err != nil {

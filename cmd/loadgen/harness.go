@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -54,6 +55,12 @@ type Options struct {
 	// SampleIDs bounds how many record/household IDs discovery samples per
 	// pair for the drill-down endpoints; <= 0 means 8.
 	SampleIDs int
+	// Retries is how many times one shed request (503 with the server's
+	// Retry-After hint) is retried before the response is final; each retry
+	// sleeps the hinted delay, jittered and capped at maxRetryDelay. <= 0
+	// disables retrying. Retries are counted in the summary, never hidden:
+	// the 503s still appear in the status counts and the Shed total.
+	Retries int
 	// Seed makes the per-worker request schedules reproducible.
 	Seed int64
 	// Client overrides the HTTP client (tests inject an httptest client);
@@ -66,6 +73,7 @@ type EndpointSummary struct {
 	Requests        int64            `json:"requests"`
 	Status          map[string]int64 `json:"status"`
 	TransportErrors int64            `json:"transport_errors"`
+	Retries         int64            `json:"retries"`
 	NotModified     int64            `json:"not_modified"`
 	P50Ms           float64          `json:"p50_ms"`
 	P95Ms           float64          `json:"p95_ms"`
@@ -88,10 +96,13 @@ type Summary struct {
 	MaxMs    float64 `json:"max_ms"`
 
 	// TransportErrors are requests that never produced a status line;
-	// ServerErrors are 5xx responses; Shed counts 429 + 503 rejections.
+	// ServerErrors are 5xx responses; Shed counts 429 + 503 rejections;
+	// Retries counts Retry-After-honoring re-issues of shed requests (each
+	// retry is also its own entry in Requests and the status counts).
 	TransportErrors int64 `json:"transport_errors"`
 	ServerErrors    int64 `json:"server_errors"`
 	Shed            int64 `json:"shed"`
+	Retries         int64 `json:"retries"`
 
 	// NotModified counts 304 responses across all endpoints;
 	// PairLinkNotModifiedRatio is 304s over all requests to the immutable
@@ -117,6 +128,7 @@ type endpointStats struct {
 	requests        int64
 	status          map[int]int64
 	transportErrors int64
+	retries         int64
 	latenciesMs     []float64
 }
 
@@ -308,7 +320,7 @@ func (h *Harness) Run(ctx context.Context) (*Summary, error) {
 			rng := rand.New(rand.NewSource(h.opts.Seed + int64(worker)))
 			for runCtx.Err() == nil {
 				tg := h.pick(rng)
-				h.do(runCtx, h.stats(stats, tg.endpoint), tg)
+				h.do(runCtx, rng, h.stats(stats, tg.endpoint), tg)
 			}
 		}(i)
 	}
@@ -382,15 +394,61 @@ func (h *Harness) pick(rng *rand.Rand) target {
 	panic("unreachable")
 }
 
-// do issues one request and records it. Requests cut off by the end of the
-// run window are not counted at all — they are an artifact of the harness
-// stopping, not of the server.
-func (h *Harness) do(ctx context.Context, es *endpointStats, tg target) {
+// maxRetryDelay caps one Retry-After-hinted backoff sleep, so a misbehaving
+// server cannot park a worker for the whole run window.
+const maxRetryDelay = 2 * time.Second
+
+// do issues one request and records it; a 503 shed response is retried up
+// to Options.Retries times, honoring the server's Retry-After hint with a
+// capped, jittered sleep. Every attempt (including retried ones) is its own
+// entry in the request and status counts — retries are counted, not hidden.
+func (h *Harness) do(ctx context.Context, rng *rand.Rand, es *endpointStats, tg target) {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter := h.doOnce(ctx, es, tg)
+		if status != http.StatusServiceUnavailable || attempt >= h.opts.Retries {
+			return
+		}
+		es.retries++
+		t := time.NewTimer(retryDelay(retryAfter, attempt, rng))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// retryDelay turns a 503's Retry-After hint into the backoff sleep: the
+// server's whole-second hint (or 100ms × 2^attempt when the header is
+// absent or unparsable) capped at maxRetryDelay, then jittered uniformly
+// over (delay/2, delay] so shed workers do not return in lockstep and
+// re-shed each other.
+func retryDelay(retryAfter string, attempt int, rng *rand.Rand) time.Duration {
+	var d time.Duration
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	} else {
+		d = (100 * time.Millisecond) << uint(attempt)
+	}
+	if d > maxRetryDelay {
+		d = maxRetryDelay
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// doOnce issues one attempt and records it. Requests cut off by the end of
+// the run window are not counted at all — they are an artifact of the
+// harness stopping, not of the server. It returns the response status (0
+// when no response arrived) and the Retry-After header for do's retry
+// decision.
+func (h *Harness) doOnce(ctx context.Context, es *endpointStats, tg target) (status int, retryAfter string) {
 	req, err := http.NewRequestWithContext(ctx, "GET", tg.url, nil)
 	if err != nil {
 		es.requests++
 		es.transportErrors++
-		return
+		return 0, ""
 	}
 	if h.opts.Conditional {
 		if et, ok := h.etags.Load(tg.url); ok {
@@ -401,23 +459,23 @@ func (h *Harness) do(ctx context.Context, es *endpointStats, tg target) {
 	resp, err := h.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return // run window closed mid-flight
+			return 0, "" // run window closed mid-flight
 		}
 		es.requests++
 		es.transportErrors++
-		return
+		return 0, ""
 	}
 	_, copyErr := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if copyErr != nil && ctx.Err() != nil {
-		return
+		return 0, ""
 	}
 	es.requests++
 	if copyErr != nil {
 		// A status line arrived but the body died (e.g. the server aborted a
 		// broken stream): a transport-level failure from the client's view.
 		es.transportErrors++
-		return
+		return 0, ""
 	}
 	es.latenciesMs = append(es.latenciesMs, float64(time.Since(start))/float64(time.Millisecond))
 	es.status[resp.StatusCode]++
@@ -426,6 +484,7 @@ func (h *Harness) do(ctx context.Context, es *endpointStats, tg target) {
 			h.etags.Store(tg.url, et)
 		}
 	}
+	return resp.StatusCode, resp.Header.Get("Retry-After")
 }
 
 // summarize merges the worker tallies into the run Summary.
@@ -443,6 +502,7 @@ func (h *Harness) summarize(perWorker []map[string]*endpointStats, elapsed time.
 			t := h.stats(merged, name)
 			t.requests += es.requests
 			t.transportErrors += es.transportErrors
+			t.retries += es.retries
 			t.latenciesMs = append(t.latenciesMs, es.latenciesMs...)
 			for code, n := range es.status {
 				t.status[code] += n
@@ -456,6 +516,7 @@ func (h *Harness) summarize(perWorker []map[string]*endpointStats, elapsed time.
 		eps := EndpointSummary{
 			Requests:        es.requests,
 			TransportErrors: es.transportErrors,
+			Retries:         es.retries,
 			Status:          make(map[string]int64, len(es.status)),
 			NotModified:     es.status[http.StatusNotModified],
 			P50Ms:           percentile(es.latenciesMs, 0.50),
@@ -474,6 +535,7 @@ func (h *Harness) summarize(perWorker []map[string]*endpointStats, elapsed time.
 		s.Endpoints[name] = eps
 		s.Requests += es.requests
 		s.TransportErrors += es.transportErrors
+		s.Retries += es.retries
 		s.NotModified += eps.NotModified
 		if pairLinkEndpoints[name] {
 			pairLinkRequests += es.requests

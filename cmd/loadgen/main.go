@@ -9,7 +9,13 @@
 //
 //	loadgen -url http://localhost:8199 [-c 8] [-duration 10s] \
 //	        [-mix records=4,groups=2,patterns=2,timelines=1,household_timeline=2,record_lifecycle=2,years=1] \
-//	        [-conditional] [-timeout 30s] [-seed 1] [-out BENCH_server.json]
+//	        [-conditional] [-timeout 30s] [-seed 1] [-retries 3] \
+//	        [-out BENCH_server.json]
+//
+// A request the server sheds with 503 is retried up to -retries times,
+// honoring the Retry-After hint with a capped, jittered backoff; retries
+// appear in the summary's retries counter while the shed 503s stay visible
+// in the status counts.
 //
 // The endpoint mix weights the /v1 query surface; discovery (one request to
 // /v1/years plus two sampled link pages) finds the concrete years, record
@@ -62,6 +68,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for the per-worker request schedules")
 	out := fs.String("out", "", "write the JSON summary to this file")
 	sampleIDs := fs.Int("sample-ids", 8, "record/household IDs sampled per pair for drill-down endpoints")
+	retries := fs.Int("retries", 3, "retries per shed (503) request, honoring the server's Retry-After (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +89,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Mix:         mix,
 		Conditional: *conditional,
 		SampleIDs:   *sampleIDs,
+		Retries:     *retries,
 		Seed:        *seed,
 	})
 	if err != nil {
@@ -136,8 +144,8 @@ func printSummary(w io.Writer, s *Summary) {
 	fmt.Fprintf(w, "%d requests in %.2fs: %.1f req/s\n", s.Requests, s.DurationSeconds, s.QPS)
 	fmt.Fprintf(w, "latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
 		s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs)
-	fmt.Fprintf(w, "errors: transport %d, 5xx %d; shed (429/503): %d\n",
-		s.TransportErrors, s.ServerErrors, s.Shed)
+	fmt.Fprintf(w, "errors: transport %d, 5xx %d; shed (429/503): %d; retries: %d\n",
+		s.TransportErrors, s.ServerErrors, s.Shed, s.Retries)
 	if s.Conditional {
 		fmt.Fprintf(w, "conditional: %d × 304 overall, pair-link revalidation ratio %.3f\n",
 			s.NotModified, s.PairLinkNotModifiedRatio)

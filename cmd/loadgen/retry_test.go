@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+	"censuslink/internal/server"
+)
+
+// TestRetryAfterHonored puts a shedding gate in front of a real server —
+// once armed it rejects every other /v1 request with 503 + Retry-After —
+// and runs the harness with retries on: the retries must be counted in the
+// summary, the shed 503s must stay visible, and retried requests must
+// eventually land 200s.
+func TestRetryAfterHonored(t *testing.T) {
+	cfg := linkage.DefaultConfig()
+	cfg.Workers = 1
+	srv, err := server.New(server.Config{
+		Series:  census.NewSeries(paperexample.Old(), paperexample.New()),
+		Linkage: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Abort)
+	var armed atomic.Bool
+	var nth atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if armed.Load() && strings.HasPrefix(r.URL.Path, "/v1/") && nth.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":{"code":"overloaded","message":"shed by test gate"}}`)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	h, err := NewHarness(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    600 * time.Millisecond,
+		Mix:         map[string]int{"records": 1},
+		Retries:     2,
+		Seed:        3,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+	s, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Retries == 0 {
+		t.Error("no retries counted despite 503s with Retry-After")
+	}
+	if s.Shed == 0 {
+		t.Error("shed 503s hidden from the summary by retrying")
+	}
+	rec := s.Endpoints["records"]
+	if rec.Status["503"] == 0 || rec.Status["200"] == 0 {
+		t.Errorf("records status counts = %v, want both 503s and eventual 200s", rec.Status)
+	}
+	if rec.Retries != s.Retries {
+		t.Errorf("endpoint retries %d != summary retries %d with a one-endpoint mix", rec.Retries, s.Retries)
+	}
+}
+
+// TestRetryDelay pins the backoff arithmetic: the server's hint is obeyed
+// and jittered within (hint/2, hint], capped at maxRetryDelay, and a
+// missing hint falls back to the exponential schedule.
+func TestRetryDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if d := retryDelay("1", 0, rng); d <= 500*time.Millisecond || d > time.Second {
+			t.Fatalf("retryDelay(\"1\") = %v, want in (500ms, 1s]", d)
+		}
+		if d := retryDelay("60", 0, rng); d <= maxRetryDelay/2 || d > maxRetryDelay {
+			t.Fatalf("retryDelay(\"60\") = %v, want capped into (%v, %v]", d, maxRetryDelay/2, maxRetryDelay)
+		}
+		if d := retryDelay("", 0, rng); d <= 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("retryDelay(no hint, attempt 0) = %v, want in (50ms, 100ms]", d)
+		}
+		if d := retryDelay("garbage", 2, rng); d <= 200*time.Millisecond || d > 400*time.Millisecond {
+			t.Fatalf("retryDelay(bad hint, attempt 2) = %v, want in (200ms, 400ms]", d)
+		}
+	}
+}

@@ -26,6 +26,12 @@ type flight struct {
 	// happens-before edge), so readers need no lock after <-done.
 	res *linkage.Result
 	err error
+
+	// persisted records whether this result is known to exist in the
+	// snapshot store (loaded from it, or written through successfully).
+	// Guarded by pairCache.mu; the recovery flush re-saves flights still
+	// false after a degraded spell.
+	persisted bool
 }
 
 // evoBundle is the series-wide evolution state derived from all pair
@@ -79,13 +85,20 @@ func (c *pairCache) warmStart() {
 	for i, pair := range c.s.series.Pairs() {
 		res, err := c.s.store.LoadResult(c.s.cfgHash, pair[0], pair[1])
 		switch {
-		case err != nil:
+		case err != nil && isCorruptSnapshot(err):
+			// A bad snapshot the store has quarantined (so the next replica
+			// start sees a clean miss, not this counter again): recompute.
 			c.s.stats.Add(obs.StoreCorrupt, 1)
+		case err != nil:
+			// The medium, not the file: feeds degraded-mode accounting.
+			c.s.health.fail()
 		case res == nil:
 			c.s.stats.Add(obs.StoreMisses, 1)
+			c.s.health.ok()
 		default:
 			c.s.stats.Add(obs.StoreHits, 1)
-			f := &flight{done: make(chan struct{}), cancel: func() {}, res: res}
+			c.s.health.ok()
+			f := &flight{done: make(chan struct{}), cancel: func() {}, res: res, persisted: true}
 			close(f.done)
 			c.pairs[i] = f
 		}
@@ -180,17 +193,29 @@ func (c *pairCache) compute(ctx context.Context, i int, f *flight) {
 		cfg.Obs = c.s.stats
 		var err error
 		res, err = c.s.linkFn(ctx, pair[0], pair[1], cfg)
-		if err == nil && c.s.store != nil {
-			// Write-through: persistence failures don't fail the request —
-			// the result is good — but they are counted.
-			if serr := c.s.store.SaveResult(c.s.cfgHash, pair[0], pair[1], res); serr != nil {
-				c.s.stats.Add("store_save_errors", 1)
-			}
-		}
 		return err
 	}()
+	persisted := false
+	if err == nil && c.s.store != nil {
+		pair := c.s.series.Pairs()[i]
+		// Write-through: persistence failures don't fail the request — the
+		// result is good — but they are counted and feed the degraded-mode
+		// state machine. While degraded the save is skipped outright (it
+		// would burn its retry budget in the request path); the recovery
+		// flush picks the flight up via persisted == false.
+		if c.s.health.isDegraded() {
+			// skip; flushUnpersisted will save it after recovery
+		} else if serr := c.s.store.SaveResult(c.s.cfgHash, pair[0], pair[1], res); serr != nil {
+			c.s.stats.Add(obs.StoreSaveErrors, 1)
+			c.s.health.fail()
+		} else {
+			persisted = true
+			c.s.health.ok()
+		}
+	}
 	c.mu.Lock()
 	f.res, f.err = res, err
+	f.persisted = persisted
 	if err != nil && c.pairs[i] == f {
 		c.pairs[i] = nil // failed flights are not cached; retry later
 	}

@@ -233,12 +233,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Years       []int  `json:"years"`
 		Pairs       int    `json:"pairs"`
 		PairsCached int    `json:"pairs_cached"`
+		// Store is "ok" or "degraded"; absent when no store is configured.
+		// A degraded store does NOT fail the health check — the server still
+		// answers every query from cache and pipeline — it is detail for
+		// operators and the chaos harness.
+		Store string `json:"store,omitempty"`
 	}
 	h := health{
 		Status:      "ok",
 		Years:       s.series.Years(),
 		Pairs:       len(s.series.Pairs()),
 		PairsCached: s.cache.cached(),
+	}
+	if s.store != nil {
+		h.Store = "ok"
+		if s.health.isDegraded() {
+			h.Store = "degraded"
+		}
 	}
 	status := http.StatusOK
 	if s.shuttingDown() {

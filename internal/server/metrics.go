@@ -220,6 +220,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP censuslink_http_encode_errors_total Response bodies aborted because an item failed to encode mid-stream.\n# TYPE censuslink_http_encode_errors_total counter\ncensuslink_http_encode_errors_total %d\n", s.requests.encodeErrors.Load())
 	fmt.Fprintf(w, "# HELP censuslink_http_in_flight HTTP requests currently being served.\n# TYPE censuslink_http_in_flight gauge\ncensuslink_http_in_flight %d\n", s.inflight.Load())
 	fmt.Fprintf(w, "# HELP censuslink_pairs_cached Year-pair linkage results resident in the cache.\n# TYPE censuslink_pairs_cached gauge\ncensuslink_pairs_cached %d\n", s.cache.cached())
+	if s.store != nil {
+		degraded := 0
+		if s.health.isDegraded() {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "# HELP censuslink_store_degraded Whether the snapshot store is in degraded mode (serving continues from cache).\n# TYPE censuslink_store_degraded gauge\ncensuslink_store_degraded %d\n", degraded)
+	}
 	fmt.Fprintf(w, "# HELP censuslink_uptime_seconds Seconds since the server started.\n# TYPE censuslink_uptime_seconds gauge\ncensuslink_uptime_seconds %g\n", time.Since(s.started).Seconds())
 }
 

@@ -70,7 +70,21 @@ type Config struct {
 	// and each freshly computed pair is written back. Hits, misses and
 	// rejected snapshots appear on /metrics as the store_hits, store_misses
 	// and store_corrupt counters.
+	//
+	// The store is an accelerator, never a dependency: when it misbehaves
+	// (storeDegradedAfter consecutive I/O failures) the server flips into
+	// degraded mode — every query keeps being answered from cache and
+	// pipeline, write-throughs pause, /healthz reports "degraded" and the
+	// censuslink_store_degraded gauge reads 1 — and recovers automatically
+	// once the store answers again, flushing results computed meanwhile.
 	Store linkage.ResultStore
+	// StoreRefresh, when > 0 and Store is set, runs a background loop every
+	// StoreRefresh interval that adopts snapshots other replicas of this
+	// series have written (so N stateless linkservers sharing one store
+	// directory serve each other's work without recomputing) and doubles as
+	// degraded mode's recovery probe, backing off while the store stays
+	// down. The loop stops when Abort is called.
+	StoreRefresh time.Duration
 
 	// linkFn substitutes the pipeline in tests; nil means
 	// linkage.LinkContext.
@@ -87,9 +101,11 @@ type Server struct {
 	computeTimeout time.Duration
 
 	// store persists pair results (nil: no persistence); cfgHash is the
-	// linkage configuration fingerprint all snapshot addresses share.
+	// linkage configuration fingerprint all snapshot addresses share;
+	// health is the store's degraded-mode state machine.
 	store   linkage.ResultStore
 	cfgHash string
+	health  *storeHealth
 
 	// sem bounds concurrent pair computations.
 	sem chan struct{}
@@ -158,8 +174,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store != nil {
 		s.store = cfg.Store
 	}
+	s.health = newStoreHealth(stats)
 	s.cache = newPairCache(s)
 	s.cache.warmStart()
+	if s.store != nil && cfg.StoreRefresh > 0 {
+		go s.cache.refreshLoop(s.baseCtx, cfg.StoreRefresh)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.handler = s.mux

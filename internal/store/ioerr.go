@@ -1,0 +1,145 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"syscall"
+	"time"
+)
+
+// IOError reports a snapshot-store operation that failed at the I/O layer —
+// the directory or file could not be read, written, synced, renamed or
+// locked. It is distinct from *CorruptError: a corrupt snapshot is a bad
+// file the store can quarantine and route around, while an IOError means
+// the medium itself misbehaved. Transient errors (interrupted syscalls,
+// temporary resource exhaustion, lock contention) are retried with bounded
+// exponential backoff before one is ever returned; what escapes is either
+// permanent or outlasted the retry budget.
+type IOError struct {
+	Op        string // "read", "write", "sync", "rename", "lock", "scan"
+	Path      string
+	Err       error
+	Transient bool
+}
+
+// Error renders the operation, path and cause.
+func (e *IOError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("store: %s %s: %s i/o error: %v", e.Op, e.Path, kind, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is and errors.As.
+func (e *IOError) Unwrap() error { return e.Err }
+
+// errLockBusy marks a lock held by a live writer: always worth retrying.
+var errLockBusy = errors.New("store: lock held by another writer")
+
+// transient reports whether an error is worth retrying: interrupted or
+// would-block syscalls, temporary descriptor/table exhaustion, and lock
+// contention. Permission errors, missing files, disk corruption (EIO) and
+// a full disk are permanent — retrying cannot fix them on the retry
+// budget's time scale.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, errLockBusy) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.EINTR, syscall.EAGAIN, syscall.EBUSY,
+		syscall.ENFILE, syscall.EMFILE, syscall.ETIMEDOUT,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// ioErr classifies err into an *IOError unless it already is one (retry
+// wrappers pass classified errors through unchanged).
+func ioErr(op, path string, err error) *IOError {
+	var ie *IOError
+	if errors.As(err, &ie) {
+		return ie
+	}
+	return &IOError{Op: op, Path: path, Err: err, Transient: transient(err)}
+}
+
+// RetryPolicy bounds the retries of transient I/O failures: up to Attempts
+// tries with full-jitter exponential backoff from Base to Max between them.
+type RetryPolicy struct {
+	Attempts int           // total tries; <= 0 means DefaultRetry.Attempts
+	Base     time.Duration // first backoff; <= 0 means DefaultRetry.Base
+	Max      time.Duration // backoff cap; <= 0 means DefaultRetry.Max
+}
+
+// DefaultRetry is the policy Open installs: three tries, 5ms–250ms backoff.
+var DefaultRetry = RetryPolicy{Attempts: 3, Base: 5 * time.Millisecond, Max: 250 * time.Millisecond}
+
+// normalized fills zero fields from DefaultRetry.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetry.Attempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetry.Base
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultRetry.Max
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry attempt (0-based): a
+// uniform draw from (0, Base*2^attempt] capped at Max. Full jitter
+// decorrelates a fleet of replicas retrying against the same directory.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base << uint(attempt)
+	if d <= 0 || d > p.Max {
+		d = p.Max
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// lockRetry is the acquisition schedule for the writer lock: far more
+// patient than the general I/O policy, because a busy lock is the normal
+// state under write contention, not a fault — a waiter should outwait a
+// healthy writer's few-millisecond hold, not give up on it.
+var lockRetry = RetryPolicy{Attempts: 12, Base: 2 * time.Millisecond, Max: 50 * time.Millisecond}
+
+// retry runs fn under the store's policy (see retryWith).
+func (s *Store) retry(op, path string, fn func() error) error {
+	return s.retryWith(s.opts.Retry.normalized(), op, path, fn)
+}
+
+// retryWith runs fn up to the policy's budget, sleeping a jittered backoff
+// after each transient failure. Permanent failures and exhausted budgets
+// return the classified error immediately; s.retries counts the sleeps.
+func (s *Store) retryWith(policy RetryPolicy, op, path string, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		ie := ioErr(op, path, err)
+		if !ie.Transient || attempt == policy.Attempts-1 {
+			return ie
+		}
+		s.retries.Add(1)
+		time.Sleep(policy.backoff(attempt))
+	}
+	return ioErr(op, path, err)
+}
+
+// isNotExist matches the raw and classified flavors of a missing file.
+func isNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist) || errors.Is(err, os.ErrNotExist)
+}

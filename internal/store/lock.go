@@ -1,0 +1,134 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"censuslink/internal/faultinject"
+)
+
+// The store's single-writer protocol: every mutation (Save, Repair's
+// quarantines) first takes the directory's lock file, created with
+// O_CREATE|O_EXCL so exactly one process in a replica fleet holds it at a
+// time. The lock carries its owner (pid, host, acquisition time) as JSON;
+// a waiter finding the file present backs off and retries, and takes over
+// a stale lock — owner dead on this host, or older than lockStaleAfter
+// (covering a kill -9 mid-write on any host) — by removing it and racing
+// for a fresh O_EXCL creation. The takeover race is benign: losing it
+// means another live writer owns the lock, which is exactly the state the
+// protocol wants, and even a misjudged removal never corrupts data because
+// every write is still an O_EXCL temp file plus atomic rename —
+// last-writer-wins with both versions complete.
+const (
+	lockFileName   = ".lock"
+	lockStaleAfter = 10 * time.Second
+)
+
+// lockOwner is the JSON body of a lock file.
+type lockOwner struct {
+	PID      int    `json:"pid"`
+	Host     string `json:"host"`
+	Acquired int64  `json:"acquired_unix_nano"`
+}
+
+// dirLock is one held acquisition; release with unlock.
+type dirLock struct {
+	path string
+}
+
+// lockPath returns the store's lock file path.
+func (s *Store) lockPath() string { return filepath.Join(s.dir, lockFileName) }
+
+// lock acquires the store's writer lock, retrying with the store's backoff
+// policy while a live writer holds it and taking over stale locks. The
+// faultinject point "store.lock.acquire" injects acquisition failures.
+func (s *Store) lock() (*dirLock, error) {
+	path := s.lockPath()
+	err := s.retryWith(lockRetry, "lock", path, func() error {
+		if err := faultinject.Hit("store.lock.acquire"); err != nil {
+			return err
+		}
+		return s.tryLock(path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &dirLock{path: path}, nil
+}
+
+// tryLock makes one acquisition attempt: O_EXCL creation, with stale-lock
+// takeover when the current holder is provably gone.
+func (s *Store) tryLock(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err == nil {
+		host, _ := os.Hostname()
+		body, _ := json.Marshal(lockOwner{PID: os.Getpid(), Host: host, Acquired: time.Now().UnixNano()})
+		_, werr := f.Write(body)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			os.Remove(path)
+			return werr
+		}
+		return nil
+	}
+	if !errors.Is(err, fs.ErrExist) {
+		return err
+	}
+	if lockIsStale(path) {
+		// Remove and loop back through retry for a fresh O_EXCL race.
+		os.Remove(path)
+	}
+	return errLockBusy
+}
+
+// lockIsStale reports whether the lock file at path belongs to a writer
+// that can no longer be holding it: its owner pid is dead on this host, or
+// the file (readable or not) is older than lockStaleAfter.
+func lockIsStale(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil {
+		// Already gone (the holder released, or another waiter took over):
+		// not ours to remove, just retry the creation.
+		return false
+	}
+	age := time.Since(fi.ModTime())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return age > lockStaleAfter
+	}
+	var owner lockOwner
+	if json.Unmarshal(data, &owner) != nil || owner.PID <= 0 {
+		// A half-written lock: its creator died between create and write
+		// (or it is foreign garbage). Give it the grace period.
+		return age > lockStaleAfter
+	}
+	host, _ := os.Hostname()
+	if owner.Host == host && !pidAlive(owner.PID) {
+		return true
+	}
+	return age > lockStaleAfter
+}
+
+// pidAlive reports whether a process with the pid exists on this host
+// (signal 0 probes without delivering; EPERM still proves existence).
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// unlock releases the lock. Failing to remove is not fatal — the stale
+// takeover reclaims an orphaned lock — but it is reported for counting.
+func (l *dirLock) unlock() error {
+	if err := os.Remove(l.path); err != nil && !isNotExist(err) {
+		return fmt.Errorf("store: release lock: %w", err)
+	}
+	return nil
+}

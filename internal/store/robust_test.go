@@ -1,0 +1,462 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"censuslink/internal/faultinject"
+	"censuslink/internal/linkage"
+	"censuslink/internal/paperexample"
+)
+
+// altResult returns a second, distinct-but-valid result for the same pair,
+// so overwrite tests can tell which version a Load observed. Perturbing a
+// similarity keeps RecordLinks and Sources aligned, so the mutation
+// round-trips the codec losslessly.
+func altResult(res *linkage.Result) *linkage.Result {
+	alt := *res
+	alt.RecordLinks = append([]linkage.RecordLink(nil), res.RecordLinks...)
+	alt.RecordLinks[0].Sim /= 2
+	return &alt
+}
+
+// TestSaveFsyncFailureNeverExposesHalfSnapshot is the durability regression
+// test: a Save whose fsync fails must error out without making any partial
+// state visible — a previous snapshot stays loadable bit for bit, and an
+// empty slot stays a clean miss. (Regression: Save used to rename without
+// any fsync, so a crash could publish a snapshot whose bytes never reached
+// the disk.)
+func TestSaveFsyncFailureNeverExposesHalfSnapshot(t *testing.T) {
+	if !faultinject.Enabled {
+		t.Skip("fault injection compiled out")
+	}
+	old, new, cfgHash, res := linkedPair(t)
+	key := Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()}
+
+	for _, hook := range []string{"store.save.partialwrite", "store.save.fsync", "store.save.rename"} {
+		t.Run(hook, func(t *testing.T) {
+			t.Cleanup(faultinject.Reset)
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Empty slot: the failed Save must leave a clean miss and no litter.
+			injected := fmt.Errorf("injected %s failure", hook)
+			faultinject.Set(hook, func() error { return injected })
+			if err := s.Save(key, old.Year, new.Year, res); !errors.Is(err, injected) {
+				t.Fatalf("Save with %s armed: err = %v, want wrapped injected error", hook, err)
+			}
+			if _, err := s.Load(key); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load after failed first Save: err = %v, want ErrNotFound", err)
+			}
+
+			// Occupied slot: the old snapshot must survive untouched.
+			faultinject.Reset()
+			if err := s.Save(key, old.Year, new.Year, res); err != nil {
+				t.Fatal(err)
+			}
+			faultinject.Set(hook, func() error { return injected })
+			if err := s.Save(key, old.Year, new.Year, altResult(res)); !errors.Is(err, injected) {
+				t.Fatalf("overwrite Save with %s armed: err = %v", hook, err)
+			}
+			got, err := s.Load(key)
+			if err != nil {
+				t.Fatalf("Load after failed overwrite: %v", err)
+			}
+			if !reflect.DeepEqual(got, res) {
+				t.Error("failed overwrite exposed new or torn bytes instead of the old snapshot")
+			}
+			entries, err := os.ReadDir(s.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasPrefix(e.Name(), tmpPrefix) {
+					t.Errorf("temp litter %s left behind by failed Save", e.Name())
+				}
+				if e.Name() == lockFileName {
+					t.Errorf("writer lock %s left held by failed Save", e.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestTransientFaultsAreRetried: a transient failure on the read path and
+// on lock acquisition must be absorbed by the backoff-retry layer, with the
+// retry counted.
+func TestTransientFaultsAreRetried(t *testing.T) {
+	if !faultinject.Enabled {
+		t.Skip("fault injection compiled out")
+	}
+	t.Cleanup(faultinject.Reset)
+	old, new, cfgHash, res := linkedPair(t)
+	key := Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Set("store.lock.acquire", faultinject.FailOnCall(1, syscall.EAGAIN))
+	if err := s.Save(key, old.Year, new.Year, res); err != nil {
+		t.Fatalf("Save with one transient lock failure: %v", err)
+	}
+	faultinject.Set("store.load.read", faultinject.FailOnCall(1, syscall.EINTR))
+	got, err := s.Load(key)
+	if err != nil || !reflect.DeepEqual(got, res) {
+		t.Fatalf("Load with one transient read failure: %v", err)
+	}
+	if s.Retries() < 2 {
+		t.Errorf("Retries() = %d, want >= 2 (one per absorbed transient fault)", s.Retries())
+	}
+}
+
+// TestPermanentFaultFailsFast: a permanent I/O error is classified, not
+// retried — the hook fires exactly once and the caller gets a typed
+// *IOError.
+func TestPermanentFaultFailsFast(t *testing.T) {
+	if !faultinject.Enabled {
+		t.Skip("fault injection compiled out")
+	}
+	t.Cleanup(faultinject.Reset)
+	old, new, cfgHash, _ := linkedPair(t)
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	faultinject.Set("store.load.read", func() error {
+		calls++
+		return syscall.EACCES
+	})
+	_, err = s.Load(Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()})
+	var ie *IOError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Load under EACCES: err = %v, want *IOError", err)
+	}
+	if ie.Transient {
+		t.Error("EACCES classified transient")
+	}
+	if calls != 1 {
+		t.Errorf("permanent failure retried: %d read attempts, want 1", calls)
+	}
+}
+
+// TestConcurrentWritersSameKey: many goroutines racing Save on one address
+// must serialize through the lock file, leave exactly one loadable snapshot
+// (deep-equal to one of the written versions — last writer wins) and no
+// temp or lock litter. Run under -race this also proves the in-process
+// paths are data-race free.
+func TestConcurrentWritersSameKey(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	key := Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()}
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := altResult(res)
+	versions := []*linkage.Result{res, alt}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := s.Save(key, old.Year, new.Year, versions[w]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	got, err := s.Load(key)
+	if err != nil {
+		t.Fatalf("Load after racing writers: %v", err)
+	}
+	if !reflect.DeepEqual(got, res) && !reflect.DeepEqual(got, alt) {
+		t.Error("surviving snapshot matches neither written version")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("store dir holds %v, want exactly the one snapshot", names)
+	}
+}
+
+// TestHelperProcessSave is not a test: it is the body of the second process
+// of TestConcurrentWritersTwoProcesses, re-executed from the test binary.
+func TestHelperProcessSave(t *testing.T) {
+	if os.Getenv("CENSUSLINK_STORE_SAVE_HELPER") != "1" {
+		t.Skip("helper process body")
+	}
+	dir := os.Getenv("CENSUSLINK_STORE_SAVE_DIR")
+	old, new := paperexample.Old(), paperexample.New()
+	cfg := linkage.DefaultConfig()
+	cfg.Workers = 1
+	res, err := linkage.LinkContext(context.Background(), old, new, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.SaveResult(cfg.Fingerprint(), old, new, res); err != nil {
+			t.Fatalf("helper save %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentWritersTwoProcesses races Save against a second OS process
+// (the re-executed test binary), so the lock file protocol — not Go mutex
+// luck — is what keeps the writes from interleaving. Afterwards the
+// snapshot must load deep-equal to the computed result.
+func TestConcurrentWritersTwoProcesses(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperProcessSave$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"CENSUSLINK_STORE_SAVE_HELPER=1",
+		"CENSUSLINK_STORE_SAVE_DIR="+dir)
+	out, errOut := &strings.Builder{}, &strings.Builder{}
+	cmd.Stdout, cmd.Stderr = out, errOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.SaveResult(cfgHash, old, new, res); err != nil {
+			t.Errorf("parent save %d: %v", i, err)
+			break
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper process failed: %v\nstdout:\n%s\nstderr:\n%s", err, out, errOut)
+	}
+	got, err := s.LoadResult(cfgHash, old, new)
+	if err != nil || got == nil {
+		t.Fatalf("LoadResult after two-process race: (%v, %v)", got, err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Error("two-process race left a snapshot that matches neither writer")
+	}
+	l, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.TempFiles) != 0 || len(l.Skipped) != 0 || len(l.Quarantined) != 0 {
+		t.Errorf("two-process race left litter: %+v", l)
+	}
+}
+
+// TestLockStaleTakeover: locks orphaned by a dead writer — a dead pid on
+// this host, or any lock older than the staleness window — must be taken
+// over instead of deadlocking every future Save.
+func TestLockStaleTakeover(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	key := Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()}
+
+	t.Run("dead pid", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, _ := os.Hostname()
+		// A pid from far beyond pid_max: guaranteed not alive.
+		body, _ := json.Marshal(lockOwner{PID: 1 << 30, Host: host, Acquired: time.Now().UnixNano()})
+		if err := os.WriteFile(s.lockPath(), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Save(key, old.Year, new.Year, res); err != nil {
+			t.Fatalf("Save under a dead writer's lock: %v", err)
+		}
+	})
+
+	t.Run("aged half-written lock", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(s.lockPath(), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stale := time.Now().Add(-2 * lockStaleAfter)
+		if err := os.Chtimes(s.lockPath(), stale, stale); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Save(key, old.Year, new.Year, res); err != nil {
+			t.Fatalf("Save under an aged empty lock: %v", err)
+		}
+	})
+
+	t.Run("live lock blocks", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, _ := os.Hostname()
+		body, _ := json.Marshal(lockOwner{PID: os.Getpid(), Host: host, Acquired: time.Now().UnixNano()})
+		if err := os.WriteFile(s.lockPath(), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err = s.Save(key, old.Year, new.Year, res)
+		var ie *IOError
+		if !errors.As(err, &ie) || !ie.Transient {
+			t.Fatalf("Save under a live writer's fresh lock: err = %v, want transient *IOError", err)
+		}
+	})
+}
+
+// TestVerifyAndRepair: Verify reports every class of damage without
+// touching the directory; Repair quarantines the corrupt files, leaves
+// foreign formats alone, removes aged temp litter, and a second Verify
+// comes back clean apart from the quarantined corpses and the foreign
+// file.
+func TestVerifyAndRepair(t *testing.T) {
+	old, new, cfgHash, res := linkedPair(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two good snapshots under different configuration fingerprints.
+	if err := s.SaveResult(cfgHash, old, new, res); err != nil {
+		t.Fatal(err)
+	}
+	otherKey := Key{ConfigHash: "other-config", OldHash: old.ContentHash(), NewHash: new.ContentHash()}
+	if err := s.Save(otherKey, old.Year, new.Year, res); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-rot the second one.
+	rotPath := s.path(otherKey)
+	data, err := os.ReadFile(rotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(rotPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plant garbage under a snapshot name, a foreign-version snapshot and
+	// an aged temp file.
+	garbagePath := filepath.Join(dir, "snap_"+strings.Repeat("ab", 20)+".jsonl")
+	if err := os.WriteFile(garbagePath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreignKey := Key{ConfigHash: "foreign", OldHash: "x", NewHash: "y"}
+	if err := s.Save(foreignKey, old.Year, new.Year, res); err != nil {
+		t.Fatal(err)
+	}
+	foreignPath := s.path(foreignKey)
+	fdata, err := os.ReadFile(foreignPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdata = []byte(strings.Replace(string(fdata), `"version":1`, `"version":999`, 1))
+	if err := os.WriteFile(foreignPath, fdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmpPath := filepath.Join(dir, tmpPrefix+"dead-1")
+	if err := os.WriteFile(tmpPath, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	aged := time.Now().Add(-2 * tempGraceAge)
+	if err := os.Chtimes(tmpPath, aged, aged); err != nil {
+		t.Fatal(err)
+	}
+
+	verify, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verify.Checked != 4 || verify.OK != 1 || verify.Corrupt != 2 || verify.Foreign != 1 || verify.TempFiles != 1 {
+		t.Errorf("Verify = %s, want checked 4 / ok 1 / corrupt 2 / foreign 1 / temps 1", verify.Summary())
+	}
+	if verify.StaleTempsRemoved != 0 {
+		t.Error("Verify removed temp files; it must not modify anything")
+	}
+	if _, err := os.Stat(rotPath); err != nil {
+		t.Errorf("Verify quarantined a file: %v", err)
+	}
+
+	repair, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair.Corrupt != 2 || repair.StaleTempsRemoved != 1 {
+		t.Errorf("Repair = %s, want corrupt 2 with 1 stale temp removed", repair.Summary())
+	}
+	for _, p := range repair.Problems {
+		if p.Reason == "" {
+			t.Errorf("problem %q has no reason", p.File)
+		}
+	}
+	if _, err := os.Stat(rotPath + corruptSuffix); err != nil {
+		t.Errorf("bit-rotted snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(foreignPath); err != nil {
+		t.Errorf("foreign snapshot was touched: %v", err)
+	}
+	if _, err := os.Stat(tmpPath); !errors.Is(err, os.ErrNotExist) {
+		t.Error("aged temp litter survived Repair")
+	}
+
+	again, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Corrupt != 0 || again.OK != 1 || again.Foreign != 1 || again.AlreadyQuarantined != 2 || again.TempFiles != 0 {
+		t.Errorf("Verify after Repair = %s, want corrupt 0 / ok 1 / foreign 1 / quarantined-before 2", again.Summary())
+	}
+
+	// The good snapshot is still served; the quarantined one is a miss.
+	got, err := s.LoadResult(cfgHash, old, new)
+	if err != nil || got == nil {
+		t.Fatalf("good snapshot lost by Repair: (%v, %v)", got, err)
+	}
+	if _, err := s.Load(otherKey); !errors.Is(err, ErrNotFound) {
+		t.Errorf("quarantined snapshot still resolves: %v", err)
+	}
+
+	// List surfaces the same degradation diagnostically.
+	l, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Headers) != 2 || len(l.Quarantined) != 2 {
+		t.Errorf("List = %d headers, %d quarantined (want 2 and 2): %+v", len(l.Headers), len(l.Quarantined), l)
+	}
+}

@@ -12,9 +12,27 @@
 // three address hashes, the census years and a SHA-256 checksum of the
 // payload; line 2 is the payload — the serialized result. Corrupt,
 // truncated or version-mismatched snapshots are detected by the header and
-// checksum and rejected with a *CorruptError, never misread; callers count
-// the rejection and recompute. Writes go through a temp file and rename,
-// so a crashed writer leaves no half snapshot under the final name.
+// checksum and rejected with a *CorruptError, never misread.
+//
+// Durability and self-healing: the directory is the replication medium for
+// a fleet of stateless linkservers, so the store defends it in depth.
+// Writes go to an O_EXCL-named temp file that is fsynced before an atomic
+// rename, and the directory is fsynced after, so a crash at any instant
+// leaves either the old snapshot or the new one — never a half file under
+// the final name. Writers serialize through a lock file with stale-lock
+// takeover (see lock.go). A snapshot that fails its checksum or decode is
+// quarantined — renamed to <name>.corrupt with a reason sidecar — exactly
+// once, so a bad file is never re-parsed and never re-counted on later
+// warm starts; format- or version-mismatched files are rejected but left
+// in place, because they may belong to a replica running a newer build.
+// I/O failures are classified transient or permanent (*IOError) and
+// transient ones are retried with jittered exponential backoff. Verify and
+// Repair scan the whole directory and report a typed summary.
+//
+// Chaos testing: the CENSUSLINK_STORE_CHAOS_SLOW environment variable
+// (a time.Duration) stretches the window between a snapshot's payload
+// write and its rename, so a kill -9 harness can reliably land inside an
+// in-flight Save. It is read once at Open and costs nothing when unset.
 package store
 
 import (
@@ -24,13 +42,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"censuslink/internal/census"
+	"censuslink/internal/faultinject"
 	"censuslink/internal/linkage"
 )
 
@@ -42,17 +63,29 @@ const (
 	FormatVersion = 1
 )
 
+// corruptSuffix and reasonSuffix name a quarantined snapshot and its
+// reason sidecar; tmpPrefix names in-flight writes.
+const (
+	corruptSuffix = ".corrupt"
+	reasonSuffix  = ".reason"
+	tmpPrefix     = ".tmp-snap-"
+)
+
 // ErrNotFound reports that no snapshot exists for the requested key.
 var ErrNotFound = errors.New("store: snapshot not found")
 
 // CorruptError reports a snapshot that exists but cannot be trusted: a
 // damaged or truncated file, a checksum mismatch, a header for a different
 // format version, or a payload that does not decode. The caller should
-// recompute the pair and overwrite the snapshot.
+// recompute the pair and overwrite the snapshot. Quarantined reports
+// whether the store moved the bad file aside (to <name>.corrupt) as part
+// of rejecting it — when true, the next Load of the key is a clean
+// ErrNotFound, not a repeat rejection.
 type CorruptError struct {
-	Path   string
-	Reason string
-	Err    error // underlying parse/IO error, may be nil
+	Path        string
+	Reason      string
+	Err         error // underlying parse/IO error, may be nil
+	Quarantined bool
 }
 
 // Error renders the file and the rejection reason.
@@ -65,6 +98,12 @@ func (e *CorruptError) Error() string {
 
 // Unwrap exposes the underlying cause to errors.Is and errors.As.
 func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsCorruptSnapshot marks the error as a bad snapshot rather than a failing
+// medium, so callers holding only the linkage.ResultStore interface can
+// split corruption from I/O trouble via errors.As on the marker interface
+// without importing this package.
+func (e *CorruptError) IsCorruptSnapshot() bool { return true }
 
 // Key is the content address of one snapshot: the linkage configuration
 // fingerprint (linkage.Config.Fingerprint) and the content hashes of the
@@ -97,33 +136,93 @@ type Header struct {
 	CreatedUnix   int64  `json:"created_unix"`
 }
 
-// Store is a directory of snapshot files. Create with Open; it is safe for
-// concurrent use (writes are atomic renames, reads never see partial
-// files).
-type Store struct {
-	dir string
+// Options tunes a store beyond its directory.
+type Options struct {
+	// Retry bounds the retries of transient I/O failures; the zero value
+	// means DefaultRetry.
+	Retry RetryPolicy
 }
 
-// Open creates the directory if needed and returns the store.
-func Open(dir string) (*Store, error) {
+// Store is a directory of snapshot files shared by any number of reader
+// and writer processes. Create with Open; it is safe for concurrent use
+// (writes serialize on the lock file and land via atomic renames, reads
+// never see partial files).
+type Store struct {
+	dir  string
+	opts Options
+
+	// slowSave is the chaos-testing write-window stretch (package doc).
+	slowSave time.Duration
+
+	tmpSeq       atomic.Uint64 // per-process unique temp names
+	retries      atomic.Int64  // transient-failure backoff sleeps taken
+	nQuarantined atomic.Int64  // snapshots moved aside by this process
+}
+
+// Open creates the directory if needed and returns the store with default
+// options.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions is Open with explicit options.
+func OpenOptions(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, opts: opts}
+	if v := os.Getenv("CENSUSLINK_STORE_CHAOS_SLOW"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			s.slowSave = d
+		}
+	}
+	return s, nil
 }
 
 // Dir returns the backing directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Retries returns how many transient-I/O backoff sleeps this process has
+// taken against the store.
+func (s *Store) Retries() int64 { return s.retries.Load() }
+
+// Quarantined returns how many corrupt snapshots this process has moved
+// aside.
+func (s *Store) Quarantined() int64 { return s.nQuarantined.Load() }
+
 func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, "snap_"+k.addr()+".jsonl")
 }
 
-// Save writes the result for the key atomically (temp file + rename),
-// overwriting any previous snapshot at the same address.
+// Ping probes the directory's availability with one cheap read, retrying
+// transient failures. It is the health probe degraded-mode serving polls:
+// nil means the medium answers, an *IOError means it does not.
+func (s *Store) Ping() error {
+	return s.retry("scan", s.dir, func() error {
+		d, err := os.Open(s.dir)
+		if err != nil {
+			return err
+		}
+		_, rerr := d.Readdirnames(1)
+		cerr := d.Close()
+		if rerr == io.EOF {
+			rerr = nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+		return cerr
+	})
+}
+
+// Save writes the result for the key durably: the encoded snapshot goes to
+// a fresh O_EXCL temp file which is fsynced, atomically renamed over any
+// previous snapshot at the same address, and sealed with a directory
+// fsync. Writers serialize on the store's lock file; transient I/O
+// failures are retried under the store's policy. Faultinject points:
+// store.lock.acquire, store.save.partialwrite, store.save.fsync,
+// store.save.rename, store.save.dirsync.
 func (s *Store) Save(k Key, oldYear, newYear int, res *linkage.Result) error {
 	payload, err := json.Marshal(encodePayload(res))
 	if err != nil {
@@ -144,45 +243,106 @@ func (s *Store) Save(k Key, oldYear, newYear int, res *linkage.Result) error {
 	if err != nil {
 		return fmt.Errorf("store: encode header: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, ".tmp-snap-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	var buf bytes.Buffer
+	buf.Grow(len(hdr) + len(payload) + 2)
 	buf.Write(hdr)
 	buf.WriteByte('\n')
 	buf.Write(payload)
 	buf.WriteByte('\n')
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
+	final := s.path(k)
+	return s.retry("write", final, func() error { return s.saveOnce(final, buf.Bytes()) })
+}
+
+// saveOnce is one locked, durable write attempt.
+func (s *Store) saveOnce(final string, data []byte) error {
+	lk, err := s.lock()
+	if err != nil {
+		return err
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	defer lk.unlock()
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%d-%d", tmpPrefix, os.Getpid(), s.tmpSeq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
 	}
-	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
-		return fmt.Errorf("store: %w", err)
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := faultinject.Hit("store.save.partialwrite"); err != nil {
+		_, _ = f.Write(data[:len(data)/2])
+		f.Close()
+		return err
 	}
-	return nil
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if s.slowSave > 0 {
+		time.Sleep(s.slowSave) // chaos window: payload written, not yet durable
+	}
+	if err := faultinject.Hit("store.save.fsync"); err != nil {
+		f.Close()
+		return err
+	}
+	// fsync before the rename: without it the rename can become durable
+	// before the data, and a crash resurfaces as an empty or torn file
+	// under the final name.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("store.save.rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("store.save.dirsync"); err != nil {
+		return err
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory, making completed renames durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load reads, verifies and decodes the snapshot for the key. It returns
-// ErrNotFound when no file exists and a *CorruptError when the file cannot
-// be trusted (bad header, wrong format or version, checksum mismatch,
-// address mismatch, undecodable payload).
+// ErrNotFound when no file exists, an *IOError when the medium fails (after
+// transient retries), and a *CorruptError when the file cannot be trusted.
+// A file rejected for bad bytes — truncation, checksum mismatch, payload
+// that does not decode, wrong address — is quarantined as it is rejected;
+// a file for a different format or version is rejected but left alone.
 func (s *Store) Load(k Key) (*linkage.Result, error) {
 	path := s.path(k)
-	data, err := os.ReadFile(path)
+	var data []byte
+	err := s.retry("read", path, func() error {
+		if err := faultinject.Hit("store.load.read"); err != nil {
+			return err
+		}
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		return rerr
+	})
 	if err != nil {
-		if os.IsNotExist(err) {
+		if isNotExist(err) {
 			return nil, ErrNotFound
 		}
-		return nil, &CorruptError{Path: path, Reason: "unreadable", Err: err}
+		return nil, err
 	}
 	hdr, payload, cerr := split(path, data)
 	if cerr != nil {
-		return nil, cerr
+		return nil, s.quarantine(path, data, cerr)
 	}
 	if hdr.Format != FormatName {
 		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("unknown format %q", hdr.Format)}
@@ -194,8 +354,18 @@ func (s *Store) Load(k Key) (*linkage.Result, error) {
 	// The file name is a truncated digest of the key; the full hashes in the
 	// header are authoritative and must match what the caller asked for.
 	if hdr.ConfigHash != k.ConfigHash || hdr.OldHash != k.OldHash || hdr.NewHash != k.NewHash {
-		return nil, &CorruptError{Path: path, Reason: "header address does not match requested key"}
+		return nil, s.quarantine(path, data,
+			&CorruptError{Path: path, Reason: "header address does not match requested key"})
 	}
+	res, cerr := decodeChecked(path, hdr, payload)
+	if cerr != nil {
+		return nil, s.quarantine(path, data, cerr)
+	}
+	return res, nil
+}
+
+// decodeChecked verifies the payload checksum and decodes the result.
+func decodeChecked(path string, hdr *Header, payload []byte) (*linkage.Result, *CorruptError) {
 	sum := sha256.Sum256(payload)
 	if hex.EncodeToString(sum[:]) != hdr.PayloadSHA256 {
 		return nil, &CorruptError{Path: path, Reason: "payload checksum mismatch"}
@@ -211,6 +381,35 @@ func (s *Store) Load(k Key) (*linkage.Result, error) {
 		return nil, &CorruptError{Path: path, Reason: "invalid payload", Err: err}
 	}
 	return res, nil
+}
+
+// quarantine moves a snapshot judged corrupt out of the address space —
+// path becomes path.corrupt with a path.corrupt.reason sidecar — so it is
+// parsed, counted and rejected exactly once. The move happens under the
+// writer lock and only if the file still holds the judged bytes: a
+// concurrent writer may already have replaced it with a fresh snapshot,
+// which must not be swept aside. Failures to quarantine are not fatal; the
+// rejection stands either way.
+func (s *Store) quarantine(path string, judged []byte, cerr *CorruptError) *CorruptError {
+	lk, err := s.lock()
+	if err != nil {
+		return cerr
+	}
+	defer lk.unlock()
+	current, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(current, judged) {
+		return cerr // replaced or gone meanwhile: nothing to move
+	}
+	qpath := path + corruptSuffix
+	if err := os.Rename(path, qpath); err != nil {
+		return cerr
+	}
+	reason := fmt.Sprintf("reason: %s\nquarantined_unix: %d\n", cerr.Reason, time.Now().Unix())
+	_ = os.WriteFile(qpath+reasonSuffix, []byte(reason), 0o644)
+	_ = s.syncDir()
+	s.nQuarantined.Add(1)
+	cerr.Quarantined = true
+	return cerr
 }
 
 // split separates the header line from the payload bytes and parses the
@@ -233,8 +432,9 @@ func split(path string, data []byte) (*Header, []byte, *CorruptError) {
 }
 
 // LoadResult implements linkage.ResultStore: a missing snapshot is
-// (nil, nil), a rejected one (nil, *CorruptError). The dataset hashes are
-// computed (and cached) via census.Dataset.ContentHash.
+// (nil, nil), a rejected one (nil, *CorruptError), an unreachable medium
+// (nil, *IOError). The dataset hashes are computed (and cached) via
+// census.Dataset.ContentHash.
 func (s *Store) LoadResult(configHash string, oldDS, newDS *census.Dataset) (*linkage.Result, error) {
 	res, err := s.Load(Key{ConfigHash: configHash, OldHash: oldDS.ContentHash(), NewHash: newDS.ContentHash()})
 	if errors.Is(err, ErrNotFound) {
@@ -249,36 +449,69 @@ func (s *Store) SaveResult(configHash string, oldDS, newDS *census.Dataset, res 
 	return s.Save(k, oldDS.Year, newDS.Year, res)
 }
 
-// Snapshots lists the headers of every snapshot in the store, sorted by
-// (old year, new year, config hash) for stable output. Files that do not
-// parse are skipped — listing is diagnostic, not load-bearing.
-func (s *Store) Snapshots() ([]Header, error) {
-	entries, err := os.ReadDir(s.dir)
+// SkippedFile is one directory entry List could not present as a snapshot.
+type SkippedFile struct {
+	Name   string
+	Reason string
+}
+
+// Listing is the full diagnostic inventory of a store directory.
+type Listing struct {
+	// Headers are the parseable snapshot headers, sorted by (old year,
+	// new year, config hash).
+	Headers []Header
+	// Skipped are snapshot-named files whose header line could not be
+	// read or parsed (they would be quarantined on Load or Repair).
+	Skipped []SkippedFile
+	// Quarantined are the *.corrupt files already moved aside.
+	Quarantined []string
+	// TempFiles are in-flight or crash-orphaned .tmp-snap-* files.
+	TempFiles []string
+}
+
+// List inventories the directory: every parseable snapshot header plus the
+// files that are skipped — unreadable or unparsable snapshots, quarantined
+// corpses and temp litter — so callers can see degradation instead of
+// silently missing it.
+func (s *Store) List() (*Listing, error) {
+	var entries []os.DirEntry
+	err := s.retry("scan", s.dir, func() error {
+		var rerr error
+		entries, rerr = os.ReadDir(s.dir)
+		return rerr
+	})
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
-	var out []Header
+	l := &Listing{}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, "snap_") || !strings.HasSuffix(name, ".jsonl") {
+		switch {
+		case e.IsDir():
+			continue
+		case strings.HasPrefix(name, tmpPrefix):
+			l.TempFiles = append(l.TempFiles, name)
+			continue
+		case strings.HasSuffix(name, corruptSuffix):
+			l.Quarantined = append(l.Quarantined, name)
+			continue
+		case !strings.HasPrefix(name, "snap_") || !strings.HasSuffix(name, ".jsonl"):
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
+			l.Skipped = append(l.Skipped, SkippedFile{Name: name, Reason: "unreadable: " + err.Error()})
 			continue
 		}
-		nl := bytes.IndexByte(data, '\n')
-		if nl < 0 {
+		hdr, _, cerr := split(filepath.Join(s.dir, name), data)
+		if cerr != nil {
+			l.Skipped = append(l.Skipped, SkippedFile{Name: name, Reason: cerr.Reason})
 			continue
 		}
-		var hdr Header
-		if err := json.Unmarshal(data[:nl], &hdr); err != nil {
-			continue
-		}
-		out = append(out, hdr)
+		l.Headers = append(l.Headers, *hdr)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	sort.Slice(l.Headers, func(i, j int) bool {
+		a, b := l.Headers[i], l.Headers[j]
 		if a.OldYear != b.OldYear {
 			return a.OldYear < b.OldYear
 		}
@@ -287,5 +520,19 @@ func (s *Store) Snapshots() ([]Header, error) {
 		}
 		return a.ConfigHash < b.ConfigHash
 	})
-	return out, nil
+	sort.Strings(l.Quarantined)
+	sort.Strings(l.TempFiles)
+	sort.Slice(l.Skipped, func(i, j int) bool { return l.Skipped[i].Name < l.Skipped[j].Name })
+	return l, nil
+}
+
+// Snapshots lists the headers of every snapshot in the store, sorted by
+// (old year, new year, config hash) for stable output. Files that do not
+// parse are skipped here; List exposes them.
+func (s *Store) Snapshots() ([]Header, error) {
+	l, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	return l.Headers, nil
 }

@@ -115,17 +115,23 @@ func TestLoadMissing(t *testing.T) {
 // TestRejectsUntrustedSnapshots: every way a snapshot file can go bad —
 // truncation, bit rot, format drift, address mismatch, malformed payload —
 // must surface as a *CorruptError, never as a silently misread result, and
-// a fresh Save must recover the slot.
+// a fresh Save must recover the slot. Snapshots with bad bytes are
+// additionally quarantined on first rejection: the file moves to
+// <name>.corrupt with a reason sidecar, and the next lookup is a clean
+// miss rather than a repeat rejection. Foreign-format snapshots (another
+// build's format name or version) are rejected but never quarantined.
 func TestRejectsUntrustedSnapshots(t *testing.T) {
 	old, new, cfgHash, res := linkedPair(t)
 	key := Key{ConfigHash: cfgHash, OldHash: old.ContentHash(), NewHash: new.ContentHash()}
 
 	// rewrite re-frames the snapshot with a mutated header and/or payload;
 	// fixChecksum re-seals the header over the new payload so the test
-	// reaches the layer behind the checksum.
+	// reaches the layer behind the checksum. foreign marks the two
+	// mutations that must NOT be quarantined.
 	type mutation struct {
 		name        string
 		fixChecksum bool
+		foreign     bool
 		mutate      func(h *Header, payload []byte) (header *Header, newPayload []byte, raw []byte)
 	}
 	mutations := []mutation{
@@ -147,11 +153,11 @@ func TestRejectsUntrustedSnapshots(t *testing.T) {
 			p[len(p)/2] ^= 0x40
 			return h, p, nil
 		}},
-		{name: "future format version", fixChecksum: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+		{name: "future format version", fixChecksum: true, foreign: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
 			h.Version = FormatVersion + 1
 			return h, p, nil
 		}},
-		{name: "unknown format name", fixChecksum: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
+		{name: "unknown format name", fixChecksum: true, foreign: true, mutate: func(h *Header, p []byte) (*Header, []byte, []byte) {
 			h.Format = "someone-elses/format"
 			return h, p, nil
 		}},
@@ -210,11 +216,33 @@ func TestRejectsUntrustedSnapshots(t *testing.T) {
 			if !errors.As(err, &ce) {
 				t.Fatalf("Load after %q: err = %v, want *CorruptError", m.name, err)
 			}
-			if _, lerr := s.LoadResult(cfgHash, old, new); lerr == nil {
-				t.Errorf("LoadResult after %q returned no error", m.name)
+			if ce.Quarantined == m.foreign {
+				t.Errorf("Load after %q: Quarantined = %v, want %v", m.name, ce.Quarantined, !m.foreign)
+			}
+			if m.foreign {
+				// A foreign snapshot stays in place and keeps being rejected.
+				if _, lerr := s.LoadResult(cfgHash, old, new); lerr == nil {
+					t.Errorf("LoadResult after %q returned no error", m.name)
+				}
+			} else {
+				// Quarantined: the bad file moved aside with its reason, and
+				// the key now reads as a clean miss — no repeated rejection.
+				if _, err := os.Stat(path + ".corrupt"); err != nil {
+					t.Errorf("no quarantine file after %q: %v", m.name, err)
+				}
+				reason, err := os.ReadFile(path + ".corrupt.reason")
+				if err != nil || len(reason) == 0 {
+					t.Errorf("no quarantine reason sidecar after %q: %v", m.name, err)
+				}
+				if got, lerr := s.LoadResult(cfgHash, old, new); got != nil || lerr != nil {
+					t.Errorf("LoadResult after quarantine of %q = (%v, %v), want (nil, nil)", m.name, got, lerr)
+				}
+				if n := s.Quarantined(); n != 1 {
+					t.Errorf("Quarantined() = %d after %q, want 1", n, m.name)
+				}
 			}
 
-			// Recompute-and-overwrite restores the slot.
+			// Recompute-and-overwrite restores the slot either way.
 			if err := s.Save(key, old.Year, new.Year, res); err != nil {
 				t.Fatal(err)
 			}

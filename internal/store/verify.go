@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Problem is one file the verification pass could not accept as a trusted
+// snapshot.
+type Problem struct {
+	// File is the entry's name within the store directory.
+	File string `json:"file"`
+	// Reason is the human-readable rejection cause.
+	Reason string `json:"reason"`
+	// Quarantined reports whether a Repair pass moved the file aside.
+	Quarantined bool `json:"quarantined"`
+}
+
+// VerifyReport is the typed summary of one Verify or Repair pass over a
+// store directory.
+type VerifyReport struct {
+	// Checked counts the snapshot files examined.
+	Checked int `json:"checked"`
+	// OK counts snapshots whose header, checksum and payload all verified.
+	OK int `json:"ok"`
+	// Corrupt counts snapshots rejected for bad bytes; with Repair they
+	// are also quarantined.
+	Corrupt int `json:"corrupt"`
+	// Foreign counts snapshots in a different format or version — not this
+	// build's to judge, so never quarantined.
+	Foreign int `json:"foreign"`
+	// AlreadyQuarantined counts *.corrupt files found in the directory.
+	AlreadyQuarantined int `json:"already_quarantined"`
+	// TempFiles counts .tmp-snap-* litter; StaleTempsRemoved counts how
+	// many a Repair pass deleted (only temps past the grace age, so an
+	// in-flight writer is never raced).
+	TempFiles         int `json:"temp_files"`
+	StaleTempsRemoved int `json:"stale_temps_removed"`
+	// Problems details every non-OK snapshot file.
+	Problems []Problem `json:"problems,omitempty"`
+}
+
+// Clean reports whether the pass found nothing wrong.
+func (r *VerifyReport) Clean() bool {
+	return r.Corrupt == 0 && r.Foreign == 0 && r.AlreadyQuarantined == 0 && r.TempFiles == 0
+}
+
+// Summary renders the report as one human-readable line.
+func (r *VerifyReport) Summary() string {
+	return fmt.Sprintf("checked %d: ok %d, corrupt %d, foreign %d, quarantined-before %d, temps %d (removed %d)",
+		r.Checked, r.OK, r.Corrupt, r.Foreign, r.AlreadyQuarantined, r.TempFiles, r.StaleTempsRemoved)
+}
+
+// tempGraceAge is how old a temp file must be before Repair treats it as a
+// crashed writer's litter rather than an in-flight write.
+const tempGraceAge = time.Minute
+
+// Verify scans the directory and fully checks every snapshot — header
+// parse, format, address consistency with the file name, payload checksum
+// and decode — without modifying anything. The returned error is only a
+// directory-level I/O failure; per-file findings are in the report.
+func (s *Store) Verify() (*VerifyReport, error) { return s.scan(false) }
+
+// Repair is Verify plus the healing: snapshots rejected for bad bytes are
+// quarantined (renamed to <name>.corrupt with a reason sidecar) and stale
+// temp litter older than a minute is removed. Foreign-format snapshots are
+// reported but never touched. Repair takes the writer lock per quarantine,
+// so it is safe to run against a live replica fleet.
+func (s *Store) Repair() (*VerifyReport, error) { return s.scan(true) }
+
+// scan is the shared walk behind Verify and Repair.
+func (s *Store) scan(repair bool) (*VerifyReport, error) {
+	var entries []os.DirEntry
+	err := s.retry("scan", s.dir, func() error {
+		var rerr error
+		entries, rerr = os.ReadDir(s.dir)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{}
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(s.dir, name)
+		switch {
+		case e.IsDir():
+			continue
+		case strings.HasSuffix(name, corruptSuffix) || strings.HasSuffix(name, corruptSuffix+reasonSuffix):
+			if strings.HasSuffix(name, corruptSuffix) {
+				rep.AlreadyQuarantined++
+			}
+			continue
+		case strings.HasPrefix(name, tmpPrefix):
+			rep.TempFiles++
+			if repair {
+				if fi, err := e.Info(); err == nil && time.Since(fi.ModTime()) > tempGraceAge {
+					if os.Remove(path) == nil {
+						rep.StaleTempsRemoved++
+					}
+				}
+			}
+			continue
+		case name == lockFileName || !strings.HasPrefix(name, "snap_") || !strings.HasSuffix(name, ".jsonl"):
+			continue
+		}
+		rep.Checked++
+		s.checkSnapshot(rep, path, name, repair)
+	}
+	sort.Slice(rep.Problems, func(i, j int) bool { return rep.Problems[i].File < rep.Problems[j].File })
+	return rep, nil
+}
+
+// checkSnapshot fully verifies one snapshot file and records the finding.
+func (s *Store) checkSnapshot(rep *VerifyReport, path, name string, repair bool) {
+	bad := func(cerr *CorruptError, data []byte, quarantinable bool) {
+		if quarantinable {
+			rep.Corrupt++
+			if repair {
+				cerr = s.quarantine(path, data, cerr)
+			}
+		} else {
+			rep.Foreign++
+		}
+		rep.Problems = append(rep.Problems, Problem{File: name, Reason: cerr.Reason, Quarantined: cerr.Quarantined})
+	}
+	var data []byte
+	err := s.retry("read", path, func() error {
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		return rerr
+	})
+	if err != nil {
+		if isNotExist(err) {
+			rep.Checked-- // raced with a concurrent quarantine or supersede
+			return
+		}
+		rep.Problems = append(rep.Problems, Problem{File: name, Reason: "unreadable: " + err.Error()})
+		rep.Corrupt++
+		return
+	}
+	hdr, payload, cerr := split(path, data)
+	if cerr != nil {
+		bad(cerr, data, true)
+		return
+	}
+	if hdr.Format != FormatName {
+		bad(&CorruptError{Path: path, Reason: fmt.Sprintf("unknown format %q", hdr.Format)}, data, false)
+		return
+	}
+	if hdr.Version != FormatVersion {
+		bad(&CorruptError{Path: path,
+			Reason: fmt.Sprintf("format version %d, this build reads only %d", hdr.Version, FormatVersion)}, data, false)
+		return
+	}
+	// The file name must be the truncated digest of the header's own
+	// address — a mismatch means the bytes were copied or bit-flipped into
+	// the wrong slot and would answer the wrong key.
+	wantName := "snap_" + (Key{ConfigHash: hdr.ConfigHash, OldHash: hdr.OldHash, NewHash: hdr.NewHash}).addr() + ".jsonl"
+	if name != wantName {
+		bad(&CorruptError{Path: path, Reason: "file name does not match header address"}, data, true)
+		return
+	}
+	if _, cerr := decodeChecked(path, hdr, payload); cerr != nil {
+		bad(cerr, data, true)
+		return
+	}
+	rep.OK++
+}
