@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-regress store-golden chaos report fuzz fuzz-smoke clean
+.PHONY: all build test vet check bench bench-regress shard-smoke store-golden chaos report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ bench:
 bench-regress:
 	CENSUSLINK_BENCH_BASELINE=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
 	CENSUSLINK_SERVER_BENCH_BASELINE=$(CURDIR)/BENCH_server.json $(GO) test -count=1 -run TestServerBenchTrajectory -v ./cmd/loadgen
+
+# Sharded differential gate: the K-shard determinism tests under -race,
+# then a quarter-scale end-to-end run proving shards 1 and 8 produce
+# identical record links, group links and provenance.
+shard-smoke:
+	$(GO) test -count=1 -race -run 'TestShardDeterminism|TestPreMatchShardedDifferential|TestMatchRemainingSharded|TestPartitionCoversKeyedPairs' ./internal/linkage/
+	CENSUSLINK_SHARD_SMOKE=1 $(GO) test -count=1 -run TestShardSmoke -v .
 
 # Snapshot-store golden gate: format round trip, deterministic payloads,
 # corruption rejection, and the end-to-end incremental differential (a warm

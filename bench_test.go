@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
+	"censuslink/internal/census"
 	"censuslink/internal/evolution"
 	"censuslink/internal/experiments"
 	"censuslink/internal/linkage"
@@ -162,6 +164,26 @@ func BenchmarkLinkPair(b *testing.B) {
 // benchEngines lists the two comparison paths side by side.
 var benchEngines = []linkage.EngineKind{linkage.EngineNaive, linkage.EngineCompiled}
 
+// benchShards is the shard count of the sharded bench rows — wide enough to
+// exercise the partition/merge machinery, narrow enough that per-shard
+// compile overhead stays visible rather than dominant.
+const benchShards = 4
+
+// benchPreMatch runs one standalone pre-matching pass; with a background
+// context and no fault injection the error path is unreachable.
+func benchPreMatch(oldDS, newDS *census.Dataset, f linkage.SimFunc, cfg linkage.Config,
+	kind linkage.EngineKind, shards int) *linkage.PreMatchResult {
+	pre, err := linkage.PreMatchOpts(context.Background(), oldDS.Records(), newDS.Records(),
+		linkage.PreMatchOptions{
+			Sim: f, OldYear: oldDS.Year, NewYear: newDS.Year,
+			Strategies: cfg.Strategies, Workers: cfg.Workers, Engine: kind, Shards: shards,
+		})
+	if err != nil {
+		panic(err)
+	}
+	return pre
+}
+
 // BenchmarkPreMatch compares one full pre-matching pass at δ_high through
 // the interpreted and the compiled comparison engine. The compiled run pays
 // for interning, profile construction and the blocking index on every
@@ -177,8 +199,7 @@ func BenchmarkPreMatch(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				pre := linkage.PreMatchEngine(old.Records(), old.Year, new.Records(), new.Year,
-					f, cfg.Strategies, cfg.Workers, kind)
+				pre := benchPreMatch(old, new, f, cfg, kind, 0)
 				if pre.Compared == 0 {
 					b.Fatal("no candidate pairs compared")
 				}
@@ -279,14 +300,18 @@ func TestBenchTrajectory(t *testing.T) {
 	run := func(kind linkage.EngineKind) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				linkage.PreMatchEngine(old.Records(), old.Year, new.Records(), new.Year,
-					f, cfg.Strategies, cfg.Workers, kind)
+				benchPreMatch(old, new, f, cfg, kind, 0)
 			}
 		})
 	}
 	naive := run(linkage.EngineNaive)
 	compiled := run(linkage.EngineCompiled)
 	speedup := float64(naive.NsPerOp()) / float64(compiled.NsPerOp())
+	sharded := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchPreMatch(old, new, f, cfg, linkage.EngineCompiled, benchShards)
+		}
+	})
 
 	statsCfg := linkage.DefaultConfig()
 	statsCfg.Engine = linkage.EngineCompiled
@@ -299,15 +324,17 @@ func TestBenchTrajectory(t *testing.T) {
 	misses := rep.Counters[obs.SimCacheMisses]
 
 	report := map[string]any{
-		"benchmark":          "PreMatch",
-		"scale":              benchScale(),
-		"naive_ns_op":        naive.NsPerOp(),
-		"compiled_ns_op":     compiled.NsPerOp(),
-		"speedup":            speedup,
-		"sim_cache_hits":     hits,
-		"sim_cache_misses":   misses,
-		"sim_cache_hit_rate": float64(hits) / float64(hits+misses),
-		"pruned_comparisons": rep.Counters[obs.PrunedComparisons],
+		"benchmark":              "PreMatch",
+		"scale":                  benchScale(),
+		"naive_ns_op":            naive.NsPerOp(),
+		"compiled_ns_op":         compiled.NsPerOp(),
+		"prematch_sharded_ns_op": sharded.NsPerOp(),
+		"prematch_shards":        benchShards,
+		"speedup":                speedup,
+		"sim_cache_hits":         hits,
+		"sim_cache_misses":       misses,
+		"sim_cache_hit_rate":     float64(hits) / float64(hits+misses),
+		"pruned_comparisons":     rep.Counters[obs.PrunedComparisons],
 	}
 
 	// Incremental series rows: one cold pass per iteration (fresh store,
@@ -355,6 +382,19 @@ func TestBenchTrajectory(t *testing.T) {
 		cold.NsPerOp(), warm.NsPerOp(), incSpeedup)
 
 	if path != "" {
+		// Preserve the committed million-record rows (written separately by
+		// TestLink1M, which takes hours) when this rewrite did not re-measure
+		// them.
+		if prev, err := os.ReadFile(path); err == nil {
+			var old map[string]any
+			if json.Unmarshal(prev, &old) == nil {
+				for k, v := range old {
+					if _, fresh := report[k]; !fresh && strings.HasPrefix(k, "link_1m_") {
+						report[k] = v
+					}
+				}
+			}
+		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -363,8 +403,9 @@ func TestBenchTrajectory(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	t.Logf("prematch naive %v/op, compiled %v/op, speedup %.2fx, memo hit rate %.3f",
-		naive.NsPerOp(), compiled.NsPerOp(), speedup, float64(hits)/float64(hits+misses))
+	t.Logf("prematch naive %v/op, compiled %v/op (sharded x%d %v/op), speedup %.2fx, memo hit rate %.3f",
+		naive.NsPerOp(), compiled.NsPerOp(), benchShards, sharded.NsPerOp(),
+		speedup, float64(hits)/float64(hits+misses))
 	if speedup < 2 {
 		t.Errorf("compiled pre-matching speedup %.2fx below the 2x target", speedup)
 	}
@@ -384,6 +425,15 @@ func TestBenchTrajectory(t *testing.T) {
 			t.Errorf("compiled pre-matching regressed %.2fx vs the committed baseline (limit 2x): %d ns/op vs %d ns/op",
 				ratio, compiled.NsPerOp(), base.CompiledNsOp)
 		}
+		if base.ShardedNsOp > 0 {
+			sr := float64(sharded.NsPerOp()) / float64(base.ShardedNsOp)
+			t.Logf("sharded prematch vs baseline: %d ns/op now, %d ns/op then (%.2fx)",
+				sharded.NsPerOp(), base.ShardedNsOp, sr)
+			if sr > 2 {
+				t.Errorf("sharded pre-matching regressed %.2fx vs the committed baseline (limit 2x): %d ns/op vs %d ns/op",
+					sr, sharded.NsPerOp(), base.ShardedNsOp)
+			}
+		}
 	}
 }
 
@@ -392,6 +442,7 @@ func TestBenchTrajectory(t *testing.T) {
 type benchBaseline struct {
 	Scale        float64 `json:"scale"`
 	CompiledNsOp int64   `json:"compiled_ns_op"`
+	ShardedNsOp  int64   `json:"prematch_sharded_ns_op"`
 }
 
 func readBenchBaseline(path string) (*benchBaseline, error) {

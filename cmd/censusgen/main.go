@@ -26,12 +26,14 @@ func main() {
 	out := flag.String("out", ".", "output directory for census_<year>.csv files")
 	scale := flag.Float64("scale", 0.10, "population scale relative to the paper (1.0 = full size)")
 	seed := flag.Int64("seed", 1871, "random seed")
+	districts := flag.Int("districts", 1, "number of independently simulated districts to merge (multiplies the population; IDs gain a d<N>_ prefix)")
 	stats := flag.Bool("stats", true, "print the Table 1 overview of the generated series")
 	flag.Parse()
 
 	cfg := synth.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Districts = *districts
 	series, err := synth.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)

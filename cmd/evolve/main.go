@@ -39,6 +39,7 @@ func main() {
 	storeDir := flag.String("store", "", "persist per-pair linkage results as snapshots in this directory (write-through)")
 	incremental := flag.Bool("incremental", false, "with -store: skip year pairs whose snapshot already matches this input and configuration")
 	pairWorkers := flag.Int("pair-workers", 1, "link up to this many year pairs concurrently")
+	shards := flag.Int("shards", 0, "partition pre-matching and the remainder pass of each year pair into this many block-key shards, bounding peak memory (0 = unsharded; results are identical)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM and -timeout cancel the shared context; the series
@@ -82,6 +83,9 @@ func main() {
 
 	cfg := linkage.DefaultConfig()
 	cfg.Obs = stats
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
 	opts := linkage.SeriesOptions{Incremental: *incremental, PairWorkers: *pairWorkers}
 	if *storeDir != "" {
 		snaps, err := store.Open(*storeDir)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"time"
 
 	"censuslink/internal/block"
@@ -91,8 +93,14 @@ func run(args []string, stdout io.Writer) error {
 	printMembers(stdout, newDS, gNew)
 
 	sim := linkage.OmegaTwo(*delta)
-	pre := linkage.PreMatch(oldDS.Records(), oldDS.Year, newDS.Records(), newDS.Year,
-		sim, block.DefaultStrategies(), 0)
+	pre, err := linkage.PreMatchOpts(context.Background(), oldDS.Records(), newDS.Records(),
+		linkage.PreMatchOptions{
+			Sim: sim, OldYear: oldDS.Year, NewYear: newDS.Year,
+			Strategies: block.DefaultStrategies(),
+		})
+	if err != nil {
+		return err
+	}
 	cfg := linkage.MatchConfig{
 		AgeTolerance: *ageTol,
 		YearGap:      newDS.Year - oldDS.Year,
@@ -224,7 +232,27 @@ func renderStats(path string, w io.Writer) error {
 	}
 	ct.AddRow("elapsed", r.ElapsedNS.Round(time.Millisecond).String())
 	fmt.Fprintln(w)
-	return ct.Render(w)
+	if err := ct.Render(w); err != nil {
+		return err
+	}
+
+	if len(r.Gauges) == 0 {
+		return nil
+	}
+	gt := &report.Table{
+		Title:  "Gauges",
+		Header: []string{"gauge", "value"},
+	}
+	for _, name := range r.GaugeNames() {
+		v := r.Gauges[name]
+		row := report.I(int(v))
+		if strings.HasSuffix(name, "_bytes") {
+			row = fmt.Sprintf("%d (%d MB)", v, v>>20)
+		}
+		gt.AddRow(name, row)
+	}
+	fmt.Fprintln(w)
+	return gt.Render(w)
 }
 
 func name(r *census.Record) string {

@@ -67,6 +67,7 @@ func main() {
 	maxBadRows := flag.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
 	panicPolicy := flag.String("panic-policy", "fail-fast", "worker panic policy: fail-fast or skip")
 	engineFlag := flag.String("engine", "compiled", "comparison engine: compiled (interned values + similarity memo) or naive (interpreted oracle)")
+	shards := flag.Int("shards", 0, "partition pre-matching and the remainder pass into this many block-key shards with transient per-shard state, bounding peak memory (0 = unsharded; results are identical)")
 	storeDir := flag.String("store", "", "persist the linkage result as a content-addressed snapshot in this directory (iterative/oneshot only)")
 	incremental := flag.Bool("incremental", false, "with -store: serve a stored snapshot matching this input and configuration instead of recomputing")
 	storeVerify := flag.Bool("store-verify", false, "with -store: verify and repair the snapshot directory, print the summary and exit")
@@ -179,6 +180,9 @@ func main() {
 		}
 		if *configPath == "" || engineSet {
 			cfg.Engine = engine
+		}
+		if *shards > 0 {
+			cfg.Shards = *shards
 		}
 		if *method == "oneshot" {
 			cfg.DeltaHigh, cfg.DeltaStep = cfg.DeltaLow, 0

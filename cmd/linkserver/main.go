@@ -72,6 +72,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "localhost:8199", "HTTP listen address")
 	eager := fs.Bool("eager", false, "compute all year pairs and the evolution graph at startup")
 	engineFlag := fs.String("engine", "compiled", "comparison engine: compiled or naive")
+	shards := fs.Int("shards", 0, "partition pre-matching and the remainder pass into this many block-key shards, bounding peak memory per computation (0 = unsharded; results and snapshots are identical)")
 	configPath := fs.String("config", "", "load the linkage configuration from this JSON file")
 	computeTimeout := fs.Duration("compute-timeout", 0, "cap one year-pair computation (0 = no cap)")
 	maxConcurrent := fs.Int("max-concurrent", 2, "year-pair computations allowed to run at once")
@@ -124,6 +125,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 		cfg.Engine = engine
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
 	}
 
 	series, reports, err := census.ReadSeriesDirOptions(*dir,

@@ -14,6 +14,7 @@
 package graphsim
 
 import (
+	"context"
 	"sort"
 
 	"censuslink/internal/block"
@@ -64,10 +65,16 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) *Result {
 	gap := newDS.Year - oldDS.Year
 	matchCfg := linkage.MatchConfig{AgeTolerance: cfg.AgeTolerance, YearGap: gap}
 
-	// Step 1: one-shot, highly selective 1:1 record mapping.
-	records := linkage.MatchRemaining(oldDS.Records(), oldDS.Year,
-		newDS.Records(), newDS.Year,
-		cfg.Sim.WithDelta(cfg.RecordThreshold), matchCfg, cfg.Strategies)
+	// Step 1: one-shot, highly selective 1:1 record mapping. With a
+	// background context the pass cannot fail.
+	records, _ := linkage.MatchRemaining(context.Background(),
+		oldDS.Records(), newDS.Records(), linkage.RemainderOptions{
+			Sim:        cfg.Sim.WithDelta(cfg.RecordThreshold),
+			OldYear:    oldDS.Year,
+			NewYear:    newDS.Year,
+			Match:      matchCfg,
+			Strategies: cfg.Strategies,
+		})
 
 	// Step 2: household similarities over the fixed record mapping.
 	oldGraphs := hgraph.BuildAll(oldDS)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"censuslink/internal/baseline/collective"
@@ -80,8 +81,14 @@ func (e *Env) ReductionRatio() *report.Table {
 		Header: []string{"strategy", "pairs", "reduction"},
 	}
 	cfg := e.baseConfig()
-	pre := linkage.PreMatch(old.Records(), old.Year, new.Records(), new.Year,
-		cfg.Sim.WithDelta(cfg.DeltaHigh), cfg.Strategies, cfg.Workers)
+	pre, err := linkage.PreMatchOpts(context.Background(), old.Records(), new.Records(),
+		linkage.PreMatchOptions{
+			Sim: cfg.Sim.WithDelta(cfg.DeltaHigh), OldYear: old.Year, NewYear: new.Year,
+			Strategies: cfg.Strategies, Workers: cfg.Workers,
+		})
+	if err != nil { // background context, no faults: cannot happen
+		panic(err)
+	}
 	t.AddRow("default multi-pass", report.I(pre.Compared),
 		report.Pct(1-float64(pre.Compared)/total)+"%")
 	t.AddRow("cross product", report.I(int(total)), "0.0%")

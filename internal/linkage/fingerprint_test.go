@@ -53,6 +53,7 @@ func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
 	base := DefaultConfig().Fingerprint()
 	mutations := map[string]func(*Config){
 		"workers": func(c *Config) { c.Workers = 7 },
+		"shards":  func(c *Config) { c.Shards = 8 },
 		"engine":  func(c *Config) { c.Engine = EngineNaive },
 		"panics":  func(c *Config) { c.Panics = PanicSkip },
 		"obs":     func(c *Config) { c.Obs = obs.NewStats(nil) },

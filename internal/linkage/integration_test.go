@@ -4,6 +4,7 @@ package linkage_test
 // census pairs, checked against ground truth and its own invariants.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -58,8 +59,14 @@ func TestPipelineQualityFloor(t *testing.T) {
 func TestPipelineRecallBeatsStrictMatcher(t *testing.T) {
 	old, new, res := linkedPair(t)
 	cfg := linkage.DefaultConfig()
-	strict := linkage.MatchRemaining(old.Records(), old.Year, new.Records(), new.Year,
-		cfg.Sim.WithDelta(0.9), linkage.MatchConfig{AgeTolerance: 3, YearGap: 10}, cfg.Strategies)
+	strict, err := linkage.MatchRemaining(context.Background(), old.Records(), new.Records(),
+		linkage.RemainderOptions{
+			Sim: cfg.Sim.WithDelta(0.9), OldYear: old.Year, NewYear: new.Year,
+			Match: linkage.MatchConfig{AgeTolerance: 3, YearGap: 10}, Strategies: cfg.Strategies,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	truth := evaluate.TrueRecordMapping(old, new)
 	full := evaluate.RecordMetrics(res.RecordLinks, truth)
 	flat := evaluate.RecordMetrics(strict, truth)

@@ -40,7 +40,18 @@ type Config struct {
 	// Strategies is the blocking configuration for candidate generation.
 	Strategies []block.Strategy
 	// Workers bounds pre-matching parallelism; <= 0 means GOMAXPROCS.
+	// Under sharded execution it bounds the shard worker pool instead.
 	Workers int
+	// Shards partitions the pre-matching and remainder record space by
+	// blocking key into this many independent shards, each scanned with its
+	// own transient engine/index/memo state on a worker pool bounded by
+	// Workers — bounding peak memory by the shard size instead of the
+	// dataset size, at the cost of the resident path's cross-iteration memo
+	// reuse. Results are identical for every K (differential-tested);
+	// <= 1 selects the resident single-shard path. Like Workers, this is
+	// an execution knob: Fingerprint ignores it, so store snapshots are
+	// shared across shard counts.
+	Shards int
 	// StopOnEmpty terminates the loop as soon as an iteration yields no new
 	// group links (the M_G^p = ∅ condition of Algorithm 1). Enabled in the
 	// default configuration.
@@ -109,6 +120,9 @@ func (c Config) Validate() error {
 	}
 	if c.AgeTolerance < 0 {
 		return fmt.Errorf("linkage: negative age tolerance %d", c.AgeTolerance)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("linkage: negative shard count %d", c.Shards)
 	}
 	if len(c.Strategies) == 0 {
 		return fmt.Errorf("linkage: no blocking strategies configured")
@@ -229,26 +243,32 @@ func Link(oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 // SIGINT aborts the run promptly with a *PipelineError wrapping ctx.Err()
 // (errors.Is sees context.Canceled / context.DeadlineExceeded) instead of
 // wedging the process. Worker panics are isolated per Config.Panics.
+//
+// LinkContext itself is a thin composition: it validates the configuration,
+// wires the default stage set (stages.go; the sharded variants when
+// cfg.Shards > 1) and hands control to the stage executor below.
 func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, cancelErr("build_graphs", 0, err)
-	}
-	// completeGroups: enrich every household graph once.
-	stopBuild := cfg.Obs.Stage("build_graphs")
-	oldGraphs := hgraph.BuildAll(oldDS)
-	newGraphs := hgraph.BuildAll(newDS)
-	stopBuild()
+	return runStages(ctx, oldDS, newDS, cfg, newStageSet(cfg))
+}
 
-	matchCfg := MatchConfig{
-		AgeTolerance:       cfg.AgeTolerance,
-		YearGap:            newDS.Year - oldDS.Year,
-		Alpha:              cfg.Alpha,
-		Beta:               cfg.Beta,
-		DirectVerticesOnly: cfg.DirectVerticesOnly,
-		VertexGuards:       cfg.VertexGuards,
+// runStages is the stage executor of Algorithm 1: Enrich and Block once,
+// then per δ-iteration PreMatch → candidate group pairs → SubgraphMatch →
+// Select with the global remaining-record bookkeeping, and finally the
+// Remainder pass plus extractGroupLinks. All cross-stage state — the
+// remaining record lists, the seen-group dedup, provenance, iteration
+// statistics — lives here; the stages only transform their typed artifacts.
+func runStages(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config, stages *stageSet) (*Result, error) {
+	// completeGroups: enrich every household graph once.
+	enr, err := stages.enrich.Enrich(ctx, oldDS, newDS)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := stages.block.Block(ctx, enr)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{Sources: make(map[Pair]LinkSource)}
@@ -256,37 +276,12 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 	remainingNew := append([]*census.Record(nil), newDS.Records()...)
 	groupSeen := make(map[GroupPair]bool)
 
-	// Compiled path: intern both datasets and build the blocking index once
-	// per year-pair. The engines (and their distinct-pair memo tables) live
-	// for the whole call, so similarities computed at a higher δ are reused
-	// verbatim at relaxed thresholds, and the iteration loop only narrows
-	// the shared active mask instead of rebuilding the index.
-	var cpSim, cpRem *compiledPair
-	if cfg.Engine == EngineCompiled {
-		stopCompile := cfg.Obs.Stage("compile")
-		oldRecs, newRecs := oldDS.Records(), newDS.Records()
-		fullIx := block.NewIndex(newRecs, newDS.Year, cfg.Strategies)
-		active := make([]bool, len(newRecs))
-		cpSim = &compiledPair{eng: cfg.Sim.Compile(oldRecs, newRecs), ix: fullIx, active: active}
-		cpRem = &compiledPair{eng: cfg.Remainder.Compile(oldRecs, newRecs), ix: fullIx, active: active}
-		stopCompile()
-	}
-
 	for _, delta := range cfg.deltaSchedule() {
 		if err := ctx.Err(); err != nil {
 			return nil, cancelErr("iterate", delta, err)
 		}
 		cfg.Obs.BeginIteration(delta)
-		f := cfg.Sim.WithDelta(delta)
-		stop := cfg.Obs.Stage("prematch")
-		if cpSim != nil {
-			cpSim.setActive(remainingNew)
-		}
-		pre, err := preMatch(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, f, cfg.Strategies, cfg.Workers, cfg.Panics, cfg.Obs, cpSim)
-		stop()
-		if cpSim != nil {
-			cpSim.flushCounters(cfg.Obs)
-		}
+		pre, err := stages.prematch.PreMatch(ctx, parts, delta, remainingOld, remainingNew)
 		if err != nil {
 			cfg.Obs.EndIteration()
 			return nil, err
@@ -295,21 +290,17 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 		cfg.Obs.Add(obs.PairsCompared, pre.Compared)
 		cfg.Obs.Add(obs.CandidateLinks, len(pre.Links))
 		cfg.Obs.Add(obs.ClusterLabels, len(pre.LabelSize))
-		stop = cfg.Obs.Stage("candidate_groups")
+		stop := cfg.Obs.Stage("candidate_groups")
 		pairs := CandidateGroupPairs(pre, oldDS, newDS)
 		stop()
 		cfg.Obs.Add(obs.GroupPairs, len(pairs))
-		stop = cfg.Obs.Stage("subgraph_match")
-		subs, err := matchGroupsParallel(ctx, delta, pairs, oldGraphs, newGraphs, pre, f, matchCfg, cfg.Workers, cfg.Panics, cfg.Obs)
-		stop()
+		subs, err := stages.subgraphs.MatchSubgraphs(ctx, enr, delta, pairs, pre)
 		if err != nil {
 			cfg.Obs.EndIteration()
 			return nil, err
 		}
 		cfg.Obs.Add(obs.Subgraphs, len(subs))
-		stop = cfg.Obs.Stage("selection")
-		accepted := SelectGroupLinksDetailed(subs)
-		stop()
+		accepted := stages.selector.Select(subs)
 		var groups []GroupLink
 		var records []RecordLink
 		for _, acc := range accepted {
@@ -357,21 +348,7 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 	}
 
 	// Match the remaining records attribute-only (line 17 of Algorithm 1).
-	var remLinks []RecordLink
-	var remErr error
-	stop := cfg.Obs.Stage("remainder")
-	if cpRem != nil {
-		cpRem.setActive(remainingNew)
-	}
-	if cfg.OptimalRemainder {
-		remLinks, remErr = matchRemainingOptimal(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies, cpRem)
-	} else {
-		remLinks, remErr = matchRemaining(ctx, remainingOld, oldDS.Year, remainingNew, newDS.Year, cfg.Remainder, matchCfg, cfg.Strategies, cpRem)
-	}
-	stop()
-	if cpRem != nil {
-		cpRem.flushCounters(cfg.Obs)
-	}
+	remLinks, remErr := stages.remainder.MatchRemainder(ctx, enr, parts, remainingOld, remainingNew)
 	if remErr != nil {
 		return nil, remErr
 	}
@@ -415,28 +392,93 @@ func LinkContext(ctx context.Context, oldDS, newDS *census.Dataset, cfg Config) 
 	return res, nil
 }
 
+// RemainderOptions configures one standalone leftover-matching pass (see
+// MatchRemaining). The zero value of every field is usable: year 0, the
+// naive engine, an unsharded greedy pass with no observability.
+type RemainderOptions struct {
+	// Sim is the attribute-only similarity function Sim_func_rem; its own
+	// Delta applies.
+	Sim SimFunc
+	// OldYear and NewYear are the census years of the two record lists.
+	OldYear, NewYear int
+	// Match supplies the age-consistency guard (year gap and tolerance).
+	Match MatchConfig
+	// Strategies is the blocking configuration; it must not be empty.
+	Strategies []block.Strategy
+	// Engine selects the comparison path (EngineNaive is the zero value,
+	// matching the historical behaviour; results are identical either way).
+	Engine EngineKind
+	// Shards splits the candidate scan into K block-key shards with
+	// per-shard engine/index state (see Config.Shards); <= 1 runs
+	// unsharded. The 1:1 selection always runs globally.
+	Shards int
+	// Workers bounds the shard worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Optimal solves the 1:1 matching optimally (Hungarian) instead of
+	// greedily by descending similarity.
+	Optimal bool
+	// Obs, when non-nil, receives the compiled engine's cache counters.
+	Obs *obs.Stats
+}
+
 // MatchRemaining links leftover records with the attribute-only similarity
 // function Sim_func_rem: blocked candidates above the threshold that are
-// age-consistent with the census interval, selected greedily into a 1:1
-// mapping by descending similarity.
-func MatchRemaining(old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
-	links, _ := matchRemaining(context.Background(), old, oldYear, new, newYear, f, cfg, strategies, nil)
-	return links
+// age-consistent with the census interval, selected into a 1:1 mapping —
+// greedily by descending similarity, or optimally (maximum total similarity
+// via the Hungarian algorithm) with opts.Optimal. It is the single
+// standalone entry point of the remainder pass; it replaces the former
+// MatchRemaining/MatchRemainingOptimal pair.
+func MatchRemaining(ctx context.Context, old, new []*census.Record, opts RemainderOptions) ([]RecordLink, error) {
+	if opts.Shards > 1 {
+		parts := partitionRecords(old, opts.OldYear, new, opts.NewYear, opts.Strategies, opts.Shards)
+		cands, err := shardedRemainderCands(ctx, parts, opts.OldYear, opts.NewYear,
+			old, new, opts.Sim, opts.Match, opts.Engine, opts.Strategies, opts.Workers, opts.Obs)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Optimal {
+			return optimalRemainder(cands, old, new), nil
+		}
+		return greedyRemainder(cands), nil
+	}
+	var cp *compiledPair
+	if opts.Engine == EngineCompiled {
+		active := make([]bool, len(new))
+		for i := range active {
+			active[i] = true
+		}
+		cp = &compiledPair{
+			eng:    opts.Sim.Compile(old, new),
+			ix:     block.NewIndex(new, opts.NewYear, opts.Strategies),
+			active: active,
+		}
+		defer cp.flushCounters(opts.Obs)
+	}
+	if opts.Optimal {
+		return matchRemainingOptimal(ctx, old, opts.OldYear, new, opts.NewYear, opts.Sim, opts.Match, opts.Strategies, cp)
+	}
+	return matchRemaining(ctx, old, opts.OldYear, new, opts.NewYear, opts.Sim, opts.Match, opts.Strategies, cp)
 }
 
 // remainderCands collects the blocked, age-consistent candidate links with
-// similarity at or above Sim_func_rem's δ, in deterministic scan order. It
-// is the shared front half of the greedy and optimal remainder matchers.
-// With a compiled pair the candidates come from the prebuilt full-dataset
-// index filtered by the active mask and are scored through the memoizing
-// engine; the accepted links and similarities are identical to the naive
-// scan's.
+// similarity at or above Sim_func_rem's δ, in deterministic scan order,
+// after the remainder fault-injection checkpoint. It is the shared front
+// half of the greedy and optimal remainder matchers.
 func remainderCands(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
 	if err := faultinject.Hit("linkage.remainder"); err != nil {
 		return nil, &PipelineError{Stage: "remainder", Delta: f.Delta, Chunk: -1, Err: err}
 	}
+	return remainderScan(ctx, old, oldYear, new, newYear, f, cfg, strategies, cp)
+}
+
+// remainderScan is the remainder candidate scan proper (no fault-injection
+// checkpoint — the sharded path hits it once per pass, not per shard). With
+// a compiled pair the candidates come from the prebuilt index filtered by
+// the active mask and are scored through the memoizing engine; the accepted
+// links and similarities are identical to the naive scan's.
+func remainderScan(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
 	var ix *block.Index
 	if cp == nil {
 		ix = block.NewIndex(new, newYear, strategies)
@@ -480,16 +522,11 @@ func remainderCands(ctx context.Context, old []*census.Record, oldYear int, new 
 	return cands, nil
 }
 
-// matchRemaining implements MatchRemaining with cooperative cancellation:
-// the candidate scan observes ctx every few records and aborts with a
-// typed error, so the final pass of Algorithm 1 cannot wedge a cancelled
-// run. With a background context it never fails.
-func matchRemaining(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
-	cands, err := remainderCands(ctx, old, oldYear, new, newYear, f, cfg, strategies, cp)
-	if err != nil {
-		return nil, err
-	}
+// greedyRemainder selects a 1:1 mapping from the candidate links greedily by
+// descending similarity (ties broken by record IDs, so the result is
+// deterministic regardless of candidate order).
+func greedyRemainder(cands []RecordLink) []RecordLink {
+	cands = append([]RecordLink(nil), cands...)
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
 		if a.Sim != b.Sim {
@@ -511,7 +548,59 @@ func matchRemaining(ctx context.Context, old []*census.Record, oldYear int, new 
 		usedNew[c.New] = true
 		out = append(out, c)
 	}
-	return out, nil
+	return out
+}
+
+// optimalRemainder selects the 1:1 mapping of maximum total similarity over
+// the candidate links with the Hungarian algorithm (per connected candidate
+// component), sorted by record IDs.
+func optimalRemainder(cands []RecordLink, old, new []*census.Record) []RecordLink {
+	oldIdx := make(map[string]int, len(old))
+	for i, r := range old {
+		oldIdx[r.ID] = i
+	}
+	newIdx := make(map[string]int, len(new))
+	for i, r := range new {
+		newIdx[r.ID] = i
+	}
+	edges := make([]assign.Edge, 0, len(cands))
+	for _, c := range cands {
+		edges = append(edges, assign.Edge{Left: oldIdx[c.Old], Right: newIdx[c.New], Weight: c.Sim})
+	}
+	match := assign.Max(len(old), len(new), edges)
+	sims := make(map[[2]int]float64, len(edges))
+	for _, e := range edges {
+		k := [2]int{e.Left, e.Right}
+		if e.Weight > sims[k] {
+			sims[k] = e.Weight
+		}
+	}
+	var out []RecordLink
+	for l, r := range match {
+		if r >= 0 {
+			out = append(out, RecordLink{Old: old[l].ID, New: new[r].ID, Sim: sims[[2]int{l, r}]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Old != out[j].Old {
+			return out[i].Old < out[j].Old
+		}
+		return out[i].New < out[j].New
+	})
+	return out
+}
+
+// matchRemaining is the unsharded greedy remainder pass with cooperative
+// cancellation: the candidate scan observes ctx every few records and
+// aborts with a typed error, so the final pass of Algorithm 1 cannot wedge
+// a cancelled run. With a background context it never fails.
+func matchRemaining(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
+	cands, err := remainderCands(ctx, old, oldYear, new, newYear, f, cfg, strategies, cp)
+	if err != nil {
+		return nil, err
+	}
+	return greedyRemainder(cands), nil
 }
 
 // matchGroupsParallel runs MatchGroups over all candidate group pairs with
@@ -611,59 +700,17 @@ func matchGroupsParallel(ctx context.Context, delta float64, pairs []GroupPair, 
 	return subs, nil
 }
 
-// MatchRemainingOptimal is MatchRemaining with an optimal 1:1 assignment:
-// instead of greedily taking the highest-similarity candidate first, it
-// maximises the total similarity of the leftover matching with the
-// Hungarian algorithm (per connected candidate component).
-func MatchRemainingOptimal(old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, cfg MatchConfig, strategies []block.Strategy) []RecordLink {
-	links, _ := matchRemainingOptimal(context.Background(), old, oldYear, new, newYear, f, cfg, strategies, nil)
-	return links
-}
-
-// matchRemainingOptimal implements MatchRemainingOptimal with cooperative
-// cancellation during the candidate scan (the assignment solve itself runs
-// to completion; it is in-memory and brief relative to the scan). With a
-// background context it never fails.
+// matchRemainingOptimal is the unsharded optimal remainder pass with
+// cooperative cancellation during the candidate scan (the assignment solve
+// itself runs to completion; it is in-memory and brief relative to the
+// scan). With a background context it never fails.
 func matchRemainingOptimal(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
 	f SimFunc, cfg MatchConfig, strategies []block.Strategy, cp *compiledPair) ([]RecordLink, error) {
 	cands, err := remainderCands(ctx, old, oldYear, new, newYear, f, cfg, strategies, cp)
 	if err != nil {
 		return nil, err
 	}
-	oldIdx := make(map[string]int, len(old))
-	for i, r := range old {
-		oldIdx[r.ID] = i
-	}
-	newIdx := make(map[string]int, len(new))
-	for i, r := range new {
-		newIdx[r.ID] = i
-	}
-	edges := make([]assign.Edge, 0, len(cands))
-	for _, c := range cands {
-		edges = append(edges, assign.Edge{Left: oldIdx[c.Old], Right: newIdx[c.New], Weight: c.Sim})
-	}
-	match := assign.Max(len(old), len(new), edges)
-	sims := make(map[[2]int]float64, len(edges))
-	for _, e := range edges {
-		k := [2]int{e.Left, e.Right}
-		if e.Weight > sims[k] {
-			sims[k] = e.Weight
-		}
-	}
-	var out []RecordLink
-	for l, r := range match {
-		if r >= 0 {
-			out = append(out, RecordLink{Old: old[l].ID, New: new[r].ID, Sim: sims[[2]int{l, r}]})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Old != out[j].Old {
-			return out[i].Old < out[j].Old
-		}
-		return out[i].New < out[j].New
-	})
-	return out, nil
+	return optimalRemainder(cands, old, new), nil
 }
 
 // withoutLinked filters out the records that appear on the given side of any

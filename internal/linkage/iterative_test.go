@@ -1,6 +1,7 @@
 package linkage
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -8,6 +9,20 @@ import (
 	"censuslink/internal/census"
 	"censuslink/internal/paperexample"
 )
+
+// matchRemainingT is the test shorthand for one remainder pass: background
+// context (errors impossible), greedy or Hungarian selection per optimal.
+func matchRemainingT(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, cfg MatchConfig, strategies []block.Strategy, optimal bool) []RecordLink {
+	links, err := MatchRemaining(context.Background(), old, new, RemainderOptions{
+		Sim: f, OldYear: oldYear, NewYear: newYear,
+		Match: cfg, Strategies: strategies, Optimal: optimal,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return links
+}
 
 // runningExampleConfig reproduces the paper's walk-through: Fig. 3
 // pre-matching (name-only, threshold 1) with a single subgraph iteration,
@@ -277,8 +292,8 @@ func TestConfigValidate(t *testing.T) {
 func TestMatchRemainingGreedy(t *testing.T) {
 	old, new := paperexample.Old(), paperexample.New()
 	cfg := MatchConfig{AgeTolerance: 3, YearGap: 10}
-	links := MatchRemaining(old.Records(), old.Year, new.Records(), new.Year,
-		NameOnly(0.9), cfg, block.DefaultStrategies())
+	links := matchRemainingT(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(0.9), cfg, block.DefaultStrategies(), false)
 	got := map[string]string{}
 	for _, l := range links {
 		got[l.Old] = l.New
@@ -307,10 +322,10 @@ func TestMatchRemainingAgeWindow(t *testing.T) {
 	// William 1871 (age 2) vs William of household d (age 10): deviates by 2
 	// -> accepted. Shrink the tolerance to 1 to force rejection.
 	cfg := MatchConfig{AgeTolerance: 1, YearGap: 10}
-	links := MatchRemaining(
+	links := matchRemainingT(
 		[]*census.Record{old.Record("1871_4")}, old.Year,
 		[]*census.Record{new.Record("1881_11")}, new.Year,
-		NameOnly(0.9), cfg, block.DefaultStrategies())
+		NameOnly(0.9), cfg, block.DefaultStrategies(), false)
 	if len(links) != 0 {
 		t.Errorf("age-inconsistent remainder link accepted: %v", links)
 	}
@@ -366,10 +381,10 @@ func TestLinkProvenance(t *testing.T) {
 func TestMatchRemainingOptimal(t *testing.T) {
 	old, new := paperexample.Old(), paperexample.New()
 	cfg := MatchConfig{AgeTolerance: 3, YearGap: 10}
-	greedy := MatchRemaining(old.Records(), old.Year, new.Records(), new.Year,
-		NameOnly(0.6), cfg, block.DefaultStrategies())
-	optimal := MatchRemainingOptimal(old.Records(), old.Year, new.Records(), new.Year,
-		NameOnly(0.6), cfg, block.DefaultStrategies())
+	greedy := matchRemainingT(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(0.6), cfg, block.DefaultStrategies(), false)
+	optimal := matchRemainingT(old.Records(), old.Year, new.Records(), new.Year,
+		NameOnly(0.6), cfg, block.DefaultStrategies(), true)
 	sum := func(links []RecordLink) float64 {
 		s := 0.0
 		for _, l := range links {

@@ -5,6 +5,7 @@ package linkage_test
 // blocking counters must agree with a direct PreMatch run.
 
 import (
+	"context"
 	"testing"
 
 	"censuslink/internal/block"
@@ -101,8 +102,14 @@ func TestObsPreMatchAgreement(t *testing.T) {
 		t.Fatal("no iterations recorded")
 	}
 
-	pre := linkage.PreMatch(old.Records(), old.Year, new.Records(), new.Year,
-		cfg.Sim.WithDelta(cfg.DeltaHigh), cfg.Strategies, cfg.Workers)
+	pre, err := linkage.PreMatchOpts(context.Background(), old.Records(), new.Records(),
+		linkage.PreMatchOptions{
+			Sim: cfg.Sim.WithDelta(cfg.DeltaHigh), OldYear: old.Year, NewYear: new.Year,
+			Strategies: cfg.Strategies, Workers: cfg.Workers,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	first := rep.Iterations[0]
 	if got, want := first.Count(obs.PairsCompared), int64(pre.Compared); got != want {
 		t.Errorf("first-iteration compared %d != independent PreMatch %d", got, want)

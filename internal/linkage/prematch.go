@@ -70,6 +70,11 @@ type PreMatchOptions struct {
 	// scores through the memoizing engine — compile cost included. The
 	// result is identical either way.
 	Engine EngineKind
+	// Shards splits the pass into K block-key shards, each scanned with its
+	// own transient engine/index state on a worker pool bounded by Workers
+	// (see Config.Shards); <= 1 runs unsharded. The transitive closure is
+	// always clustered globally, so the result is identical for every K.
+	Shards int
 	// Panics selects the worker panic policy (fail-fast by default).
 	Panics PanicPolicy
 	// Obs, when non-nil, receives the PanicsRecovered counter under
@@ -85,10 +90,12 @@ type PreMatchOptions struct {
 // returns a *PipelineError wrapping ctx.Err(). Worker panics surface as
 // typed errors naming the offending chunk (or are skipped and counted,
 // per opts.Panics).
-//
-// The legacy PreMatch / PreMatchEngine / PreMatchContext entry points are
-// thin wrappers over this function.
 func PreMatchOpts(ctx context.Context, old, new []*census.Record, opts PreMatchOptions) (*PreMatchResult, error) {
+	if opts.Shards > 1 {
+		parts := partitionRecords(old, opts.OldYear, new, opts.NewYear, opts.Strategies, opts.Shards)
+		return shardedPreMatchRun(ctx, parts, opts.OldYear, opts.NewYear, old, new,
+			opts.Sim, opts.Engine, opts.Strategies, opts.Workers, opts.Panics, opts.Obs)
+	}
 	var cp *compiledPair
 	if opts.Engine == EngineCompiled {
 		cp = &compiledPair{
@@ -100,52 +107,6 @@ func PreMatchOpts(ctx context.Context, old, new []*census.Record, opts PreMatchO
 	}
 	return preMatch(ctx, old, opts.OldYear, new, opts.NewYear, opts.Sim, opts.Strategies,
 		opts.Workers, opts.Panics, opts.Obs, cp)
-}
-
-// PreMatch applies the similarity function to every blocked candidate pair
-// between the old records (from the dataset of year oldYear) and the new
-// records (year newYear), keeps pairs reaching δ, and clusters records via
-// the transitive closure of those links. workers <= 0 selects GOMAXPROCS.
-//
-// Deprecated: use PreMatchOpts. PreMatch is the legacy fail-fast entry
-// point without cancellation; a worker failure (only possible under fault
-// injection) propagates as a panic, matching the pre-isolation behaviour.
-func PreMatch(old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, strategies []block.Strategy, workers int) *PreMatchResult {
-	pre, err := PreMatchOpts(context.Background(), old, new, PreMatchOptions{
-		Sim: f, OldYear: oldYear, NewYear: newYear, Strategies: strategies, Workers: workers,
-	})
-	if err != nil {
-		panic(err)
-	}
-	return pre
-}
-
-// PreMatchEngine is PreMatch through an explicitly selected comparison
-// engine.
-//
-// Deprecated: use PreMatchOpts with the Engine option.
-func PreMatchEngine(old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, strategies []block.Strategy, workers int, kind EngineKind) *PreMatchResult {
-	pre, err := PreMatchOpts(context.Background(), old, new, PreMatchOptions{
-		Sim: f, OldYear: oldYear, NewYear: newYear, Strategies: strategies, Workers: workers, Engine: kind,
-	})
-	if err != nil {
-		panic(err)
-	}
-	return pre
-}
-
-// PreMatchContext is PreMatch with cooperative cancellation: chunk workers
-// observe ctx between records and the call returns a *PipelineError wrapping
-// ctx.Err() instead of a partial result.
-//
-// Deprecated: use PreMatchOpts.
-func PreMatchContext(ctx context.Context, old []*census.Record, oldYear int, new []*census.Record, newYear int,
-	f SimFunc, strategies []block.Strategy, workers int) (*PreMatchResult, error) {
-	return PreMatchOpts(ctx, old, new, PreMatchOptions{
-		Sim: f, OldYear: oldYear, NewYear: newYear, Strategies: strategies, Workers: workers,
-	})
 }
 
 // cancelCheckEvery is the number of records a pipeline loop processes

@@ -1,18 +1,34 @@
 package linkage
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
 	"censuslink/internal/block"
+	"censuslink/internal/census"
 	"censuslink/internal/paperexample"
 )
+
+// preMatchT is the test shorthand for a standalone pre-matching pass with
+// the naive engine and a background context; errors are impossible there.
+func preMatchT(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	f SimFunc, strategies []block.Strategy, workers int) *PreMatchResult {
+	pre, err := PreMatchOpts(context.Background(), old, new, PreMatchOptions{
+		Sim: f, OldYear: oldYear, NewYear: newYear,
+		Strategies: strategies, Workers: workers,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return pre
+}
 
 // figure3PreMatch runs pre-matching exactly as in Fig. 3 of the paper:
 // first name and surname with equal weights and similarity threshold 1.
 func figure3PreMatch(workers int) *PreMatchResult {
 	old, new := paperexample.Old(), paperexample.New()
-	return PreMatch(old.Records(), old.Year, new.Records(), new.Year,
+	return preMatchT(old.Records(), old.Year, new.Records(), new.Year,
 		NameOnly(1.0), block.DefaultStrategies(), workers)
 }
 
@@ -81,9 +97,9 @@ func TestPreMatchParallelDeterminism(t *testing.T) {
 // TestPreMatchThresholdMonotonic: lowering δ can only add links.
 func TestPreMatchThresholdMonotonic(t *testing.T) {
 	old, new := paperexample.Old(), paperexample.New()
-	strict := PreMatch(old.Records(), old.Year, new.Records(), new.Year,
+	strict := preMatchT(old.Records(), old.Year, new.Records(), new.Year,
 		OmegaTwo(0.9), block.DefaultStrategies(), 1)
-	loose := PreMatch(old.Records(), old.Year, new.Records(), new.Year,
+	loose := preMatchT(old.Records(), old.Year, new.Records(), new.Year,
 		OmegaTwo(0.5), block.DefaultStrategies(), 1)
 	if len(loose.Links) < len(strict.Links) {
 		t.Fatalf("relaxing delta removed links: %d -> %d", len(strict.Links), len(loose.Links))
@@ -100,7 +116,7 @@ func TestPreMatchThresholdMonotonic(t *testing.T) {
 func TestPreMatchRelaxationFindsAlice(t *testing.T) {
 	old, new := paperexample.Old(), paperexample.New()
 	f := SimFunc{Name: "fn-sex", Delta: 0.6, Matchers: OmegaTwo(0.6).Matchers}
-	pre := PreMatch(old.Records(), old.Year, new.Records(), new.Year, f,
+	pre := preMatchT(old.Records(), old.Year, new.Records(), new.Year, f,
 		block.DefaultStrategies(), 1)
 	if _, ok := pre.Sims[Pair{Old: "1871_3", New: "1881_7"}]; !ok {
 		t.Error("relaxed pre-matching should propose Alice Ashworth -> Alice Smith")
@@ -109,7 +125,7 @@ func TestPreMatchRelaxationFindsAlice(t *testing.T) {
 
 func TestPreMatchEmptyInput(t *testing.T) {
 	old, new := paperexample.Old(), paperexample.New()
-	pre := PreMatch(nil, old.Year, new.Records(), new.Year, NameOnly(1),
+	pre := preMatchT(nil, old.Year, new.Records(), new.Year, NameOnly(1),
 		block.DefaultStrategies(), 4)
 	if len(pre.Links) != 0 || pre.Compared != 0 {
 		t.Errorf("empty old side produced links: %+v", pre)

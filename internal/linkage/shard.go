@@ -1,0 +1,364 @@
+// Block-sharded execution of the pre-matching and remainder stages
+// (DESIGN.md §14). The record space is partitioned by blocking key: every
+// key hashes to one of K shards and a record is replicated into each shard
+// one of its keys maps to, so any candidate pair — which by construction
+// shares at least one key — materializes in at least one shard, and the
+// union of per-shard candidate pairs equals the global candidate pair set.
+// Each shard compiles its own transient engine, blocking index and memo
+// state per pass, bounding peak memory by the shard size (times the worker
+// pool width) instead of the dataset size; the merged links are
+// deduplicated and re-sorted into the exact unsharded scan order, so every
+// downstream stage — clustering, subgraph matching, selection, the 1:1
+// remainder assignment — sees bit-for-bit the input it would have seen
+// unsharded, for any K.
+package linkage
+
+import (
+	"context"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/cluster"
+	"censuslink/internal/faultinject"
+	"censuslink/internal/obs"
+)
+
+// shardOfKey hashes a blocking key into one of k shards (FNV-1a).
+func shardOfKey(key string, k int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(k))
+}
+
+// partitionRecords lays the two record lists out into k shards by blocking
+// key. Records keep their dataset order within each shard; a record whose
+// keys hash to several shards appears in each of them, and a record with no
+// keys (all blocking attributes missing) appears in none — it can never be
+// blocked into a candidate pair anyway.
+func partitionRecords(old []*census.Record, oldYear int, new []*census.Record, newYear int,
+	strategies []block.Strategy, k int) []*Partition {
+	parts := make([]*Partition, k)
+	for i := range parts {
+		parts[i] = &Partition{Index: i}
+	}
+	assign := func(r *census.Record, year int, add func(p *Partition)) {
+		var seen [8]bool // k is small; fall back to a map beyond that
+		var seenMap map[int]bool
+		if k > len(seen) {
+			seenMap = make(map[int]bool, 4)
+		}
+		for _, s := range strategies {
+			for _, key := range s.Keys(r, year) {
+				sh := shardOfKey(key, k)
+				if seenMap != nil {
+					if seenMap[sh] {
+						continue
+					}
+					seenMap[sh] = true
+				} else {
+					if seen[sh] {
+						continue
+					}
+					seen[sh] = true
+				}
+				add(parts[sh])
+			}
+		}
+	}
+	for _, r := range old {
+		r := r
+		assign(r, oldYear, func(p *Partition) { p.Old = append(p.Old, r) })
+	}
+	for _, r := range new {
+		r := r
+		assign(r, newYear, func(p *Partition) { p.New = append(p.New, r) })
+	}
+	return parts
+}
+
+// positionsOf maps record IDs to their position in the given (remaining)
+// list; membership doubles as the "still unlinked" filter and the position
+// defines the canonical unsharded scan order.
+func positionsOf(recs []*census.Record) map[string]int32 {
+	m := make(map[string]int32, len(recs))
+	for i, r := range recs {
+		m[r.ID] = int32(i)
+	}
+	return m
+}
+
+// filterByPos keeps the records present in pos, preserving order.
+func filterByPos(recs []*census.Record, pos map[string]int32) []*census.Record {
+	out := make([]*census.Record, 0, len(recs))
+	for _, r := range recs {
+		if _, ok := pos[r.ID]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// runShardPool runs fn(0..n-1) on a bounded worker pool. fn is responsible
+// for its own panic isolation and error slotting; the pool only schedules.
+// Feeding stops when ctx is cancelled (in-flight shards still finish, and
+// their own cancellation checkpoints abort them promptly).
+func runShardPool(ctx context.Context, n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+}
+
+// shardedPreMatchRun is one δ pre-matching pass over the shard layout: each
+// shard scans its remaining records with transient per-shard engine/index
+// state, the per-shard links are merged, deduplicated and sorted into the
+// canonical unsharded scan order, and the transitive closure is clustered
+// globally over all remaining records — so the result is deep-equal to the
+// unsharded pass (counters excepted: Compared and Blocked include the
+// cross-shard replication overlap).
+func shardedPreMatchRun(ctx context.Context, parts []*Partition, oldYear, newYear int,
+	remOld, remNew []*census.Record, f SimFunc, engine EngineKind, strategies []block.Strategy,
+	workers int, policy PanicPolicy, st *obs.Stats) (*PreMatchResult, error) {
+	oldPos := positionsOf(remOld)
+	newPos := positionsOf(remNew)
+
+	type shardOut struct {
+		pre *PreMatchResult
+		err error
+	}
+	outs := make([]shardOut, len(parts))
+	runShard := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := panicErr("prematch", f.Delta, r, debug.Stack())
+				pe.Chunk = i
+				outs[i].err = pe
+			}
+		}()
+		p := parts[i]
+		shOld := filterByPos(p.Old, oldPos)
+		shNew := filterByPos(p.New, newPos)
+		if len(shOld) == 0 || len(shNew) == 0 {
+			outs[i].pre = &PreMatchResult{Sims: map[Pair]float64{}, LabelSize: map[int]int{}}
+			return
+		}
+		// Per-shard transient state: interning, index and memo live only
+		// for this pass, so peak memory is bounded by the widest shard
+		// window rather than the dataset.
+		var cp *compiledPair
+		if engine == EngineCompiled {
+			active := make([]bool, len(shNew))
+			for j := range active {
+				active[j] = true
+			}
+			cp = &compiledPair{
+				eng:    f.Compile(shOld, shNew),
+				ix:     block.NewIndex(shNew, newYear, strategies),
+				active: active,
+			}
+		}
+		pre, err := preMatch(ctx, shOld, oldYear, shNew, newYear, f, strategies, 1, policy, st, cp)
+		if cp != nil {
+			cp.flushCounters(st)
+		}
+		outs[i] = shardOut{pre: pre, err: err}
+	}
+	runShardPool(ctx, len(parts), workers, runShard)
+
+	// Cancellation wins over shard failures, matching the unsharded path.
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr("prematch", f.Delta, err)
+	}
+	merged := &PreMatchResult{
+		Sims:      make(map[Pair]float64),
+		LabelSize: make(map[int]int),
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			if policy == PanicFailFast {
+				return nil, outs[i].err
+			}
+			st.Add(obs.PanicsRecovered, 1)
+			continue
+		}
+		pre := outs[i].pre
+		merged.Compared += pre.Compared
+		merged.Blocked += pre.Blocked
+		for _, p := range pre.Links {
+			if _, dup := merged.Sims[p]; dup {
+				continue
+			}
+			merged.Sims[p] = pre.Sims[p]
+			merged.Links = append(merged.Links, p)
+		}
+	}
+	// Canonical order: old records in remaining order, candidates ascending
+	// by new position — exactly the order the unsharded chunk scan emits.
+	sort.Slice(merged.Links, func(i, j int) bool {
+		a, b := merged.Links[i], merged.Links[j]
+		if oldPos[a.Old] != oldPos[b.Old] {
+			return oldPos[a.Old] < oldPos[b.Old]
+		}
+		return newPos[a.New] < newPos[b.New]
+	})
+	// The transitive closure is inherently global: cluster labels span
+	// shards, so the union-find runs over all remaining records of both
+	// datasets, fed by the merged links.
+	uf := cluster.NewUnionFind()
+	for _, r := range remOld {
+		uf.Add(r.ID)
+	}
+	for _, r := range remNew {
+		uf.Add(r.ID)
+	}
+	for _, p := range merged.Links {
+		uf.Union(p.Old, p.New)
+	}
+	merged.Labels = uf.Labels()
+	for _, l := range merged.Labels {
+		merged.LabelSize[l]++
+	}
+	return merged, nil
+}
+
+// shardedPreMatcher is the PreMatch stage of the sharded executor.
+type shardedPreMatcher struct{ cfg Config }
+
+func (m *shardedPreMatcher) PreMatch(ctx context.Context, parts *Partitions, delta float64, remOld, remNew []*census.Record) (*PreMatchResult, error) {
+	f := m.cfg.Sim.WithDelta(delta)
+	stop := m.cfg.Obs.Stage("prematch")
+	defer stop()
+	return shardedPreMatchRun(ctx, parts.Parts, parts.OldYear, parts.NewYear,
+		remOld, remNew, f, m.cfg.Engine, m.cfg.Strategies, m.cfg.Workers, m.cfg.Panics, m.cfg.Obs)
+}
+
+// shardedRemainderCands collects the remainder candidate links across all
+// shards — per-shard transient engine/index state, merged, deduplicated and
+// sorted into the canonical unsharded scan order.
+func shardedRemainderCands(ctx context.Context, parts []*Partition, oldYear, newYear int,
+	remOld, remNew []*census.Record, f SimFunc, matchCfg MatchConfig, engine EngineKind,
+	strategies []block.Strategy, workers int, st *obs.Stats) ([]RecordLink, error) {
+	if err := faultinject.Hit("linkage.remainder"); err != nil {
+		return nil, &PipelineError{Stage: "remainder", Delta: f.Delta, Chunk: -1, Err: err}
+	}
+	oldPos := positionsOf(remOld)
+	newPos := positionsOf(remNew)
+	cands := make([][]RecordLink, len(parts))
+	errs := make([]error, len(parts))
+	runShardPool(ctx, len(parts), workers, func(i int) {
+		p := parts[i]
+		shOld := filterByPos(p.Old, oldPos)
+		shNew := filterByPos(p.New, newPos)
+		if len(shOld) == 0 || len(shNew) == 0 {
+			return
+		}
+		var cp *compiledPair
+		if engine == EngineCompiled {
+			active := make([]bool, len(shNew))
+			for j := range active {
+				active[j] = true
+			}
+			cp = &compiledPair{
+				eng:    f.Compile(shOld, shNew),
+				ix:     block.NewIndex(shNew, newYear, strategies),
+				active: active,
+			}
+		}
+		cands[i], errs[i] = remainderScan(ctx, shOld, oldYear, shNew, newYear, f, matchCfg, strategies, cp)
+		if cp != nil {
+			cp.flushCounters(st)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr("remainder", f.Delta, err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	seen := make(map[Pair]bool)
+	var merged []RecordLink
+	for _, cs := range cands {
+		for _, c := range cs {
+			p := Pair{Old: c.Old, New: c.New}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			merged = append(merged, c)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if oldPos[a.Old] != oldPos[b.Old] {
+			return oldPos[a.Old] < oldPos[b.Old]
+		}
+		return newPos[a.New] < newPos[b.New]
+	})
+	return merged, nil
+}
+
+// shardedRemainderMatcher is the Remainder stage of the sharded executor:
+// the cross-shard remainder pass. Candidates are collected per shard, then
+// the 1:1 selection (greedy or optimal) runs globally over the merged
+// candidate list, so recall matches the unsharded pass exactly.
+type shardedRemainderMatcher struct{ cfg Config }
+
+func (m *shardedRemainderMatcher) MatchRemainder(ctx context.Context, enr *Enriched, parts *Partitions, remOld, remNew []*census.Record) ([]RecordLink, error) {
+	stop := m.cfg.Obs.Stage("remainder")
+	defer stop()
+	cands, err := shardedRemainderCands(ctx, parts.Parts, parts.OldYear, parts.NewYear,
+		remOld, remNew, m.cfg.Remainder, enr.Match, m.cfg.Engine, m.cfg.Strategies,
+		m.cfg.Workers, m.cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.OptimalRemainder {
+		return optimalRemainder(cands, remOld, remNew), nil
+	}
+	return greedyRemainder(cands), nil
+}

@@ -1,0 +1,227 @@
+package linkage
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/paperexample"
+	"censuslink/internal/synth"
+)
+
+var (
+	shardPairOnce sync.Once
+	shardPairOld  *census.Dataset
+	shardPairNew  *census.Dataset
+	shardPairErr  error
+)
+
+// shardPair returns a shared synthetic census pair for the sharding tests.
+func shardPair(t testing.TB) (*census.Dataset, *census.Dataset) {
+	shardPairOnce.Do(func() {
+		shardPairOld, shardPairNew, shardPairErr =
+			synth.GeneratePair(synth.TestConfig(0.04, 23), 1871, 1881)
+	})
+	if shardPairErr != nil {
+		t.Fatal(shardPairErr)
+	}
+	return shardPairOld, shardPairNew
+}
+
+// TestShardDeterminism: the full pipeline must produce deep-equal record
+// links, group links and provenance for every shard count, on both engines,
+// with concurrent shard workers (run under -race in CI).
+func TestShardDeterminism(t *testing.T) {
+	old, new := shardPair(t)
+	for _, engine := range []EngineKind{EngineCompiled, EngineNaive} {
+		t.Run(engine.String(), func(t *testing.T) {
+			var base *Result
+			for _, k := range []int{1, 4, 16} {
+				cfg := DefaultConfig()
+				cfg.Engine = engine
+				cfg.Workers = 4
+				cfg.Shards = k
+				res, err := Link(old, new, cfg)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				if base == nil {
+					base = res
+					if len(res.RecordLinks) == 0 || len(res.GroupLinks) == 0 {
+						t.Fatal("empty result; the differential check would be vacuous")
+					}
+					continue
+				}
+				if !reflect.DeepEqual(res.RecordLinks, base.RecordLinks) {
+					t.Errorf("shards=%d: record links differ from shards=1", k)
+				}
+				if !reflect.DeepEqual(res.GroupLinks, base.GroupLinks) {
+					t.Errorf("shards=%d: group links differ from shards=1", k)
+				}
+				if !reflect.DeepEqual(res.Sources, base.Sources) {
+					t.Errorf("shards=%d: link provenance differs from shards=1", k)
+				}
+			}
+		})
+	}
+}
+
+// TestPreMatchShardedDifferential: a standalone sharded pre-matching pass
+// must be deep-equal to the unsharded one — links in the same canonical
+// order, identical similarities, identical cluster labels.
+func TestPreMatchShardedDifferential(t *testing.T) {
+	old, new := shardPair(t)
+	cfg := DefaultConfig()
+	f := cfg.Sim.WithDelta(cfg.DeltaHigh)
+	for _, engine := range []EngineKind{EngineCompiled, EngineNaive} {
+		t.Run(engine.String(), func(t *testing.T) {
+			run := func(shards int) *PreMatchResult {
+				pre, err := PreMatchOpts(context.Background(), old.Records(), new.Records(),
+					PreMatchOptions{
+						Sim: f, OldYear: old.Year, NewYear: new.Year,
+						Strategies: cfg.Strategies, Workers: 4, Engine: engine, Shards: shards,
+					})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return pre
+			}
+			base := run(0)
+			if len(base.Links) == 0 {
+				t.Fatal("no candidate links; the differential check would be vacuous")
+			}
+			for _, k := range []int{2, 4, 16} {
+				got := run(k)
+				if !reflect.DeepEqual(got.Links, base.Links) {
+					t.Errorf("shards=%d: links differ (%d vs %d)", k, len(got.Links), len(base.Links))
+				}
+				if !reflect.DeepEqual(got.Sims, base.Sims) {
+					t.Errorf("shards=%d: similarities differ", k)
+				}
+				if !reflect.DeepEqual(got.Labels, base.Labels) {
+					t.Errorf("shards=%d: cluster labels differ", k)
+				}
+				if !reflect.DeepEqual(got.LabelSize, base.LabelSize) {
+					t.Errorf("shards=%d: label sizes differ", k)
+				}
+				// Replicating records across shards may compare a pair more
+				// than once, never fewer times.
+				if got.Compared < base.Compared {
+					t.Errorf("shards=%d: compared %d below unsharded %d", k, got.Compared, base.Compared)
+				}
+			}
+		})
+	}
+}
+
+// TestMatchRemainingSharded: the sharded remainder pass must select exactly
+// the unsharded 1:1 mapping, for both the greedy and the Hungarian variant.
+func TestMatchRemainingSharded(t *testing.T) {
+	old, new := shardPair(t)
+	cfg := DefaultConfig()
+	match := MatchConfig{AgeTolerance: cfg.AgeTolerance, YearGap: new.Year - old.Year}
+	for _, optimal := range []bool{false, true} {
+		name := "greedy"
+		if optimal {
+			name = "optimal"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) []RecordLink {
+				links, err := MatchRemaining(context.Background(), old.Records(), new.Records(),
+					RemainderOptions{
+						Sim: cfg.Remainder, OldYear: old.Year, NewYear: new.Year,
+						Match: match, Strategies: cfg.Strategies,
+						Engine: EngineCompiled, Workers: 4, Shards: shards, Optimal: optimal,
+					})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return links
+			}
+			base := run(0)
+			if len(base) == 0 {
+				t.Fatal("no remainder links; the differential check would be vacuous")
+			}
+			for _, k := range []int{4, 16} {
+				if got := run(k); !reflect.DeepEqual(got, base) {
+					t.Errorf("shards=%d: remainder links differ (%d vs %d)", k, len(got), len(base))
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionCoversKeyedPairs: any record pair sharing a blocking key
+// must land together in at least one shard — the invariant behind the
+// per-shard union equalling the global candidate pair set.
+func TestPartitionCoversKeyedPairs(t *testing.T) {
+	old, new := paperexample.Old(), paperexample.New()
+	strategies := block.DefaultStrategies()
+	for _, k := range []int{1, 2, 3, 8, 16} {
+		parts := partitionRecords(old.Records(), old.Year, new.Records(), new.Year, strategies, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: %d partitions", k, len(parts))
+		}
+		together := map[Pair]bool{}
+		for _, p := range parts {
+			for _, o := range p.Old {
+				for _, n := range p.New {
+					together[Pair{Old: o.ID, New: n.ID}] = true
+				}
+			}
+		}
+		keysOf := func(r *census.Record, year int) map[string]bool {
+			ks := map[string]bool{}
+			for _, s := range strategies {
+				for _, key := range s.Keys(r, year) {
+					ks[key] = true
+				}
+			}
+			return ks
+		}
+		for _, o := range old.Records() {
+			oKeys := keysOf(o, old.Year)
+			for _, n := range new.Records() {
+				shared := false
+				for key := range keysOf(n, new.Year) {
+					if oKeys[key] {
+						shared = true
+						break
+					}
+				}
+				if shared && !together[Pair{Old: o.ID, New: n.ID}] {
+					t.Errorf("k=%d: pair %s/%s shares a key but no shard", k, o.ID, n.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestShardOfKeyRange: the hash must stay within [0, k) and be stable.
+func TestShardOfKeyRange(t *testing.T) {
+	keys := []string{"", "sn:smth", "fn:jhn", "by:1871:184", "sn:ashwrth"}
+	for _, k := range []int{1, 2, 7, 16} {
+		for _, key := range keys {
+			s := shardOfKey(key, k)
+			if s < 0 || s >= k {
+				t.Fatalf("shardOfKey(%q, %d) = %d out of range", key, k, s)
+			}
+			if s != shardOfKey(key, k) {
+				t.Fatalf("shardOfKey(%q, %d) not stable", key, k)
+			}
+		}
+	}
+}
+
+// TestValidateRejectsNegativeShards: a negative shard count is a
+// configuration error, not a silent fallback.
+func TestValidateRejectsNegativeShards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}

@@ -37,6 +37,7 @@ type ConfigSpec struct {
 	AgeTolerance       int         `json:"age_tolerance"`
 	Remainder          SimFuncSpec `json:"remainder"`
 	Workers            int         `json:"workers,omitempty"`
+	Shards             int         `json:"shards,omitempty"`
 	StopOnEmpty        bool        `json:"stop_on_empty"`
 	DirectVerticesOnly bool        `json:"direct_vertices_only,omitempty"`
 	VertexGuards       bool        `json:"vertex_guards,omitempty"`
@@ -139,6 +140,7 @@ func (s ConfigSpec) Build() (Config, error) {
 		AgeTolerance:       s.AgeTolerance,
 		Remainder:          rem,
 		Workers:            s.Workers,
+		Shards:             s.Shards,
 		StopOnEmpty:        s.StopOnEmpty,
 		DirectVerticesOnly: s.DirectVerticesOnly,
 		VertexGuards:       s.VertexGuards,

@@ -143,7 +143,7 @@ func TestSubgraphAgeConsistencyFilter(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pre := PreMatch(old.Records(), old.Year, new.Records(), new.Year,
+	pre := preMatchT(old.Records(), old.Year, new.Records(), new.Year,
 		NameOnly(1.0), block.DefaultStrategies(), 1)
 	s := MatchGroups(hgraph.Build(old, old.Household("oh")),
 		hgraph.Build(new, new.Household("nh")), pre, NameOnly(1.0), paperMatchConfig())
@@ -175,7 +175,7 @@ func TestSubgraphDuplicateNamesOneToOne(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pre := PreMatch(old.Records(), old.Year, new.Records(), new.Year,
+	pre := preMatchT(old.Records(), old.Year, new.Records(), new.Year,
 		NameOnly(1.0), block.DefaultStrategies(), 1)
 	s := MatchGroups(hgraph.Build(old, old.Household("oh")),
 		hgraph.Build(new, new.Household("nh")), pre, NameOnly(1.0), paperMatchConfig())

@@ -45,6 +45,17 @@ func WritePrometheus(w io.Writer, r *Report) error {
 			}
 		}
 	}
+	if len(r.Gauges) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP censuslink_gauge High-water gauges sampled at stage boundaries (peak memory, etc.).\n# TYPE censuslink_gauge gauge\n"); err != nil {
+			return err
+		}
+		for _, name := range r.GaugeNames() {
+			if _, err := fmt.Fprintf(w, "censuslink_gauge{name=%q} %d\n",
+				name, r.Gauges[name]); err != nil {
+				return err
+			}
+		}
+	}
 	_, err := fmt.Fprintf(w, "# HELP censuslink_iterations_total Closed per-delta iteration snapshots.\n# TYPE censuslink_iterations_total counter\ncensuslink_iterations_total %d\n", len(r.Iterations))
 	return err
 }

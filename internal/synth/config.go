@@ -151,6 +151,14 @@ type Config struct {
 	// TargetHouseholds optionally overrides the per-year household targets
 	// (before scaling). Defaults to PaperHouseholdTargets.
 	TargetHouseholds map[int]int
+	// Districts splits the simulation into this many independently evolving
+	// districts, generated in parallel and merged into one series with
+	// district-prefixed identifiers ("d1_1871_5"). People never move between
+	// districts, so each district is a faithful standalone population and
+	// the merged series scales linearly — the knob behind million-record
+	// runs. Districts <= 1 (the default) keeps the single legacy district
+	// byte-for-byte.
+	Districts int
 	// Rates are the demographic rates; zero value means DefaultRates.
 	Rates Rates
 	// Corruption is the recording error model; zero value means
@@ -191,6 +199,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Scale <= 0 {
 		c.Scale = 1.0
+	}
+	if c.Districts < 0 {
+		return fmt.Errorf("synth: negative district count %d", c.Districts)
 	}
 	if c.TargetHouseholds == nil {
 		c.TargetHouseholds = PaperHouseholdTargets

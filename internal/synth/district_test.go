@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDistrictsLegacyIdentity: Districts 0 and 1 must generate exactly the
+// single legacy district, and district 0 of a multi-district run must be
+// that same district under the "d0_" prefix.
+func TestDistrictsLegacyIdentity(t *testing.T) {
+	base, err := Generate(TestConfig(0.02, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{0, 1} {
+		cfg := TestConfig(0.02, 5)
+		cfg.Districts = d
+		got, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ds := range got.Datasets {
+			if ds.ContentHash() != base.Dataset(ds.Year).ContentHash() {
+				t.Errorf("districts=%d: %d differs from the legacy series", d, ds.Year)
+			}
+		}
+	}
+
+	cfg := TestConfig(0.02, 5)
+	cfg.Districts = 3
+	multi, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range base.Datasets {
+		m := multi.Dataset(ds.Year)
+		for _, r := range ds.Records() {
+			mr := m.Record("d0_" + r.ID)
+			if mr == nil {
+				t.Fatalf("%d: record d0_%s missing from the merged series", ds.Year, r.ID)
+			}
+			if mr.FirstName != r.FirstName || mr.Age != r.Age ||
+				mr.HouseholdID != "d0_"+r.HouseholdID || mr.TruthID != "d0_"+r.TruthID {
+				t.Fatalf("%d: record d0_%s diverged from the single-district run", ds.Year, r.ID)
+			}
+		}
+	}
+}
+
+// TestDistrictsDisjointAndDeterministic: prefixed IDs keep districts
+// disjoint, the merge is deterministic, and the population scales with the
+// district count.
+func TestDistrictsDisjointAndDeterministic(t *testing.T) {
+	gen := func() map[int]string {
+		cfg := TestConfig(0.02, 9)
+		cfg.Districts = 4
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes := map[int]string{}
+		for _, ds := range s.Datasets {
+			hashes[ds.Year] = ds.ContentHash()
+		}
+		return hashes
+	}
+	if a, b := gen(), gen(); len(a) == 0 {
+		t.Fatal("no datasets generated")
+	} else {
+		for y, h := range a {
+			if b[y] != h {
+				t.Errorf("%d: multi-district generation not deterministic", y)
+			}
+		}
+	}
+
+	cfg := TestConfig(0.02, 9)
+	cfg.Districts = 4
+	multi, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Generate(TestConfig(0.02, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range multi.Datasets {
+		seen := map[int]int{}
+		for _, r := range ds.Records() {
+			if !strings.HasPrefix(r.ID, "d") {
+				t.Fatalf("%d: record %s lacks a district prefix", ds.Year, r.ID)
+			}
+			d, ok := parseDistrict(r.ID)
+			if !ok {
+				t.Fatalf("%d: cannot parse district of %s", ds.Year, r.ID)
+			}
+			seen[d]++
+		}
+		if len(seen) != 4 {
+			t.Errorf("%d: records from %d districts, want 4", ds.Year, len(seen))
+		}
+		// Linear scaling: 4 districts carry at least 3x the single district
+		// (districts evolve independently, so sizes vary a little).
+		if ds.NumRecords() < 3*single.Dataset(ds.Year).NumRecords() {
+			t.Errorf("%d: %d records for 4 districts vs %d for one",
+				ds.Year, ds.NumRecords(), single.Dataset(ds.Year).NumRecords())
+		}
+	}
+
+	cfg.Districts = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("negative district count accepted")
+	}
+}
+
+// parseDistrict extracts the district index from a "d<N>_..." identifier.
+func parseDistrict(id string) (int, bool) {
+	i := strings.IndexByte(id, '_')
+	if i < 2 || id[0] != 'd' {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[1:i] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}

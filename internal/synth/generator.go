@@ -13,6 +13,9 @@ func Generate(cfg Config) (*census.Series, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	if cfg.Districts > 1 {
+		return generateDistricts(cfg)
+	}
 	pop := newPopulation(&cfg, cfg.Years[0])
 	datasets := make([]*census.Dataset, 0, len(cfg.Years))
 	for i, year := range cfg.Years {

@@ -1,0 +1,207 @@
+// Million-record sharded linkage measurement and the CI-scale sharded
+// differential smoke test. Both are opt-in via environment variables: the
+// 1M run takes hours on one core, the smoke test a few minutes.
+package censuslink_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"censuslink/internal/block"
+	"censuslink/internal/census"
+	"censuslink/internal/linkage"
+	"censuslink/internal/obs"
+	"censuslink/internal/synth"
+)
+
+// districtScoped wraps a blocking strategy so its keys are prefixed with the
+// record's synthetic district (the "d<N>_" ID prefix emitted by
+// synth.Config.Districts). Multi-district populations have no inter-district
+// migration, so scoping blocks by district loses no true matches while
+// keeping candidate pairs linear rather than quadratic in the district
+// count — the same role enumeration districts play in real census linkage.
+// Records without a district prefix (single-district synth, real data) keep
+// their unscoped keys.
+func districtScoped(inner block.Strategy) block.Strategy {
+	return block.Strategy{
+		Name: inner.Name + "-district",
+		Keys: func(r *census.Record, year int) []string {
+			keys := inner.Keys(r, year)
+			d, _, ok := strings.Cut(r.ID, "_")
+			if !ok || len(d) < 2 || d[0] != 'd' {
+				return keys
+			}
+			for _, c := range d[1:] {
+				if c < '0' || c > '9' {
+					return keys
+				}
+			}
+			for i, k := range keys {
+				keys[i] = d + "|" + k
+			}
+			return keys
+		},
+	}
+}
+
+// TestLink1M generates a multi-district pair of roughly a million records
+// (CENSUSLINK_BENCH_1M = district count, CENSUSLINK_BENCH_1M_SCALE = the
+// per-district synth scale, default 0.1; 270 districts at scale 0.1 give
+// ~1.0M records across 1851+1861) and links it sharded with
+// district-scoped blocking, recording elapsed time and peak memory gauges.
+// With CENSUSLINK_BENCH_1M_BOTH=1 it repeats the run unsharded, asserts
+// the results are identical, and records the peak-heap ratio — the sharded
+// run goes first because VmHWM only ever grows over the process lifetime.
+// Rows are merged into the JSON report named by CENSUSLINK_BENCH_JSON
+// (typically BENCH_prematch.json), which TestBenchTrajectory preserves on
+// rewrite.
+func TestLink1M(t *testing.T) {
+	env := os.Getenv("CENSUSLINK_BENCH_1M")
+	if env == "" {
+		t.Skip("set CENSUSLINK_BENCH_1M to a district count (e.g. 270) to run the million-record measurement")
+	}
+	districts, err := strconv.Atoi(env)
+	if err != nil || districts < 1 {
+		t.Fatalf("CENSUSLINK_BENCH_1M = %q: want a positive district count", env)
+	}
+	scale := 0.1
+	if s := os.Getenv("CENSUSLINK_BENCH_1M_SCALE"); s != "" {
+		scale, err = strconv.ParseFloat(s, 64)
+		if err != nil || scale <= 0 {
+			t.Fatalf("CENSUSLINK_BENCH_1M_SCALE = %q: want a positive float", s)
+		}
+	}
+	gen := synth.DefaultConfig()
+	gen.Districts = districts
+	gen.Scale = scale
+	t0 := time.Now()
+	old, new, err := synth.GeneratePair(gen, 1851, 1861)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := old.NumRecords() + new.NumRecords()
+	t.Logf("generated %d districts at scale %g in %v: %d + %d = %d records",
+		districts, scale, time.Since(t0).Round(time.Second), old.NumRecords(), new.NumRecords(), total)
+
+	const shards = 16
+	measure := func(k int) (*linkage.Result, time.Duration, map[string]int64) {
+		runtime.GC()
+		st := obs.NewStats(nil)
+		cfg := linkage.DefaultConfig()
+		cfg.Shards = k
+		cfg.Obs = st
+		for i, s := range cfg.Strategies {
+			cfg.Strategies[i] = districtScoped(s)
+		}
+		start := time.Now()
+		res, err := linkage.Link(old, new, cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		elapsed := time.Since(start)
+		rep := st.Report()
+		t.Logf("shards=%d: %v, %d record links, peak heap in use %d MB, peak RSS %d MB",
+			k, elapsed.Round(time.Second), len(res.RecordLinks),
+			rep.Gauges[obs.PeakHeapInuse]>>20, rep.Gauges[obs.PeakRSS]>>20)
+		return res, elapsed, rep.Gauges
+	}
+
+	shardedRes, shardedNs, shardedG := measure(shards)
+	rows := map[string]any{
+		"link_1m_records":                       total,
+		"link_1m_districts":                     districts,
+		"link_1m_scale":                         scale,
+		"link_1m_district_blocking":             true,
+		"link_1m_shards":                        shards,
+		"link_1m_record_links":                  len(shardedRes.RecordLinks),
+		"link_1m_sharded_ns":                    shardedNs.Nanoseconds(),
+		"link_1m_sharded_peak_heap_inuse_bytes": shardedG[obs.PeakHeapInuse],
+		"link_1m_peak_rss_bytes":                shardedG[obs.PeakRSS],
+	}
+	if os.Getenv("CENSUSLINK_BENCH_1M_BOTH") == "1" {
+		unshardedRes, unshardedNs, unshardedG := measure(1)
+		if !reflect.DeepEqual(shardedRes.RecordLinks, unshardedRes.RecordLinks) ||
+			!reflect.DeepEqual(shardedRes.GroupLinks, unshardedRes.GroupLinks) {
+			t.Errorf("sharded and unsharded results differ at %d records", total)
+		}
+		rows["link_1m_unsharded_ns"] = unshardedNs.Nanoseconds()
+		rows["link_1m_unsharded_peak_heap_inuse_bytes"] = unshardedG[obs.PeakHeapInuse]
+		ratio := float64(unshardedG[obs.PeakHeapInuse]) / float64(shardedG[obs.PeakHeapInuse])
+		rows["link_1m_heap_ratio_unsharded_over_sharded"] = ratio
+		t.Logf("peak heap in use: unsharded / sharded = %.2fx", ratio)
+		if ratio < 1.0 {
+			t.Errorf("sharding did not bound peak heap: unsharded %d B vs sharded %d B",
+				unshardedG[obs.PeakHeapInuse], shardedG[obs.PeakHeapInuse])
+		}
+	}
+
+	path := os.Getenv("CENSUSLINK_BENCH_JSON")
+	if path == "" {
+		t.Logf("rows (set CENSUSLINK_BENCH_JSON to persist): %v", rows)
+		return
+	}
+	report := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	for k, v := range rows {
+		report[k] = v
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardSmoke is the CI sharded differential: a quarter-scale pair
+// linked unsharded and with 8 shards must produce identical results. Set
+// CENSUSLINK_SHARD_SMOKE=1 to run it (about a minute at 0.25 scale).
+func TestShardSmoke(t *testing.T) {
+	if os.Getenv("CENSUSLINK_SHARD_SMOKE") != "1" {
+		t.Skip("set CENSUSLINK_SHARD_SMOKE=1 to run the quarter-scale sharded differential")
+	}
+	old, new, err := synth.GeneratePair(synth.TestConfig(0.25, 1871), 1871, 1881)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int) *linkage.Result {
+		cfg := linkage.DefaultConfig()
+		cfg.Shards = k
+		res, err := linkage.Link(old, new, cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		return res
+	}
+	base := run(1)
+	got := run(8)
+	if len(base.RecordLinks) == 0 {
+		t.Fatal("no record links; the differential is vacuous")
+	}
+	for _, cmp := range []struct {
+		name string
+		a, b any
+	}{
+		{"record links", base.RecordLinks, got.RecordLinks},
+		{"group links", base.GroupLinks, got.GroupLinks},
+		{"sources", base.Sources, got.Sources},
+	} {
+		if !reflect.DeepEqual(cmp.a, cmp.b) {
+			t.Errorf("%s differ between shards=1 and shards=8", cmp.name)
+		}
+	}
+	fmt.Printf("shard smoke: %d records linked identically at shards 1 and 8 (%d record links, %d group links)\n",
+		old.NumRecords()+new.NumRecords(), len(base.RecordLinks), len(base.GroupLinks))
+}
