@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-regress shard-smoke store-golden chaos report fuzz fuzz-smoke clean
+.PHONY: all build test vet check bench bench-regress pgo pgo-profile shard-smoke store-golden chaos report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -36,6 +36,18 @@ bench:
 bench-regress:
 	CENSUSLINK_BENCH_BASELINE=BENCH_prematch.json $(GO) test -run TestBenchTrajectory -v .
 	CENSUSLINK_SERVER_BENCH_BASELINE=$(CURDIR)/BENCH_server.json $(GO) test -count=1 -run TestServerBenchTrajectory -v ./cmd/loadgen
+
+# Regenerate the CPU profile that feeds the PGO build: profile the Table 3
+# pre-matching sweep (the comparator/blocking hot path) through benchall's
+# -cpuprofile flag. The resulting default.pgo is committed so `make pgo`
+# and CI reproduce the same optimized build without re-profiling.
+pgo-profile:
+	$(GO) run ./cmd/benchall -scale 0.05 -seed 1871 -only table3 -cpuprofile default.pgo
+
+# Profile-guided build of every package and binary using the committed
+# default profile (see pgo-profile to refresh it after hot-path changes).
+pgo:
+	$(GO) build -pgo=$(CURDIR)/default.pgo ./...
 
 # Sharded differential gate: the K-shard determinism tests under -race,
 # then a quarter-scale end-to-end run proving shards 1 and 8 produce

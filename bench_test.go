@@ -17,7 +17,9 @@ import (
 	"sync"
 	"testing"
 
+	"censuslink/internal/block"
 	"censuslink/internal/census"
+	"censuslink/internal/evaluate"
 	"censuslink/internal/evolution"
 	"censuslink/internal/experiments"
 	"censuslink/internal/linkage"
@@ -313,6 +315,47 @@ func TestBenchTrajectory(t *testing.T) {
 		}
 	})
 
+	// LSH blocking rows: one compiled pre-matching pass under the MinHash/LSH
+	// scheme, plus the candidate-count and true-match-coverage trade-off
+	// against the default phonetic passes. The counts feed the regression
+	// gate below: the scheme must keep its >= 5x pair reduction and >= 0.98
+	// relative recall as the code evolves.
+	lshStrategies, err := linkage.ParseBlocking("lsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lshCfg := cfg
+	lshCfg.Strategies = lshStrategies
+	lshBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchPreMatch(old, new, f, lshCfg, linkage.EngineCompiled, 0)
+		}
+	})
+	truth := evaluate.TrueRecordMapping(old, new)
+	countAndCoverage := func(strategies []block.Strategy) (int, float64) {
+		pairs, covered := 0, 0
+		block.Candidates(old.Records(), old.Year, new.Records(), new.Year, strategies,
+			func(o, n *census.Record) {
+				pairs++
+				if truth[linkage.Pair{Old: o.ID, New: n.ID}] {
+					covered++
+				}
+			})
+		return pairs, float64(covered) / float64(len(truth))
+	}
+	exactPairs, exactCov := countAndCoverage(cfg.Strategies)
+	lshPairs, lshCov := countAndCoverage(lshStrategies)
+	lshReduction := float64(exactPairs) / float64(lshPairs)
+	lshRelRecall := lshCov / exactCov
+	t.Logf("lsh prematch %v/op; pairs %d vs %d exact (%.2fx reduction), relative recall %.4f",
+		lshBench.NsPerOp(), lshPairs, exactPairs, lshReduction, lshRelRecall)
+	if lshReduction < 5 {
+		t.Errorf("LSH candidate-pair reduction %.2fx below the 5x target", lshReduction)
+	}
+	if lshRelRecall < 0.98 {
+		t.Errorf("LSH relative recall %.4f below the 0.98 target", lshRelRecall)
+	}
+
 	statsCfg := linkage.DefaultConfig()
 	statsCfg.Engine = linkage.EngineCompiled
 	statsCfg.Obs = obs.NewStats(nil)
@@ -335,6 +378,12 @@ func TestBenchTrajectory(t *testing.T) {
 		"sim_cache_misses":       misses,
 		"sim_cache_hit_rate":     float64(hits) / float64(hits+misses),
 		"pruned_comparisons":     rep.Counters[obs.PrunedComparisons],
+
+		"prematch_lsh_ns_op":           lshBench.NsPerOp(),
+		"prematch_lsh_pairs":           lshPairs,
+		"prematch_exact_pairs":         exactPairs,
+		"prematch_lsh_pair_reduction":  lshReduction,
+		"prematch_lsh_relative_recall": lshRelRecall,
 	}
 
 	// Incremental series rows: one cold pass per iteration (fresh store,
@@ -434,6 +483,15 @@ func TestBenchTrajectory(t *testing.T) {
 					sr, sharded.NsPerOp(), base.ShardedNsOp)
 			}
 		}
+		if base.LSHNsOp > 0 {
+			lr := float64(lshBench.NsPerOp()) / float64(base.LSHNsOp)
+			t.Logf("lsh prematch vs baseline: %d ns/op now, %d ns/op then (%.2fx)",
+				lshBench.NsPerOp(), base.LSHNsOp, lr)
+			if lr > 2 {
+				t.Errorf("LSH pre-matching regressed %.2fx vs the committed baseline (limit 2x): %d ns/op vs %d ns/op",
+					lr, lshBench.NsPerOp(), base.LSHNsOp)
+			}
+		}
 	}
 }
 
@@ -443,6 +501,7 @@ type benchBaseline struct {
 	Scale        float64 `json:"scale"`
 	CompiledNsOp int64   `json:"compiled_ns_op"`
 	ShardedNsOp  int64   `json:"prematch_sharded_ns_op"`
+	LSHNsOp      int64   `json:"prematch_lsh_ns_op"`
 }
 
 func readBenchBaseline(path string) (*benchBaseline, error) {

@@ -127,7 +127,7 @@ func main() {
 		{"ablation", func() (*report.Table, error) { t, _, err := env.Ablation(); return t, err }},
 		{"baselines", func() (*report.Table, error) { t, _, err := env.Baselines(); return t, err }},
 		{"birthplace", func() (*report.Table, error) { t, _, err := env.BirthplaceExtension(); return t, err }},
-		{"blocking", func() (*report.Table, error) { return env.ReductionRatio(), nil }},
+		{"blocking", func() (*report.Table, error) { t, _, err := env.BlockingComparison(); return t, err }},
 		{"decades", func() (*report.Table, error) { t, _, err := env.QualityByPair(); return t, err }},
 	}
 	ran := 0

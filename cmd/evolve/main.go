@@ -40,6 +40,7 @@ func main() {
 	incremental := flag.Bool("incremental", false, "with -store: skip year pairs whose snapshot already matches this input and configuration")
 	pairWorkers := flag.Int("pair-workers", 1, "link up to this many year pairs concurrently")
 	shards := flag.Int("shards", 0, "partition pre-matching and the remainder pass of each year pair into this many block-key shards, bounding peak memory (0 = unsharded; results are identical)")
+	blocking := flag.String("blocking", "", "blocking scheme: default, high-recall, lsh or lsh+default")
 	flag.Parse()
 
 	// SIGINT/SIGTERM and -timeout cancel the shared context; the series
@@ -85,6 +86,13 @@ func main() {
 	cfg.Obs = stats
 	if *shards > 0 {
 		cfg.Shards = *shards
+	}
+	if *blocking != "" {
+		strategies, err := linkage.ParseBlocking(*blocking)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Strategies = strategies
 	}
 	opts := linkage.SeriesOptions{Incremental: *incremental, PairWorkers: *pairWorkers}
 	if *storeDir != "" {

@@ -67,6 +67,7 @@ func main() {
 	maxBadRows := flag.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
 	panicPolicy := flag.String("panic-policy", "fail-fast", "worker panic policy: fail-fast or skip")
 	engineFlag := flag.String("engine", "compiled", "comparison engine: compiled (interned values + similarity memo) or naive (interpreted oracle)")
+	blockingFlag := flag.String("blocking", "", "blocking scheme: default, high-recall, lsh or lsh+default (empty = the config's choice)")
 	shards := flag.Int("shards", 0, "partition pre-matching and the remainder pass into this many block-key shards with transient per-shard state, bounding peak memory (0 = unsharded; results are identical)")
 	storeDir := flag.String("store", "", "persist the linkage result as a content-addressed snapshot in this directory (iterative/oneshot only)")
 	incremental := flag.Bool("incremental", false, "with -store: serve a stored snapshot matching this input and configuration instead of recomputing")
@@ -183,6 +184,15 @@ func main() {
 		}
 		if *shards > 0 {
 			cfg.Shards = *shards
+		}
+		// A JSON config may carry its own blocking choice; an explicit
+		// -blocking flag wins over it.
+		if *blockingFlag != "" {
+			strategies, err := linkage.ParseBlocking(*blockingFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Strategies = strategies
 		}
 		if *method == "oneshot" {
 			cfg.DeltaHigh, cfg.DeltaStep = cfg.DeltaLow, 0

@@ -72,6 +72,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "localhost:8199", "HTTP listen address")
 	eager := fs.Bool("eager", false, "compute all year pairs and the evolution graph at startup")
 	engineFlag := fs.String("engine", "compiled", "comparison engine: compiled or naive")
+	blockingFlag := fs.String("blocking", "", "blocking scheme: default, high-recall, lsh or lsh+default (empty = the config's choice)")
 	shards := fs.Int("shards", 0, "partition pre-matching and the remainder pass into this many block-key shards, bounding peak memory per computation (0 = unsharded; results and snapshots are identical)")
 	configPath := fs.String("config", "", "load the linkage configuration from this JSON file")
 	computeTimeout := fs.Duration("compute-timeout", 0, "cap one year-pair computation (0 = no cap)")
@@ -128,6 +129,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *shards > 0 {
 		cfg.Shards = *shards
+	}
+	// A JSON config may carry its own blocking choice; an explicit -blocking
+	// flag wins over it.
+	if *blockingFlag != "" {
+		strategies, err := linkage.ParseBlocking(*blockingFlag)
+		if err != nil {
+			return err
+		}
+		cfg.Strategies = strategies
 	}
 
 	series, reports, err := census.ReadSeriesDirOptions(*dir,

@@ -18,7 +18,6 @@ import (
 	"regexp"
 	"strconv"
 
-	"censuslink/internal/block"
 	"censuslink/internal/census"
 	"censuslink/internal/evaluate"
 	"censuslink/internal/linkage"
@@ -45,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	rounds := fs.Int("rounds", 40, "maximum coordinate-ascent rounds")
 	negRatio := fs.Float64("negatives", 3.0, "non-matches sampled per match")
 	seed := fs.Int64("seed", 1, "sampling seed")
+	blocking := fs.String("blocking", "", "blocking scheme for training-pair generation: default, high-recall, lsh or lsh+default")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,8 +65,12 @@ func run(args []string, stdout io.Writer) error {
 	if len(truth) == 0 {
 		return fmt.Errorf("no ground truth: the input files carry no shared truth_id values")
 	}
+	strategies, err := linkage.ParseBlocking(*blocking)
+	if err != nil {
+		return err
+	}
 	sample := linkage.BuildTrainingSet(oldDS, newDS, truth,
-		block.DefaultStrategies(), *negRatio, *seed)
+		strategies, *negRatio, *seed)
 	fmt.Fprintf(stdout, "training sample: %d pairs (%d matches)\n", len(sample), len(truth))
 
 	res, err := linkage.TuneWeights(sample, linkage.OmegaOne(0).Matchers, *delta, *rounds)

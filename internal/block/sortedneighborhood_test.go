@@ -1,6 +1,7 @@
 package block
 
 import (
+	"math/rand"
 	"testing"
 
 	"censuslink/internal/census"
@@ -76,6 +77,42 @@ func TestSortedNeighborhoodNoDuplicatesNoSameSide(t *testing.T) {
 	// Window 6 over 6 identical keys: all 9 cross pairs.
 	if len(count) != 9 {
 		t.Errorf("pairs = %d, want 9", len(count))
+	}
+}
+
+// TestSortedNeighborhoodNoDuplicates drives the window over randomized
+// datasets with heavy key skew (many ties, interleaved sides) across window
+// sizes and asserts every (old, new) pair is emitted exactly once — the
+// by-construction uniqueness that let the O(window·n) dedup map be removed.
+func TestSortedNeighborhoodNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	surnames := []string{"smith", "smith", "smyth", "taylor", "b", ""}
+	firsts := []string{"ann", "ann", "bob", "cy", ""}
+	mk := func(year, n int) *census.Dataset {
+		rows := make([][4]string, n)
+		for i := range rows {
+			rows[i] = [4]string{
+				firsts[rng.Intn(len(firsts))],
+				surnames[rng.Intn(len(surnames))],
+				"m", "30",
+			}
+		}
+		return makeDataset(t, year, rows)
+	}
+	for _, window := range []int{2, 3, 5, 17, 1000} {
+		old := mk(1871, 40)
+		new := mk(1881, 37)
+		count := map[string]int{}
+		SortedNeighborhood(old.Records(), new.Records(), nil, window,
+			func(o, n *census.Record) { count[o.ID+"|"+n.ID]++ })
+		for p, c := range count {
+			if c != 1 {
+				t.Fatalf("window %d: pair %s emitted %d times, want exactly 1", window, p, c)
+			}
+		}
+		if window >= 1000 && len(count) != 40*37 {
+			t.Errorf("window %d: pairs = %d, want full cross product %d", window, len(count), 40*37)
+		}
 	}
 }
 

@@ -1,0 +1,54 @@
+package linkage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"censuslink/internal/block"
+)
+
+// blockingRegistry maps registered blocking-scheme names to strategy
+// constructors, parallel to matcherRegistry for comparators. Constructors
+// (not values) so every Config gets fresh Strategy closures.
+var blockingRegistry = map[string]func() []block.Strategy{
+	// The paper's multi-pass phonetic configuration: Soundex on surname plus
+	// Soundex on first name + sex for surname changes.
+	"default": block.DefaultStrategies,
+	// Default passes plus a surname q-gram pass for heavily corrupted names.
+	"high-recall": block.HighRecallStrategies,
+	// MinHash/LSH banded q-gram signatures (birth-year-guarded name passes
+	// plus a full-name recovery pass): several times fewer candidate pairs
+	// than the phonetic passes at ≥ 0.98 of their true-match coverage.
+	"lsh": func() []block.Strategy { return block.LSHStrategies(block.DefaultLSHConfig()) },
+	// Union of the phonetic and LSH passes, for recall-critical runs where
+	// the extra candidates are affordable.
+	"lsh+default": func() []block.Strategy {
+		return append(block.DefaultStrategies(), block.LSHStrategies(block.DefaultLSHConfig())...)
+	},
+}
+
+// BlockingNames lists the registered blocking-scheme names, sorted, for
+// error messages and tool help.
+func BlockingNames() []string {
+	names := make([]string, 0, len(blockingRegistry))
+	for n := range blockingRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseBlocking resolves a blocking-scheme name ("" means "default") into
+// its strategy set.
+func ParseBlocking(name string) ([]block.Strategy, error) {
+	if name == "" {
+		name = "default"
+	}
+	ctor, ok := blockingRegistry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("linkage: unknown blocking scheme %q (known: %s)",
+			name, strings.Join(BlockingNames(), ", "))
+	}
+	return ctor(), nil
+}

@@ -1,0 +1,98 @@
+package linkage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseBlocking(t *testing.T) {
+	for _, name := range append(BlockingNames(), "") {
+		strategies, err := ParseBlocking(name)
+		if err != nil {
+			t.Errorf("ParseBlocking(%q): %v", name, err)
+			continue
+		}
+		if len(strategies) < 2 {
+			t.Errorf("ParseBlocking(%q) returned %d strategies, want >= 2", name, len(strategies))
+		}
+	}
+	// Case-insensitive, like the matcher registry.
+	if _, err := ParseBlocking("LSH"); err != nil {
+		t.Errorf("ParseBlocking is case-sensitive: %v", err)
+	}
+	if _, err := ParseBlocking("quantum"); err == nil || !strings.Contains(err.Error(), "unknown blocking scheme") {
+		t.Errorf("unknown scheme accepted: %v", err)
+	}
+}
+
+// TestBlockingSchemesFingerprintDistinct: the config fingerprint keys the
+// snapshot store, so every registered scheme must hash differently (the LSH
+// strategy names bake their parameters in for the same reason).
+func TestBlockingSchemesFingerprintDistinct(t *testing.T) {
+	prints := map[string]string{}
+	for _, name := range BlockingNames() {
+		spec := DefaultConfigSpec()
+		spec.Blocking = name
+		cfg, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fp := cfg.Fingerprint()
+		if prev, dup := prints[fp]; dup {
+			t.Errorf("schemes %q and %q share fingerprint %s", prev, name, fp)
+		}
+		prints[fp] = name
+	}
+}
+
+// TestConfigSpecBlockingRoundTrip: the blocking choice survives JSON and an
+// explicit "default" builds the same strategy set as an absent field.
+func TestConfigSpecBlockingRoundTrip(t *testing.T) {
+	spec := DefaultConfigSpec()
+	spec.Blocking = "lsh"
+	var buf bytes.Buffer
+	if err := WriteConfigSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"blocking": "lsh"`) {
+		t.Errorf("blocking field not serialized: %s", buf.String())
+	}
+	got, err := ReadConfigSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cfg.Strategies {
+		if !strings.Contains(s.Name, "minhash") {
+			t.Errorf("lsh spec built non-LSH strategy %q", s.Name)
+		}
+	}
+
+	spec.Blocking = "nope"
+	if _, err := spec.Build(); err == nil {
+		t.Error("unknown blocking scheme accepted by Build")
+	}
+
+	names := func(spec ConfigSpec) []string {
+		cfg, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, s := range cfg.Strategies {
+			out = append(out, s.Name)
+		}
+		return out
+	}
+	spec.Blocking = ""
+	absent := names(spec)
+	spec.Blocking = "default"
+	explicit := names(spec)
+	if strings.Join(absent, ",") != strings.Join(explicit, ",") {
+		t.Errorf("empty blocking %v != explicit default %v", absent, explicit)
+	}
+}

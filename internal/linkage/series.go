@@ -162,8 +162,11 @@ func linkPairsSequential(ctx context.Context, pairs [][2]*census.Dataset, cfg Co
 // the sequential path's. Each pair collects into its own obs.Stats child;
 // the children are merged into cfg.Obs in pair order after the pool drains,
 // so iteration snapshots never interleave across pairs. The first failure
-// (in pair order) cancels the remaining work fail-fast; pairs that already
-// finished keep their slots.
+// (in pair order) stops new pairs from being fed, but pairs already in
+// flight run to completion and keep their slots — a failed save must not
+// discard sibling work that is about to finish (and on a single-CPU box the
+// scheduler could otherwise cancel an almost-done sibling nondeterministically).
+// Only parent-context cancellation aborts in-flight pairs.
 func linkPairsParallel(ctx context.Context, pairs [][2]*census.Dataset, cfg Config, cfgHash string,
 	opts SeriesOptions, todo []int, out []*Result) error {
 	workers := opts.PairWorkers
@@ -176,6 +179,8 @@ func linkPairsParallel(ctx context.Context, pairs [][2]*census.Dataset, cfg Conf
 	children := make([]*obs.Stats, len(todo))
 	errs := make([]error, len(todo))
 	next := make(chan int) // index into todo
+	stopFeed := make(chan struct{})
+	var stopOnce sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -194,7 +199,7 @@ func linkPairsParallel(ctx context.Context, pairs [][2]*census.Dataset, cfg Conf
 				}
 				if err != nil {
 					errs[ti] = err
-					cancel() // fail fast: stop feeding and unblock running pairs
+					stopOnce.Do(func() { close(stopFeed) }) // fail fast: no new pairs
 					continue
 				}
 				out[todo[ti]] = res
@@ -205,6 +210,8 @@ feed:
 	for ti := range todo {
 		select {
 		case next <- ti:
+		case <-stopFeed:
+			break feed
 		case <-pctx.Done():
 			break feed
 		}

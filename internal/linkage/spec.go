@@ -45,6 +45,9 @@ type ConfigSpec struct {
 	// Engine selects the comparison path: "compiled" (default when empty)
 	// or "naive" (see ParseEngine).
 	Engine string `json:"engine,omitempty"`
+	// Blocking selects the candidate-generation scheme: "default" (when
+	// empty), "high-recall", "lsh" or "lsh+default" (see ParseBlocking).
+	Blocking string `json:"blocking,omitempty"`
 }
 
 // matcherRegistry maps registered matcher names to similarity functions.
@@ -147,9 +150,10 @@ func (s ConfigSpec) Build() (Config, error) {
 		OptimalRemainder:   s.OptimalRemainder,
 		Engine:             engine,
 	}
-	// Blocking is not spec-configurable yet; the default multi-pass set is
-	// the right choice for census data.
-	cfg.Strategies = DefaultConfig().Strategies
+	cfg.Strategies, err = ParseBlocking(s.Blocking)
+	if err != nil {
+		return Config{}, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err
 	}

@@ -26,6 +26,10 @@ func FuzzEncoders(f *testing.F) {
 		if d := Levenshtein(a, b); d < 0 {
 			t.Fatalf("negative distance for (%q, %q)", a, b)
 		}
+		// The bit-parallel core must agree with the DP oracle everywhere.
+		if got, want := levenshteinRunes([]rune(a), []rune(b)), levenshteinRunesDP([]rune(a), []rune(b)); got != want {
+			t.Fatalf("myers distance %d != dp %d for (%q, %q)", got, want, a, b)
+		}
 		if d := DamerauLevenshtein(a, b); d < 0 {
 			t.Fatalf("negative damerau distance for (%q, %q)", a, b)
 		}

@@ -1,0 +1,187 @@
+package strsim
+
+import "testing"
+
+// TestNormalizeFoldsDiacritics pins the shared normalization on ICE-ID-style
+// accented names: every comparator and blocking key function sees the folded
+// ASCII form.
+func TestNormalizeFoldsDiacritics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Þórður", "thordur"},
+		{"Guðrún", "gudrun"},
+		{"Müller", "muller"},
+		{"Jürgen", "jurgen"},
+		{"Ragnheiður", "ragnheidur"},
+		{"Sæmundur", "saemundur"},
+		{"Sigríður", "sigridur"},
+		{"Jóhannsson", "johannsson"},
+		{"Åström", "astrom"},
+		{"Østergård", "ostergard"},
+		{"Strauß", "strauss"},
+		{"François", "francois"},
+		{"Núñez", "nunez"},
+		{"Łukasz", "lukasz"},
+		{"Dvořák", "dvorak"},
+		{"  Smith  ", "smith"},
+		{"plain", "plain"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSoundexAccentedNames pins the codes of names the byte-oriented encoder
+// used to truncate or empty out: they must match their transliterations so
+// accented records share blocking keys with their plain-ASCII spellings.
+func TestSoundexAccentedNames(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Þórður", "T636"},
+		{"Thordur", "T636"},
+		{"Müller", "M460"},
+		{"Muller", "M460"},
+		{"Guðrún", "G365"},
+		{"Gudrun", "G365"},
+		{"Jürgen", "J625"},
+		{"Sæmundur", "S553"},
+		{"Strauß", "S362"},
+		{"Åkesson", "A225"},
+		{"Akesson", "A225"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// A fully non-Latin name must still produce a deterministic, non-empty,
+	// well-formed code instead of falling out of blocking.
+	got := Soundex("Żhivago")
+	if len(got) != 4 {
+		t.Errorf("Soundex(Żhivago) = %q, want a 4-character code", got)
+	}
+	if a, b := Soundex("Иванов"), Soundex("Иванов"); a == "" || a != b {
+		t.Errorf("non-Latin Soundex not deterministic or empty: %q vs %q", a, b)
+	}
+}
+
+// TestFoldLatinASCIIFastPath asserts the pure-ASCII fast path returns the
+// input without copying.
+func TestFoldLatinASCIIFastPath(t *testing.T) {
+	in := "already plain ascii"
+	if got := foldLatin(in); got != in {
+		t.Fatalf("foldLatin(%q) = %q", in, got)
+	}
+	if n := testing.AllocsPerRun(100, func() { foldLatin(in) }); n != 0 {
+		t.Errorf("foldLatin allocates %.1f times on ASCII input, want 0", n)
+	}
+}
+
+// TestJaroWinklerAllocs asserts the restructured JaroWinkler normalizes and
+// rune-expands each input exactly once per call. The budget is 4
+// allocations for mixed-case ASCII input — two ToLower copies and two rune
+// expansions; jaroRunes itself runs allocation-free on ≤64-rune inputs. The
+// old shape (Jaro + a second normalize pass + fresh rune slices for the
+// prefix boost, plus two heap-allocated match-flag slices) needed 10.
+func TestJaroWinklerAllocs(t *testing.T) {
+	a, b := "Elizabeth", "Elisabeth"
+	if got := JaroWinkler(a, b); got <= 0.9 || got > 1 {
+		t.Fatalf("JaroWinkler(%q, %q) = %v, want ~0.95", a, b, got)
+	}
+	if n := testing.AllocsPerRun(200, func() { JaroWinkler(a, b) }); n > 4 {
+		t.Errorf("JaroWinkler allocates %.1f times per call, want <= 4", n)
+	}
+	// Pre-normalized input should not pay the ToLower copies either.
+	if n := testing.AllocsPerRun(200, func() { JaroWinkler("elizabeth", "elisabeth") }); n > 2 {
+		t.Errorf("JaroWinkler on normalized input allocates %.1f times per call, want <= 2", n)
+	}
+}
+
+// TestJaroAllocsSmall asserts the bitmask match-flag path keeps Jaro itself
+// allocation-free beyond normalization and rune expansion.
+func TestJaroAllocsSmall(t *testing.T) {
+	ra, rb := []rune("margaret"), []rune("margret")
+	if n := testing.AllocsPerRun(200, func() { jaroRunes(ra, rb) }); n != 0 {
+		t.Errorf("jaroRunes allocates %.1f times on short input, want 0", n)
+	}
+}
+
+// TestJaroBitmaskMatchesSlices differentially checks the ≤64-rune bitmask
+// kernel against the general bool-slice kernel on boundary lengths.
+func TestJaroBitmaskMatchesSlices(t *testing.T) {
+	mk := func(n int, shift bool) []rune {
+		out := make([]rune, n)
+		for i := range out {
+			c := 'a' + rune(i%7)
+			if shift && i%5 == 0 {
+				c = 'a' + rune((i+3)%7)
+			}
+			out[i] = c
+		}
+		return out
+	}
+	for _, n := range []int{1, 2, 8, 63, 64} {
+		ra, rb := mk(n, false), mk(n, true)
+		got := jaroRunesSmall(ra, rb)
+		// Force the general path by widening one side beyond 64 runes, then
+		// compare against the same-length prefix computation: instead, call
+		// the slice path directly via a copy of the general implementation
+		// boundary — here we just recompute through jaroRunes with a >64
+		// sibling to ensure both kernels coexist, and check the small kernel
+		// against a known-good recomputation.
+		want := jaroRunesBoolOracle(ra, rb)
+		if got != want {
+			t.Errorf("n=%d: bitmask=%v slices=%v", n, got, want)
+		}
+	}
+	// And one >64 case through the public entry to cover the slice path.
+	ra, rb := mk(80, false), mk(80, true)
+	if got, want := jaroRunes(ra, rb), jaroRunesBoolOracle(ra, rb); got != want {
+		t.Errorf("n=80: jaroRunes=%v oracle=%v", got, want)
+	}
+}
+
+// jaroRunesBoolOracle re-implements the bool-slice Jaro kernel for the
+// differential test above.
+func jaroRunesBoolOracle(ra, rb []rune) float64 {
+	window := max2(len(ra), len(rb))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(ra))
+	matchB := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := max2(0, i-window)
+		hi := min2(len(rb)-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	tr := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-tr)/m) / 3
+}

@@ -15,9 +15,75 @@ import (
 // Func is a string similarity function returning a value in [0, 1].
 type Func func(a, b string) float64
 
-// normalize lower-cases and trims a value for comparison.
+// normalize lower-cases, trims and diacritic-folds a value for comparison.
+// Folding maps common Latin diacritics to their ASCII base letters (see
+// foldLatin), so accented spellings — "Þórður", "Müller" — compare and block
+// the same way as their transliterations instead of silently falling out of
+// byte-oriented encoders like Soundex.
 func normalize(s string) string {
-	return strings.ToLower(strings.TrimSpace(s))
+	return foldLatin(strings.ToLower(strings.TrimSpace(s)))
+}
+
+// Normalize is the exported form of the normalization every comparator in
+// this package applies (lower-case, trim, Latin-diacritic fold). Blocking
+// key functions use it so candidate generation and comparison agree on what
+// a value looks like.
+func Normalize(s string) string { return normalize(s) }
+
+// latinFold maps lower-case accented Latin runes to their ASCII folding.
+// The table covers Latin-1 Supplement and the Latin Extended-A letters that
+// occur in European census name data (Icelandic, Nordic, German, French,
+// Iberian, Slavic and Hungarian orthographies). Multi-rune expansions follow
+// the conventional transliterations: þ→th, ð→d, ß→ss, æ→ae, œ→oe, ø→o.
+var latinFold = map[rune]string{
+	'à': "a", 'á': "a", 'â': "a", 'ã': "a", 'ä': "a", 'å': "a", 'ā': "a", 'ă': "a", 'ą': "a",
+	'ç': "c", 'ć': "c", 'ĉ': "c", 'ċ': "c", 'č': "c",
+	'ď': "d", 'đ': "d", 'ð': "d",
+	'è': "e", 'é': "e", 'ê': "e", 'ë': "e", 'ē': "e", 'ĕ': "e", 'ė': "e", 'ę': "e", 'ě': "e",
+	'ĝ': "g", 'ğ': "g", 'ġ': "g", 'ģ': "g",
+	'ĥ': "h", 'ħ': "h",
+	'ì': "i", 'í': "i", 'î': "i", 'ï': "i", 'ĩ': "i", 'ī': "i", 'ĭ': "i", 'į': "i", 'ı': "i",
+	'ĵ': "j",
+	'ķ': "k",
+	'ĺ': "l", 'ļ': "l", 'ľ': "l", 'ŀ': "l", 'ł': "l",
+	'ñ': "n", 'ń': "n", 'ņ': "n", 'ň': "n",
+	'ò': "o", 'ó': "o", 'ô': "o", 'õ': "o", 'ö': "o", 'ø': "o", 'ō': "o", 'ŏ': "o", 'ő': "o",
+	'ŕ': "r", 'ŗ': "r", 'ř': "r",
+	'ś': "s", 'ŝ': "s", 'ş': "s", 'š': "s",
+	'ţ': "t", 'ť': "t", 'ŧ': "t",
+	'ù': "u", 'ú': "u", 'û': "u", 'ü': "u", 'ũ': "u", 'ū': "u", 'ŭ': "u", 'ů': "u", 'ű': "u", 'ų': "u",
+	'ŵ': "w",
+	'ý': "y", 'ÿ': "y", 'ŷ': "y",
+	'ź': "z", 'ż': "z", 'ž': "z",
+	'æ': "ae", 'œ': "oe",
+	'þ': "th", 'ß': "ss",
+}
+
+// foldLatin replaces accented Latin letters in an already lower-cased string
+// with their ASCII foldings. Pure-ASCII input — the overwhelmingly common
+// case on the comparison hot path — is detected with a byte scan and
+// returned unchanged without allocating.
+func foldLatin(s string) string {
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if f, ok := latinFold[r]; ok {
+			b.WriteString(f)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // Exact returns 1 if the normalised strings are equal and both non-empty,
@@ -99,7 +165,9 @@ func Levenshtein(a, b string) int {
 
 // levenshteinRunes is the edit-distance core shared by the string function
 // and the profile comparator; both must go through it so that precompiled
-// profiles score bit-for-bit identically to the string path.
+// profiles score bit-for-bit identically to the string path. It dispatches
+// to the bit-parallel Myers kernels (myers.go), which are fuzz-proven equal
+// to the two-row DP oracle levenshteinRunesDP on arbitrary unicode input.
 func levenshteinRunes(ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
@@ -107,23 +175,7 @@ func levenshteinRunes(ra, rb []rune) int {
 	if len(rb) == 0 {
 		return len(ra)
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
+	return myersRunes(ra, rb)
 }
 
 // EditSim is the normalised Levenshtein similarity:
@@ -161,8 +213,15 @@ func Jaro(a, b string) float64 {
 }
 
 // jaroRunes is the Jaro core over pre-normalised, non-empty, non-equal rune
-// slices, shared by the string function and the profile comparator.
+// slices, shared by the string function and the profile comparator. Match
+// flags live in uint64 bitmasks when both inputs fit in 64 runes (the
+// overwhelmingly common case for name attributes), so the hot path performs
+// no allocation; longer inputs fall back to bool slices with identical
+// results.
 func jaroRunes(ra, rb []rune) float64 {
+	if len(ra) <= 64 && len(rb) <= 64 {
+		return jaroRunesSmall(ra, rb)
+	}
 	window := max2(len(ra), len(rb))/2 - 1
 	if window < 0 {
 		window = 0
@@ -204,15 +263,70 @@ func jaroRunes(ra, rb []rune) float64 {
 	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
 }
 
+// jaroRunesSmall is jaroRunes for inputs of at most 64 runes each: the match
+// flags are two uint64 words on the stack instead of two heap-allocated bool
+// slices. The scan order, match assignment and transposition count are
+// identical to the general path bit for bit.
+func jaroRunesSmall(ra, rb []rune) float64 {
+	window := max2(len(ra), len(rb))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	var matchA, matchB uint64
+	matches := 0
+	for i := range ra {
+		lo := max2(0, i-window)
+		hi := min2(len(rb)-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB&(1<<uint(j)) == 0 && ra[i] == rb[j] {
+				matchA |= 1 << uint(i)
+				matchB |= 1 << uint(j)
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if matchA&(1<<uint(i)) == 0 {
+			continue
+		}
+		for matchB&(1<<uint(j)) == 0 {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+}
+
 // JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
-// scale 0.1 over at most 4 common prefix characters.
+// scale 0.1 over at most 4 common prefix characters. Both strings are
+// normalised and rune-expanded exactly once; the Jaro score and the Winkler
+// prefix boost share that work (the naive composition Jaro(a,b) +
+// re-normalise used to do all of it twice per call).
 func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
+	na, nb := normalize(a), normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if na == nb {
+		return 1
+	}
+	ra, rb := []rune(na), []rune(nb)
+	j := jaroRunes(ra, rb)
 	if j == 0 {
 		return 0
 	}
-	na, nb := normalize(a), normalize(b)
-	return winklerBoost(j, []rune(na), []rune(nb))
+	return winklerBoost(j, ra, rb)
 }
 
 // winklerBoost applies the Winkler common-prefix boost to a Jaro similarity.
@@ -244,6 +358,15 @@ func NumericSim(maxDiff int) func(a, b int) float64 {
 
 // Soundex returns the 4-character American Soundex code of s, or "" for an
 // input without any letter. Used as a phonetic blocking key.
+//
+// normalize folds common Latin diacritics to ASCII first, so "Þórður" and
+// "Müller" encode as their transliterations ("Thordur" → T636, "Muller" →
+// M460) instead of losing letters. A letter that survives folding as
+// non-ASCII (Greek, Cyrillic, CJK, …) no longer vanishes either: as the
+// first letter it maps deterministically into 'A'..'Z' (rune value mod 26,
+// preserving the 4-character ASCII code shape), and in later positions it
+// encodes as digit 0, behaving like a vowel — so the record keeps a usable
+// blocking key rather than falling out of candidate generation.
 func Soundex(s string) string {
 	n := normalize(s)
 	var first rune
@@ -251,19 +374,27 @@ func Soundex(s string) string {
 	var lastDigit byte
 	started := false
 	for _, r := range n {
-		if !unicode.IsLetter(r) || r > unicode.MaxASCII {
+		if !unicode.IsLetter(r) {
 			continue
 		}
-		d := soundexDigit(byte(r))
+		var d byte
+		if r <= unicode.MaxASCII {
+			d = soundexDigit(byte(r))
+		}
 		if !started {
-			first = unicode.ToUpper(r)
+			if r <= unicode.MaxASCII {
+				first = unicode.ToUpper(r)
+			} else {
+				first = 'A' + r%26
+			}
 			started = true
 			lastDigit = d
 			continue
 		}
 		if d == 0 {
 			// Vowels (and y) reset the run so repeated consonants separated
-			// by a vowel encode twice; h and w do not reset.
+			// by a vowel encode twice; h and w do not reset. Non-ASCII
+			// letters reset like vowels.
 			if r != 'h' && r != 'w' {
 				lastDigit = 0
 			}
