@@ -430,6 +430,76 @@ func TestBenchTrajectory(t *testing.T) {
 	t.Logf("series cold %v/op, warm (all snapshots) %v/op, incremental speedup %.2fx",
 		cold.NsPerOp(), warm.NsPerOp(), incSpeedup)
 
+	// Append-only evolution rows: a census year arriving as an event. The
+	// rebuild row is what a non-incremental service pays on arrival — relink
+	// the whole series and rebuild the evolution graph and timelines from
+	// scratch. The warm append row is the event path the server takes: link
+	// only the new pair (snapshot-warm), clone the resident graph and extend
+	// it in place. The differential test in internal/evolution proves the two
+	// agree; the gate here proves the append path earns its keep. The cold
+	// row is the honest no-snapshot arrival (the pair really gets linked).
+	baseSeries := census.NewSeries(series.Datasets[:len(series.Datasets)-1]...)
+	nextDS := series.Datasets[len(series.Datasets)-1]
+	lastDS := baseSeries.Datasets[len(baseSeries.Datasets)-1]
+	baseResults, err := linkage.LinkSeriesOpts(context.Background(), baseSeries, seriesCfg,
+		linkage.SeriesOptions{Store: warmStore, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseGraph, err := evolution.BuildGraphContext(context.Background(), baseSeries, baseResults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTimelines := baseGraph.PersonTimelines(1)
+	appendOnce := func(b *testing.B, opts linkage.SeriesOptions) {
+		res, err := linkage.LinkAppend(context.Background(), baseSeries, nextDS, seriesCfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := baseGraph.Clone()
+		if err := g.AppendYear(lastDS, nextDS, res); err != nil {
+			b.Fatal(err)
+		}
+		if len(g.ExtendTimelines(baseTimelines)) == 0 {
+			b.Fatal("append produced no timelines")
+		}
+	}
+	rebuild := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := linkage.LinkSeries(series, seriesCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := evolution.BuildGraphContext(context.Background(), series, res, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(g.PersonTimelines(1)) == 0 {
+				b.Fatal("rebuild produced no timelines")
+			}
+		}
+	})
+	appendWarm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			appendOnce(b, linkage.SeriesOptions{Store: warmStore, Incremental: true})
+		}
+	})
+	appendCold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			appendOnce(b, linkage.SeriesOptions{})
+		}
+	})
+	evoSpeedup := float64(rebuild.NsPerOp()) / float64(appendWarm.NsPerOp())
+	report["evolution_incremental_rebuild_ns_op"] = rebuild.NsPerOp()
+	report["evolution_incremental_append_ns_op"] = appendWarm.NsPerOp()
+	report["evolution_incremental_speedup"] = evoSpeedup
+	report["evolution_append_cold_pair_ns_op"] = appendCold.NsPerOp()
+	t.Logf("evolution rebuild %v/op, warm append %v/op (%.2fx), cold-pair append %v/op",
+		rebuild.NsPerOp(), appendWarm.NsPerOp(), evoSpeedup, appendCold.NsPerOp())
+	if evoSpeedup < 10 {
+		t.Errorf("warm append %.2fx faster than a full rebuild, below the 10x gate", evoSpeedup)
+	}
+
 	if path != "" {
 		// Preserve the committed million-record rows (written separately by
 		// TestLink1M, which takes hours) when this rewrite did not re-measure

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	evolve -dir data/
+//	evolve -dir data/ [-append census_1901.csv]
+//
+// With -append, the named census joins an already-linked series through the
+// append-only path: only the (last year, new year) pair is linked (reusing a
+// -store snapshot when one matches) and the evolution graph, pattern counts
+// and person timelines are extended in place — the arrival cost of one new
+// census is one pair linkage, not a series relink.
 package main
 
 import (
@@ -17,6 +23,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"censuslink/internal/census"
@@ -41,6 +50,8 @@ func main() {
 	pairWorkers := flag.Int("pair-workers", 1, "link up to this many year pairs concurrently")
 	shards := flag.Int("shards", 0, "partition pre-matching and the remainder pass of each year pair into this many block-key shards, bounding peak memory (0 = unsharded; results are identical)")
 	blocking := flag.String("blocking", "", "blocking scheme: default, high-recall, lsh or lsh+default")
+	appendPath := flag.String("append", "", "append this census CSV to the linked series via the incremental pair-append path")
+	appendYear := flag.Int("append-year", 0, "census year of the -append file (0 = derive from its census_<year>.csv name)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM and -timeout cancel the shared context; the series
@@ -126,6 +137,30 @@ func main() {
 	if err2 != nil {
 		fail(err2)
 	}
+
+	// -append: the new census arrives as an event. Link only the final pair
+	// and extend the graph and timelines in place; everything printed below
+	// covers the appended year exactly as a full relink would.
+	if *appendPath != "" {
+		next, err := readAppend(*appendPath, *appendYear,
+			census.LoadOptions{Strict: !*lenient, MaxBadRows: *maxBadRows})
+		if err != nil {
+			fail(err)
+		}
+		prev := graph.PersonTimelines(2)
+		res, err := linkage.LinkAppend(ctx, series, next, cfg, opts)
+		if err != nil {
+			fail(err)
+		}
+		last := series.Datasets[len(series.Datasets)-1]
+		if err := graph.AppendYear(last, next, res); err != nil {
+			fail(err)
+		}
+		extended := graph.ExtendTimelines(prev)
+		series = census.NewSeries(append(append([]*census.Dataset{}, series.Datasets...), next)...)
+		fmt.Printf("appended %d-%d: %d record links, %d group links, %d person timelines\n",
+			last.Year, next.Year, len(res.RecordLinks), len(res.GroupLinks), len(extended))
+	}
 	if *statsOut != "" {
 		writeStats(*statsOut, stats)
 	}
@@ -179,6 +214,34 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (render with: dot -Tsvg %s)\n", *dot, *dot)
 	}
+}
+
+// readAppend loads the census CSV an -append run feeds the incremental
+// path, deriving the year from the canonical census_<year>.csv name when
+// -append-year is not given.
+func readAppend(path string, year int, opts census.LoadOptions) (*census.Dataset, error) {
+	if year == 0 {
+		base := filepath.Base(path)
+		digits := strings.TrimSuffix(strings.TrimPrefix(base, "census_"), ".csv")
+		y, err := strconv.Atoi(digits)
+		if err != nil || digits == base {
+			return nil, fmt.Errorf("cannot derive a census year from %q; pass -append-year", base)
+		}
+		year = y
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, rep, err := census.ReadCSVOptions(f, year, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rep != nil && !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "%s:\n%s", filepath.Base(path), rep.Summary())
+	}
+	return ds, nil
 }
 
 // writeStats finalizes the collector and writes its JSON run report.

@@ -9,6 +9,41 @@ import (
 	"censuslink/internal/paperexample"
 )
 
+// TestReadAppend covers the -append input path: the census year comes from
+// the canonical file name unless -append-year overrides it, and files the
+// year cannot be derived from are refused with a hint.
+func TestReadAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "census_1891.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := census.WriteCSV(f, paperexample.New()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ds, err := readAppend(path, 0, census.LoadOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Year != 1891 || ds.NumRecords() != 11 {
+		t.Errorf("derived-year load: year %d, %d records", ds.Year, ds.NumRecords())
+	}
+	if ds, err = readAppend(path, 1901, census.LoadOptions{Strict: true}); err != nil || ds.Year != 1901 {
+		t.Errorf("explicit year: %v, year %d", err, ds.Year)
+	}
+
+	odd := filepath.Join(dir, "extra.csv")
+	if err := os.Rename(path, odd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAppend(odd, 0, census.LoadOptions{Strict: true}); err == nil {
+		t.Error("underivable year accepted without -append-year")
+	}
+}
+
 func TestReadSeriesFromDir(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, d *census.Dataset) {

@@ -3,8 +3,11 @@
 // year pairs at most once each — lazily on first demand or eagerly with
 // -eager — and answers JSON queries for record links (with provenance),
 // group links, evolution patterns, household timelines and per-record
-// lifecycles. Pipeline counters and stage timings are exported on /metrics
-// in Prometheus text format; /healthz and /debug/pprof are also served.
+// lifecycles. New census years arrive as events: POST /v1/census links the
+// new pair incrementally and GET /v1/evolution/watch streams the resulting
+// lifecycle transitions (SSE with a long-poll fallback). Pipeline counters
+// and stage timings are exported on /metrics in Prometheus text format;
+// /healthz, /v1/openapi.json and /debug/pprof are also served.
 //
 // Usage:
 //
@@ -15,7 +18,9 @@
 //	           [-read-header-timeout 5s] [-read-timeout 60s] \
 //	           [-write-timeout 2m] [-idle-timeout 2m] \
 //	           [-stats report.json] [-lenient] [-max-bad-rows 100] \
-//	           [-store snapdir -store-refresh 2s -store-retry 3]
+//	           [-store snapdir -store-refresh 2s -store-retry 3] \
+//	           [-max-ingest-bytes 67108864] [-watch-buffer 1024] \
+//	           [-watch-heartbeat 15s]
 //
 // With -store, N linkservers may share one snapshot directory: each writes
 // the pairs it computes and adopts (every -store-refresh) those its
@@ -91,6 +96,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	storeRetry := fs.Int("store-retry", 0, "with -store: attempts per snapshot I/O operation on transient errors (0 = default)")
 	lenient := fs.Bool("lenient", false, "skip bad input rows instead of aborting")
 	maxBadRows := fs.Int("max-bad-rows", 0, "with -lenient: give up once more than this many rows are skipped (0 = no cap)")
+	maxIngestBytes := fs.Int64("max-ingest-bytes", 0, "cap one POST /v1/census CSV upload (0 = the server default, 64 MiB)")
+	watchBuffer := fs.Int("watch-buffer", 0, "events the /v1/evolution/watch feed retains for Last-Event-ID resume (0 = the server default, 1024)")
+	watchHeartbeat := fs.Duration("watch-heartbeat", 0, "SSE keep-alive comment interval for /v1/evolution/watch (0 = the server default, 15s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,6 +170,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxInFlight:    *maxInFlight,
 		RateLimit:      *rateLimit,
 		RateBurst:      *rateBurst,
+		MaxIngestBytes: *maxIngestBytes,
+		WatchBuffer:    *watchBuffer,
+		WatchHeartbeat: *watchHeartbeat,
 	}
 	if *storeDir != "" {
 		snaps, err := store.OpenOptions(*storeDir, store.Options{Retry: store.RetryPolicy{Attempts: *storeRetry}})

@@ -24,6 +24,8 @@ var pairLinkEndpoints = map[string]bool{
 
 // defaultMix approximates a read-heavy analytical client: mostly link and
 // evolution queries, a sprinkle of per-entity drill-downs and index hits.
+// watch_poll (the change feed's long-poll read) is known but off by
+// default; give it a weight to fold feed readers into the load.
 var defaultMix = map[string]int{
 	"records":            4,
 	"groups":             2,
@@ -32,6 +34,20 @@ var defaultMix = map[string]int{
 	"household_timeline": 2,
 	"record_lifecycle":   2,
 	"years":              1,
+	"watch_poll":         0,
+}
+
+// mixToOperation maps loadgen's endpoint names to the operationIds of the
+// server's OpenAPI document, which discovery reads the path templates from.
+var mixToOperation = map[string]string{
+	"records":            "record_links",
+	"groups":             "group_links",
+	"patterns":           "patterns",
+	"timelines":          "timelines",
+	"household_timeline": "household_timeline",
+	"record_lifecycle":   "record_lifecycle",
+	"years":              "years",
+	"watch_poll":         "evolution_watch",
 }
 
 // Options configures one load run against a live linkserver.
@@ -145,8 +161,9 @@ type Harness struct {
 }
 
 // NewHarness validates the options and discovers the target URLs from the
-// live server: the year pairs from /v1/years, and sampled record and
-// household IDs from the first pair's links for the drill-down endpoints.
+// live server: the route templates from /v1/openapi.json, the year pairs
+// from /v1/years, and sampled record and household IDs from the first
+// pair's links for the drill-down endpoints.
 func NewHarness(ctx context.Context, opts Options) (*Harness, error) {
 	if opts.BaseURL == "" {
 		return nil, errors.New("loadgen: BaseURL required")
@@ -212,9 +229,89 @@ func sortedMixKeys(m map[string]int) []string {
 	return keys
 }
 
-// discover maps the server's series: years and pairs, plus sampled record
-// and household IDs for the per-entity endpoints.
+// routeInfo is one operation of the server's OpenAPI document: the method,
+// the path template with {param} placeholders, and whether the route is a
+// stream (SSE) rather than a bounded request/response.
+type routeInfo struct {
+	method    string
+	path      string
+	streaming bool
+}
+
+// discoverRoutes fetches /v1/openapi.json and indexes its operations by
+// operationId. Discovery derives every URL template from this document, so
+// the harness follows the server's published surface instead of hard-coding
+// paths that could drift from it.
+func (h *Harness) discoverRoutes(ctx context.Context) (map[string]routeInfo, error) {
+	var doc struct {
+		Paths map[string]map[string]struct {
+			OperationID string `json:"operationId"`
+			XStreaming  bool   `json:"x-streaming"`
+		} `json:"paths"`
+	}
+	if err := h.getJSON(ctx, "/v1/openapi.json", &doc); err != nil {
+		return nil, fmt.Errorf("loadgen: openapi discovery: %w", err)
+	}
+	routes := make(map[string]routeInfo, len(doc.Paths))
+	for p, ops := range doc.Paths {
+		for m, op := range ops {
+			if op.OperationID == "" {
+				continue
+			}
+			routes[op.OperationID] = routeInfo{
+				method: strings.ToUpper(m), path: p, streaming: op.XStreaming,
+			}
+		}
+	}
+	if len(routes) == 0 {
+		return nil, errors.New("loadgen: the OpenAPI document lists no operations")
+	}
+	return routes, nil
+}
+
+// fillPath substitutes {name} template parameters with concrete values.
+func fillPath(tmpl string, vals map[string]string) string {
+	for k, v := range vals {
+		tmpl = strings.Replace(tmpl, "{"+k+"}", v, 1)
+	}
+	return tmpl
+}
+
+// route resolves one mix endpoint to its OpenAPI operation, refusing to
+// target a GET-only load at an operation the document does not describe as
+// a plain GET (streams are only exercised through their poll fallback).
+func (h *Harness) route(routes map[string]routeInfo, endpoint string) (routeInfo, error) {
+	op := mixToOperation[endpoint]
+	rt, ok := routes[op]
+	if !ok {
+		return routeInfo{}, fmt.Errorf("loadgen: the OpenAPI document has no operation %q (endpoint %q)", op, endpoint)
+	}
+	if rt.method != "GET" {
+		return routeInfo{}, fmt.Errorf("loadgen: operation %q is %s, not GET", op, rt.method)
+	}
+	if rt.streaming && endpoint != "watch_poll" {
+		return routeInfo{}, fmt.Errorf("loadgen: operation %q is a stream; not a load target", op)
+	}
+	return rt, nil
+}
+
+// discover maps the server: the route templates from its OpenAPI document,
+// then the series shape (years and pairs) plus sampled record and household
+// IDs to fill the templates' path parameters.
 func (h *Harness) discover(ctx context.Context) error {
+	routes, err := h.discoverRoutes(ctx)
+	if err != nil {
+		return err
+	}
+	tmpl := make(map[string]routeInfo, len(mixToOperation))
+	for endpoint := range mixToOperation {
+		rt, err := h.route(routes, endpoint)
+		if err != nil {
+			return err
+		}
+		tmpl[endpoint] = rt
+	}
+
 	var years struct {
 		Years []int `json:"years"`
 		Pairs []struct {
@@ -222,7 +319,7 @@ func (h *Harness) discover(ctx context.Context) error {
 			New int `json:"new"`
 		} `json:"pairs"`
 	}
-	if err := h.getJSON(ctx, "/v1/years", &years); err != nil {
+	if err := h.getJSON(ctx, tmpl["years"].path, &years); err != nil {
 		return fmt.Errorf("loadgen: discovery: %w", err)
 	}
 	if len(years.Pairs) == 0 {
@@ -230,49 +327,63 @@ func (h *Harness) discover(ctx context.Context) error {
 	}
 
 	h.targets = map[string][]target{
-		"years":     {{"years", h.opts.BaseURL + "/v1/years"}},
-		"timelines": {{"timelines", h.opts.BaseURL + "/v1/timelines"}, {"timelines", h.opts.BaseURL + "/v1/timelines?min_span=2"}},
+		"years": {{"years", h.opts.BaseURL + tmpl["years"].path}},
+		"timelines": {
+			{"timelines", h.opts.BaseURL + tmpl["timelines"].path},
+			{"timelines", h.opts.BaseURL + tmpl["timelines"].path + "?min_span=2"},
+		},
+		// The change feed's long-poll fallback: an empty immediate poll is
+		// the cheapest "anything new?" a feed reader issues.
+		"watch_poll": {{"watch_poll", h.opts.BaseURL + tmpl["watch_poll"].path + "?mode=poll"}},
 	}
 	for _, p := range years.Pairs {
-		base := fmt.Sprintf("%s/v1/links/%d/%d", h.opts.BaseURL, p.Old, p.New)
+		vals := map[string]string{
+			"old": strconv.Itoa(p.Old), "new": strconv.Itoa(p.New),
+		}
+		records := h.opts.BaseURL + fillPath(tmpl["records"].path, vals)
 		h.targets["records"] = append(h.targets["records"],
-			target{"records", base + "/records"},
-			target{"records", base + "/records?limit=50"},
-			target{"records", base + "/records?limit=50&offset=50"})
+			target{"records", records},
+			target{"records", records + "?limit=50"},
+			target{"records", records + "?limit=50&offset=50"})
 		h.targets["groups"] = append(h.targets["groups"],
-			target{"groups", base + "/groups"})
+			target{"groups", h.opts.BaseURL + fillPath(tmpl["groups"].path, vals)})
 		h.targets["patterns"] = append(h.targets["patterns"],
-			target{"patterns", fmt.Sprintf("%s/v1/evolution/%d/%d/patterns", h.opts.BaseURL, p.Old, p.New)})
+			target{"patterns", h.opts.BaseURL + fillPath(tmpl["patterns"].path, vals)})
 	}
 
 	// Sample concrete IDs from the first pair so the drill-down endpoints
 	// have live entities to query.
 	first := years.Pairs[0]
+	firstVals := map[string]string{
+		"old": strconv.Itoa(first.Old), "new": strconv.Itoa(first.New),
+	}
 	var links struct {
 		Links []struct {
 			Old string `json:"old"`
 		} `json:"record_links"`
 	}
-	if err := h.getJSON(ctx, fmt.Sprintf("/v1/links/%d/%d/records?limit=%d",
-		first.Old, first.New, h.opts.SampleIDs), &links); err != nil {
+	if err := h.getJSON(ctx, fmt.Sprintf("%s?limit=%d",
+		fillPath(tmpl["records"].path, firstVals), h.opts.SampleIDs), &links); err != nil {
 		return fmt.Errorf("loadgen: discovery: %w", err)
 	}
 	for _, l := range links.Links {
 		h.targets["record_lifecycle"] = append(h.targets["record_lifecycle"],
-			target{"record_lifecycle", fmt.Sprintf("%s/v1/records/%d/%s/lifecycle", h.opts.BaseURL, first.Old, l.Old)})
+			target{"record_lifecycle", h.opts.BaseURL + fillPath(tmpl["record_lifecycle"].path,
+				map[string]string{"year": strconv.Itoa(first.Old), "id": l.Old})})
 	}
 	var groups struct {
 		Links []struct {
 			Old string `json:"old"`
 		} `json:"group_links"`
 	}
-	if err := h.getJSON(ctx, fmt.Sprintf("/v1/links/%d/%d/groups?limit=%d",
-		first.Old, first.New, h.opts.SampleIDs), &groups); err != nil {
+	if err := h.getJSON(ctx, fmt.Sprintf("%s?limit=%d",
+		fillPath(tmpl["groups"].path, firstVals), h.opts.SampleIDs), &groups); err != nil {
 		return fmt.Errorf("loadgen: discovery: %w", err)
 	}
 	for _, g := range groups.Links {
 		h.targets["household_timeline"] = append(h.targets["household_timeline"],
-			target{"household_timeline", fmt.Sprintf("%s/v1/households/%d/%s/timeline", h.opts.BaseURL, first.Old, g.Old)})
+			target{"household_timeline", h.opts.BaseURL + fillPath(tmpl["household_timeline"].path,
+				map[string]string{"year": strconv.Itoa(first.Old), "id": g.Old})})
 	}
 	return nil
 }

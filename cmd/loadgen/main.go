@@ -17,12 +17,13 @@
 // appear in the summary's retries counter while the shed 503s stay visible
 // in the status counts.
 //
-// The endpoint mix weights the /v1 query surface; discovery (one request to
-// /v1/years plus two sampled link pages) finds the concrete years, record
-// IDs and household IDs to query. With -conditional every target is fetched
-// once up front and the measured window replays the URLs with
-// If-None-Match, exercising the server's conditional-GET path the way a
-// caching client would.
+// The endpoint mix weights the /v1 query surface; discovery reads the route
+// templates from GET /v1/openapi.json, then fills their path parameters
+// from /v1/years plus two sampled link pages. The watch_poll endpoint
+// (weight 0 by default) folds the change feed's long-poll fallback into the
+// mix. With -conditional every target is fetched once up front and the
+// measured window replays the URLs with If-None-Match, exercising the
+// server's conditional-GET path the way a caching client would.
 package main
 
 import (

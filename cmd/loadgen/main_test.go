@@ -105,6 +105,35 @@ func TestHarnessUnconditional(t *testing.T) {
 	}
 }
 
+// TestHarnessWatchPollMix folds the change feed's long-poll fallback into
+// the mix: discovery resolves it from the OpenAPI document and the empty
+// immediate poll answers 200 without parking workers.
+func TestHarnessWatchPollMix(t *testing.T) {
+	ts := testServer(t)
+	h, err := NewHarness(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		Mix:         map[string]int{"watch_poll": 1},
+		Seed:        3,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := s.Endpoints["watch_poll"]
+	if wp.Requests == 0 {
+		t.Fatal("watch_poll never exercised")
+	}
+	if wp.Status["200"] != wp.Requests {
+		t.Errorf("watch_poll statuses = %v, want all 200", wp.Status)
+	}
+}
+
 // TestRunCLI drives the command end to end: flags, harness, stdout report
 // and the JSON summary file.
 func TestRunCLI(t *testing.T) {

@@ -95,38 +95,100 @@ func buildGraph(ctx context.Context, series *census.Series, results []*linkage.R
 			return nil, fmt.Errorf("evolution: pair %d-%d: %w",
 				series.Datasets[i].Year, series.Datasets[i+1].Year, err)
 		}
-		old, new := series.Datasets[i], series.Datasets[i+1]
-		a := Analyze(old, new, res)
-		g.Analyses = append(g.Analyses, a)
-		g.RecordEdges = append(g.RecordEdges, a.PreservedRecords)
-
-		addEdge := func(oldID, newID string, p GroupPattern) {
-			g.GroupEdges = append(g.GroupEdges, GroupEdge{
-				From:    GroupVertex{Year: old.Year, Household: oldID},
-				To:      GroupVertex{Year: new.Year, Household: newID},
-				Pattern: p,
-			})
-		}
-		for _, pr := range a.PreservedGroups {
-			addEdge(pr[0], pr[1], PatternPreserve)
-			g.preserveNext[GroupVertex{Year: old.Year, Household: pr[0]}] =
-				GroupVertex{Year: new.Year, Household: pr[1]}
-		}
-		for _, mv := range a.Moves {
-			addEdge(mv[0], mv[1], PatternMove)
-		}
-		for _, sp := range a.Splits {
-			for _, part := range sp.News {
-				addEdge(sp.Old, part, PatternSplit)
-			}
-		}
-		for _, mg := range a.Merges {
-			for _, part := range mg.Olds {
-				addEdge(part, mg.New, PatternMerge)
-			}
-		}
+		g.appendPair(series.Datasets[i], series.Datasets[i+1], res)
 	}
 	return g, nil
+}
+
+// appendPair analyzes one census pair and appends its analysis, record edges
+// and typed group edges to the graph. It is shared by the from-scratch build
+// and AppendYear, so the incremental path is equal to a rebuild by
+// construction.
+func (g *Graph) appendPair(old, new *census.Dataset, res *linkage.Result) {
+	a := Analyze(old, new, res)
+	g.Analyses = append(g.Analyses, a)
+	g.RecordEdges = append(g.RecordEdges, a.PreservedRecords)
+
+	addEdge := func(oldID, newID string, p GroupPattern) {
+		g.GroupEdges = append(g.GroupEdges, GroupEdge{
+			From:    GroupVertex{Year: old.Year, Household: oldID},
+			To:      GroupVertex{Year: new.Year, Household: newID},
+			Pattern: p,
+		})
+	}
+	for _, pr := range a.PreservedGroups {
+		addEdge(pr[0], pr[1], PatternPreserve)
+		g.preserveNext[GroupVertex{Year: old.Year, Household: pr[0]}] =
+			GroupVertex{Year: new.Year, Household: pr[1]}
+	}
+	for _, mv := range a.Moves {
+		addEdge(mv[0], mv[1], PatternMove)
+	}
+	for _, sp := range a.Splits {
+		for _, part := range sp.News {
+			addEdge(sp.Old, part, PatternSplit)
+		}
+	}
+	for _, mg := range a.Merges {
+		for _, part := range mg.Olds {
+			addEdge(part, mg.New, PatternMerge)
+		}
+	}
+}
+
+// AppendYear extends the graph in place with one newly arrived census:
+// last must be the dataset of the graph's current final year, next the new
+// dataset, and res their pair linkage (for example from linkage.LinkAppend).
+// Only the new pair is analyzed — the work is O(new pair), independent of
+// how many decades the graph already covers — and the resulting graph is
+// deep-equal to a from-scratch BuildGraph over the extended series (the
+// differential test in incremental_test.go holds this equality across
+// multiple appended years).
+//
+// AppendYear mutates g; callers serving concurrent readers should extend a
+// Clone and swap it in.
+func (g *Graph) AppendYear(last, next *census.Dataset, res *linkage.Result) error {
+	if len(g.Years) == 0 {
+		return fmt.Errorf("evolution: append to empty graph")
+	}
+	if lastYear := g.Years[len(g.Years)-1]; last.Year != lastYear {
+		return fmt.Errorf("evolution: append pair starts at %d, graph ends at %d", last.Year, lastYear)
+	}
+	if next.Year <= last.Year {
+		return fmt.Errorf("evolution: appended year %d not after %d", next.Year, last.Year)
+	}
+	ids := make([]string, 0, next.NumHouseholds())
+	for _, h := range next.Households() {
+		ids = append(ids, h.ID)
+	}
+	g.Years = append(g.Years, next.Year)
+	g.households[next.Year] = ids
+	g.appendPair(last, next, res)
+	return nil
+}
+
+// Clone returns a copy of the graph that can be extended with AppendYear
+// without mutating g: the slices and maps AppendYear grows are copied, while
+// the immutable leaves (per-pair analyses, record-link slices, household ID
+// lists) are shared. Readers of g are unaffected by any operation on the
+// clone, so a server can keep serving one graph while building its
+// successor.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Years:        append([]int(nil), g.Years...),
+		Analyses:     append([]*PairAnalysis(nil), g.Analyses...),
+		GroupEdges:   append([]GroupEdge(nil), g.GroupEdges...),
+		RecordEdges:  append([][]linkage.Pair(nil), g.RecordEdges...),
+		preserveNext: make(map[GroupVertex]GroupVertex, len(g.preserveNext)),
+		households:   make(map[int][]string, len(g.households)),
+	}
+	for k, v := range g.preserveNext {
+		c.preserveNext[k] = v
+	}
+	for k, v := range g.households {
+		c.households[k] = v
+	}
+	return c
 }
 
 // key renders a group vertex as a string for the union-find structure.

@@ -70,13 +70,72 @@ func (g *Graph) PersonTimelines(minSpan int) []Timeline {
 			}
 		}
 	}
+	sortTimelines(timelines)
+	return timelines
+}
+
+// sortTimelines orders timelines by descending span, then first record ID,
+// then first year. Two distinct timelines cannot share all three (a chain is
+// determined by its starting record), so the order is total — an incremental
+// extension and a from-scratch rebuild that produce the same chain set
+// produce the same slice.
+func sortTimelines(timelines []Timeline) {
 	sort.SliceStable(timelines, func(i, j int) bool {
 		if timelines[i].Span() != timelines[j].Span() {
 			return timelines[i].Span() > timelines[j].Span()
 		}
-		return timelines[i].Entries[0].RecordID < timelines[j].Entries[0].RecordID
+		a, b := timelines[i].Entries[0], timelines[j].Entries[0]
+		if a.RecordID != b.RecordID {
+			return a.RecordID < b.RecordID
+		}
+		return a.Year < b.Year
 	})
-	return timelines
+}
+
+// ExtendTimelines returns the person timelines of the graph after an
+// AppendYear, given the complete timeline set of the graph before it
+// (PersonTimelines(1) — every linked record must be present, so chains that
+// gain an entry can be found). Only the newest pair's links are walked:
+// an old record that ends an existing timeline at the previous final year
+// extends that timeline; any other linked old record starts a new two-entry
+// one. The result is deep-equal to PersonTimelines(1) on the extended graph.
+//
+// prev is not mutated: extended timelines get fresh entry slices, untouched
+// ones are shared — safe for servers still handing out the previous slice.
+func (g *Graph) ExtendTimelines(prev []Timeline) []Timeline {
+	if len(g.RecordEdges) == 0 {
+		return nil
+	}
+	links := g.RecordEdges[len(g.RecordEdges)-1]
+	lastYear := g.Years[len(g.Years)-2]
+	newYear := g.Years[len(g.Years)-1]
+
+	// Tail record ID at the previous final year -> timeline index. Record
+	// links are 1:1 per pair, so chains are disjoint and each tail record
+	// ends exactly one timeline.
+	tails := make(map[string]int)
+	for i, tl := range prev {
+		if last := tl.Entries[len(tl.Entries)-1]; last.Year == lastYear {
+			tails[last.RecordID] = i
+		}
+	}
+
+	out := make([]Timeline, len(prev), len(prev)+len(links))
+	copy(out, prev)
+	for _, l := range links {
+		if ti, ok := tails[l.Old]; ok {
+			entries := make([]TimelineEntry, len(prev[ti].Entries), len(prev[ti].Entries)+1)
+			copy(entries, prev[ti].Entries)
+			out[ti] = Timeline{Entries: append(entries, TimelineEntry{Year: newYear, RecordID: l.New})}
+		} else {
+			out = append(out, Timeline{Entries: []TimelineEntry{
+				{Year: lastYear, RecordID: l.Old},
+				{Year: newYear, RecordID: l.New},
+			}})
+		}
+	}
+	sortTimelines(out)
+	return out
 }
 
 // SequenceCount counts occurrences of a consecutive group-pattern sequence

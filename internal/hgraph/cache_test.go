@@ -1,0 +1,85 @@
+package hgraph
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"censuslink/internal/synth"
+)
+
+// TestCacheReusesEnrichment checks that the cache returns the same graph map
+// for repeated BuildAll calls on datasets with equal content, and that the
+// cached result matches an uncached build.
+func TestCacheReusesEnrichment(t *testing.T) {
+	series, err := synth.Generate(synth.TestConfig(0.01, 42))
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	d := series.Datasets[0]
+
+	c := NewCache()
+	first := c.BuildAll(d)
+	second := c.BuildAll(d)
+	if !reflect.DeepEqual(firstKeys(first), firstKeys(second)) {
+		t.Fatalf("cache returned different household sets")
+	}
+	// Same map value, not just equal content: the point is reuse.
+	if reflect.ValueOf(first).Pointer() != reflect.ValueOf(second).Pointer() {
+		t.Fatalf("second BuildAll did not reuse the cached map")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+
+	plain := BuildAll(d)
+	if len(plain) != len(first) {
+		t.Fatalf("cached build has %d households, plain build %d", len(first), len(plain))
+	}
+	for id, g := range plain {
+		cg, ok := first[id]
+		if !ok {
+			t.Fatalf("household %s missing from cached build", id)
+		}
+		if !reflect.DeepEqual(g.Edges(), cg.Edges()) {
+			t.Fatalf("household %s: cached edges differ from plain build", id)
+		}
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines over several
+// datasets; every caller for a dataset must observe the same map (single
+// build), with no races (run under -race in make check).
+func TestCacheConcurrent(t *testing.T) {
+	series, err := synth.Generate(synth.TestConfig(0.01, 7))
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	c := NewCache()
+	var wg sync.WaitGroup
+	results := make([]map[string]*Graph, 4*len(series.Datasets))
+	for i := 0; i < 4; i++ {
+		for j := range series.Datasets {
+			wg.Add(1)
+			go func(slot int, d2 int) {
+				defer wg.Done()
+				results[slot] = c.BuildAll(series.Datasets[d2])
+			}(i*len(series.Datasets)+j, j)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		for j := range series.Datasets {
+			a := results[j]
+			b := results[i*len(series.Datasets)+j]
+			if reflect.ValueOf(a).Pointer() != reflect.ValueOf(b).Pointer() {
+				t.Fatalf("dataset %d: concurrent callers got different maps", j)
+			}
+		}
+	}
+	if c.Len() != len(series.Datasets) {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), len(series.Datasets))
+	}
+}
+
+func firstKeys(m map[string]*Graph) int { return len(m) }

@@ -81,6 +81,13 @@ type Config struct {
 	// across iterations. EngineNaive keeps the interpreted per-iteration
 	// path as a differential-testing oracle; both produce identical results.
 	Engine EngineKind
+	// GraphCache, when non-nil, memoizes household-graph enrichment per
+	// dataset content hash, so a process linking many year pairs over a
+	// shared series (LinkSeries, the linkserver, an append-only evolution
+	// build) enriches each census year once instead of once per pair. Like
+	// Workers and Shards this is an execution knob: results are identical
+	// with or without it and Fingerprint ignores it.
+	GraphCache *hgraph.Cache
 }
 
 // DefaultConfig returns the paper's best configuration: ω2 pre-matching with

@@ -110,6 +110,52 @@ func LinkSeriesOpts(ctx context.Context, series *census.Series, cfg Config, opts
 	return out, nil
 }
 
+// LinkAppend links the single new pair created when dataset next arrives at
+// the end of an already-linked series: (series.Datasets[last], next). It is
+// the linkage leg of the append-only evolution update — the earlier pairs
+// are untouched, so arrival cost is one pair linkage (or one store load when
+// a snapshot exists).
+//
+// With opts.Incremental and a Store, the store is consulted first exactly
+// like LinkSeriesOpts; fresh results are written through. next.Year must be
+// strictly greater than the last year of the series.
+func LinkAppend(ctx context.Context, series *census.Series, next *census.Dataset, cfg Config, opts SeriesOptions) (*Result, error) {
+	if len(series.Datasets) == 0 {
+		return nil, fmt.Errorf("linkage: append to empty series")
+	}
+	last := series.Datasets[len(series.Datasets)-1]
+	if next.Year <= last.Year {
+		return nil, fmt.Errorf("linkage: appended year %d not after last series year %d", next.Year, last.Year)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var cfgHash string
+	if opts.Store != nil {
+		cfgHash = cfg.Fingerprint()
+	}
+	if opts.Incremental && opts.Store != nil {
+		res, err := opts.Store.LoadResult(cfgHash, last, next)
+		switch {
+		case res != nil:
+			cfg.Obs.Add(obs.StoreHits, 1)
+			return res, nil
+		case err != nil:
+			cfg.Obs.Add(obs.StoreCorrupt, 1)
+		default:
+			cfg.Obs.Add(obs.StoreMisses, 1)
+		}
+	}
+	res, err := LinkContext(ctx, last, next, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := savePair(opts, cfgHash, [2]*census.Dataset{last, next}, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // savePair writes one freshly computed result through to the store.
 func savePair(opts SeriesOptions, cfgHash string, pair [2]*census.Dataset, res *Result) error {
 	if opts.Store == nil {

@@ -278,6 +278,60 @@ func TestLinkSeriesIncrementalCorruptRecompute(t *testing.T) {
 	}
 }
 
+// TestLinkAppend: linking only the (last, next) pair when a year arrives
+// must equal the last pair of a full-series run, hit the store when warm,
+// and reject out-of-order years.
+func TestLinkAppend(t *testing.T) {
+	series := synthSeries(t)
+	n := len(series.Datasets)
+	head := census.NewSeries(series.Datasets[:n-1]...)
+	next := series.Datasets[n-1]
+	cfg := linkage.DefaultConfig()
+
+	full, err := linkage.LinkSeries(series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := linkage.SeriesOptions{Store: st, Incremental: true}
+	coldStats := obs.NewStats(nil)
+	cfg.Obs = coldStats
+	cold, err := linkage.LinkAppend(context.Background(), head, next, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, full[len(full)-1]) {
+		t.Error("LinkAppend result differs from the last pair of a full-series run")
+	}
+	if got := coldStats.Total(obs.StoreMisses); got != 1 {
+		t.Errorf("cold append store misses = %d, want 1", got)
+	}
+
+	warmStats := obs.NewStats(nil)
+	cfg.Obs = warmStats
+	warm, err := linkage.LinkAppend(context.Background(), head, next, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warmStats.Total(obs.StoreHits); got != 1 {
+		t.Errorf("warm append store hits = %d, want 1", got)
+	}
+	if got := warmStats.Total(obs.PairsCompared); got != 0 {
+		t.Errorf("warm append compared %d pairs, want 0 (pipeline must not run)", got)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Error("warm append differs from cold append")
+	}
+
+	if _, err := linkage.LinkAppend(context.Background(), series, next, cfg, opts); err == nil {
+		t.Error("appending a year not after the series end should fail")
+	}
+}
+
 // TestLinkSeriesOrderingInvariants: results stay sorted by (Old, New) on
 // both scheduling paths — the documented Result contract.
 func TestLinkSeriesOrderingInvariants(t *testing.T) {

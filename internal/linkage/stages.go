@@ -110,6 +110,10 @@ func (g *graphEnricher) Enrich(ctx context.Context, oldDS, newDS *census.Dataset
 	}
 	stop := g.cfg.Obs.Stage("build_graphs")
 	defer stop()
+	buildAll := hgraph.BuildAll
+	if g.cfg.GraphCache != nil {
+		buildAll = g.cfg.GraphCache.BuildAll
+	}
 	return &Enriched{
 		Old: oldDS,
 		New: newDS,
@@ -121,8 +125,8 @@ func (g *graphEnricher) Enrich(ctx context.Context, oldDS, newDS *census.Dataset
 			DirectVerticesOnly: g.cfg.DirectVerticesOnly,
 			VertexGuards:       g.cfg.VertexGuards,
 		},
-		OldGraphs: hgraph.BuildAll(oldDS),
-		NewGraphs: hgraph.BuildAll(newDS),
+		OldGraphs: buildAll(oldDS),
+		NewGraphs: buildAll(newDS),
 	}, nil
 }
 

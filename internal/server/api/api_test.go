@@ -1,0 +1,173 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	token := EncodeCursor("basis-1", 42)
+	basis, off, err := DecodeCursor(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis != "basis-1" || off != 42 {
+		t.Fatalf("decoded (%q, %d), want (basis-1, 42)", basis, off)
+	}
+	if _, _, err := DecodeCursor("!!!not-base64!!!"); err == nil {
+		t.Error("garbage token decoded without error")
+	}
+	if _, _, err := DecodeCursor(""); err == nil {
+		t.Error("empty token decoded without error")
+	}
+}
+
+func TestParsePage(t *testing.T) {
+	get := func(query string) *http.Request {
+		return httptest.NewRequest("GET", "/v1/list"+query, nil)
+	}
+	// Defaults.
+	p, apiErr := ParsePage(get(""), "b")
+	if apiErr != nil || p.Limit != defaultPageLimit || p.Offset != 0 || p.ByCursor {
+		t.Fatalf("defaults: %+v, %v", p, apiErr)
+	}
+	// Offset form.
+	p, apiErr = ParsePage(get("?limit=5&offset=10"), "b")
+	if apiErr != nil || p.Limit != 5 || p.Offset != 10 || p.ByCursor {
+		t.Fatalf("offset form: %+v, %v", p, apiErr)
+	}
+	// Cursor form resumes at the encoded offset.
+	p, apiErr = ParsePage(get("?cursor="+EncodeCursor("b", 7)), "b")
+	if apiErr != nil || p.Offset != 7 || !p.ByCursor {
+		t.Fatalf("cursor form: %+v, %v", p, apiErr)
+	}
+	// A bare ?cursor= opts in from the first page.
+	p, apiErr = ParsePage(get("?cursor="), "b")
+	if apiErr != nil || p.Offset != 0 || !p.ByCursor {
+		t.Fatalf("bare cursor opt-in: %+v, %v", p, apiErr)
+	}
+	// Stale basis: 410 gone.
+	if _, apiErr = ParsePage(get("?cursor="+EncodeCursor("old-basis", 7)), "b"); apiErr == nil ||
+		apiErr.Status != http.StatusGone || apiErr.Code != CodeGone {
+		t.Fatalf("stale cursor: %v, want 410 gone", apiErr)
+	}
+	// Malformed inputs: 400.
+	for _, q := range []string{"?limit=0", "?limit=9999", "?offset=-1", "?cursor=zzz", "?offset=1&cursor=" + EncodeCursor("b", 1)} {
+		if _, apiErr = ParsePage(get(q), "b"); apiErr == nil || apiErr.Status != http.StatusBadRequest {
+			t.Errorf("%s: %v, want 400", q, apiErr)
+		}
+	}
+}
+
+// TestWindowCursorCoverage pages through a sequence by cursor and checks the
+// pages tile it exactly: no item skipped, none repeated, no token on the
+// last page.
+func TestWindowCursorCoverage(t *testing.T) {
+	const total, limit = 23, 5
+	var got []int
+	params := PageParams{Limit: limit, ByCursor: true}
+	for page := 0; ; page++ {
+		w := NewWindow[int](params)
+		for i := 0; i < total; i++ {
+			w.Add(i)
+		}
+		got = append(got, w.Items...)
+		desc := w.PageOf("b")
+		if desc.Total != total {
+			t.Fatalf("page %d: total %d, want %d", page, desc.Total, total)
+		}
+		if desc.NextCursor == "" {
+			break
+		}
+		_, off, err := DecodeCursor(desc.NextCursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params = PageParams{Limit: limit, Offset: off, ByCursor: true}
+		if page > total {
+			t.Fatal("cursor chain does not terminate")
+		}
+	}
+	if len(got) != total {
+		t.Fatalf("paged %d items, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d: pages skipped or repeated", i, v)
+		}
+	}
+}
+
+func TestWindowOffsetNoCursor(t *testing.T) {
+	w := NewWindow[int](PageParams{Limit: 2, Offset: 0})
+	for i := 0; i < 5; i++ {
+		w.Add(i)
+	}
+	if desc := w.PageOf("b"); desc.NextCursor != "" {
+		t.Errorf("offset pagination minted a cursor: %q", desc.NextCursor)
+	}
+}
+
+func TestWriteListStreams(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteList(rec, http.StatusOK, []Field{{"year", 1881}}, "items", 3,
+		func(i int) any { return i * 10 }, nil)
+	var body struct {
+		Year  int   `json:"year"`
+		Items []int `json:"items"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad body %q: %v", rec.Body.String(), err)
+	}
+	if body.Year != 1881 || len(body.Items) != 3 || body.Items[2] != 20 {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestWriteListEncodeErrorAborts(t *testing.T) {
+	rec := httptest.NewRecorder()
+	counted := false
+	func() {
+		defer func() {
+			if r := recover(); r != http.ErrAbortHandler {
+				t.Fatalf("recover() = %v, want http.ErrAbortHandler", r)
+			}
+		}()
+		WriteList(rec, http.StatusOK, nil, "items", 1,
+			func(i int) any { return func() {} }, // unmarshalable
+			func() { counted = true })
+	}()
+	if !counted {
+		t.Error("encode-error callback not invoked")
+	}
+}
+
+func TestDeprecatedHeaders(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Deprecated(rec, "/v1/years")
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Error("no Deprecation header")
+	}
+	if link := rec.Header().Get("Link"); !strings.Contains(link, "/v1/years") ||
+		!strings.Contains(link, "successor-version") {
+		t.Errorf("Link = %q", link)
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Error(rec, http.StatusConflict, CodeConflict, "year 1901 already present")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeConflict {
+		t.Errorf("code %q", env.Error.Code)
+	}
+}

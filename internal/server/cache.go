@@ -51,8 +51,26 @@ type recordKey struct {
 	ID   string
 }
 
+// index fills the bundle's derived indexes from its graph and timelines.
+func (b *evoBundle) index() {
+	b.byRecord = make(map[recordKey][]int)
+	b.edgesFrom = make(map[evolution.GroupVertex][]evolution.GroupEdge)
+	for ti, tl := range b.timelines {
+		for _, e := range tl.Entries {
+			k := recordKey{Year: e.Year, ID: e.RecordID}
+			b.byRecord[k] = append(b.byRecord[k], ti)
+		}
+	}
+	for _, e := range b.graph.GroupEdges {
+		b.edgesFrom[e.From] = append(b.edgesFrom[e.From], e)
+	}
+}
+
 // pairCache holds the single-flight slots: one per successive year pair,
-// plus one for the evolution bundle (which depends on all pairs).
+// plus one for the evolution bundle (which depends on all pairs). The pairs
+// slice only grows — ingest appends a completed flight for the new pair
+// BEFORE swapping the series state, so any request holding the new state
+// always finds its slot.
 type pairCache struct {
 	s *Server
 
@@ -61,16 +79,29 @@ type pairCache struct {
 	bundleF *bundleFlight
 }
 
+// bundleFlight is the single-flight slot of the evolution bundle, stamped
+// with the series generation it was computed against: after an ingest the
+// old flight no longer answers for the grown series, so bundle() starts a
+// fresh one on a generation mismatch (unless ingest already installed the
+// incrementally extended bundle).
 type bundleFlight struct {
 	done    chan struct{}
 	cancel  context.CancelFunc
 	waiters int
+	gen     uint64
 	bundle  *evoBundle
 	err     error
 }
 
 func newPairCache(s *Server) *pairCache {
-	return &pairCache{s: s, pairs: make([]*flight, len(s.series.Pairs()))}
+	return &pairCache{s: s, pairs: make([]*flight, len(s.cur().series.Pairs()))}
+}
+
+// completedFlight wraps an already-known result as a closed flight.
+func completedFlight(res *linkage.Result, persisted bool) *flight {
+	f := &flight{done: make(chan struct{}), cancel: func() {}, res: res, persisted: persisted}
+	close(f.done)
+	return f
 }
 
 // warmStart pre-fills the cache from the persistent store: every pair whose
@@ -82,7 +113,7 @@ func (c *pairCache) warmStart() {
 	if c.s.store == nil {
 		return
 	}
-	for i, pair := range c.s.series.Pairs() {
+	for i, pair := range c.s.cur().series.Pairs() {
 		res, err := c.s.store.LoadResult(c.s.cfgHash, pair[0], pair[1])
 		switch {
 		case err != nil && isCorruptSnapshot(err):
@@ -98,9 +129,7 @@ func (c *pairCache) warmStart() {
 		default:
 			c.s.stats.Add(obs.StoreHits, 1)
 			c.s.health.ok()
-			f := &flight{done: make(chan struct{}), cancel: func() {}, res: res, persisted: true}
-			close(f.done)
-			c.pairs[i] = f
+			c.pairs[i] = completedFlight(res, true)
 		}
 	}
 }
@@ -124,6 +153,26 @@ func (c *pairCache) cached() int {
 		}
 	}
 	return n
+}
+
+// appendPair grows the cache by one completed pair flight and, when the
+// incrementally extended bundle is available, installs it as the new
+// generation's completed bundle flight. Called by ingest with the new
+// series state NOT yet swapped in: after this returns, the swap makes the
+// new pair queryable with its result already resident.
+func (c *pairCache) appendPair(res *linkage.Result, persisted bool, b *evoBundle, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pairs = append(c.pairs, completedFlight(res, persisted))
+	if b != nil {
+		c.bundleF = &bundleFlight{
+			done: make(chan struct{}), cancel: func() {}, gen: gen, bundle: b,
+		}
+		close(c.bundleF.done)
+	}
+	// When no extended bundle was derivable (the old one was never computed
+	// or still in flight), the stale-generation flight is left in place:
+	// bundle() notices the mismatch and rebuilds from scratch on demand.
 }
 
 // result returns the linkage result of pair i, computing it at most once.
@@ -172,9 +221,12 @@ func (c *pairCache) result(ctx context.Context, i int) (*linkage.Result, error) 
 }
 
 // compute runs one pair's linkage under the flight's context, bounded by
-// the server-wide semaphore, and publishes the outcome.
+// the server-wide semaphore, and publishes the outcome. Pair indices are
+// stable across ingests (years only append), so reading the current state's
+// pair list is always consistent with slot i.
 func (c *pairCache) compute(ctx context.Context, i int, f *flight) {
 	defer f.cancel()
+	pair := c.s.cur().series.Pairs()[i]
 	var res *linkage.Result
 	err := func() error {
 		select {
@@ -188,7 +240,6 @@ func (c *pairCache) compute(ctx context.Context, i int, f *flight) {
 			ctx, cancel = context.WithTimeout(ctx, c.s.computeTimeout)
 			defer cancel()
 		}
-		pair := c.s.series.Pairs()[i]
 		cfg := c.s.linkCfg
 		cfg.Obs = c.s.stats
 		var err error
@@ -197,7 +248,6 @@ func (c *pairCache) compute(ctx context.Context, i int, f *flight) {
 	}()
 	persisted := false
 	if err == nil && c.s.store != nil {
-		pair := c.s.series.Pairs()[i]
 		// Write-through: persistence failures don't fail the request — the
 		// result is good — but they are counted and feed the degraded-mode
 		// state machine. While degraded the save is skipped outright (it
@@ -223,11 +273,11 @@ func (c *pairCache) compute(ctx context.Context, i int, f *flight) {
 	close(f.done)
 }
 
-// allResults returns every pair's result, starting all missing
-// computations concurrently (the semaphore still bounds the actual
-// parallelism).
-func (c *pairCache) allResults(ctx context.Context) ([]*linkage.Result, error) {
-	n := len(c.s.series.Pairs())
+// allResults returns every pair result of the given series state, starting
+// all missing computations concurrently (the semaphore still bounds the
+// actual parallelism).
+func (c *pairCache) allResults(ctx context.Context, st *seriesState) ([]*linkage.Result, error) {
+	n := len(st.series.Pairs())
 	results := make([]*linkage.Result, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -247,18 +297,21 @@ func (c *pairCache) allResults(ctx context.Context) ([]*linkage.Result, error) {
 	return results, nil
 }
 
-// bundle returns the evolution bundle, computing it (and any missing pair
-// results) at most once, with the same single-flight and abandonment
-// semantics as result.
+// bundle returns the evolution bundle of the CURRENT series generation,
+// computing it (and any missing pair results) at most once, with the same
+// single-flight and abandonment semantics as result. A flight stamped with
+// an older generation — the series grew and ingest could not extend the
+// bundle incrementally — is replaced by a fresh full build.
 func (c *pairCache) bundle(ctx context.Context) (*evoBundle, error) {
 	for {
+		st := c.s.cur()
 		c.mu.Lock()
 		bf := c.bundleF
-		if bf == nil {
+		if bf == nil || bf.gen != st.gen {
 			bctx, cancel := context.WithCancel(c.s.baseCtx)
-			bf = &bundleFlight{done: make(chan struct{}), cancel: cancel}
+			bf = &bundleFlight{done: make(chan struct{}), cancel: cancel, gen: st.gen}
 			c.bundleF = bf
-			go c.computeBundle(bctx, bf)
+			go c.computeBundle(bctx, st, bf)
 		}
 		bf.waiters++
 		c.mu.Unlock()
@@ -285,32 +338,22 @@ func (c *pairCache) bundle(ctx context.Context) (*evoBundle, error) {
 	}
 }
 
-func (c *pairCache) computeBundle(ctx context.Context, bf *bundleFlight) {
+func (c *pairCache) computeBundle(ctx context.Context, st *seriesState, bf *bundleFlight) {
 	defer bf.cancel()
 	bundle, err := func() (*evoBundle, error) {
-		results, err := c.allResults(ctx)
+		results, err := c.allResults(ctx, st)
 		if err != nil {
 			return nil, err
 		}
-		graph, err := evolution.BuildGraphContext(ctx, c.s.series, results, c.s.stats)
+		graph, err := evolution.BuildGraphContext(ctx, st.series, results, c.s.stats)
 		if err != nil {
 			return nil, err
 		}
 		b := &evoBundle{
 			graph:     graph,
 			timelines: graph.PersonTimelines(1),
-			byRecord:  make(map[recordKey][]int),
-			edgesFrom: make(map[evolution.GroupVertex][]evolution.GroupEdge),
 		}
-		for ti, tl := range b.timelines {
-			for _, e := range tl.Entries {
-				k := recordKey{Year: e.Year, ID: e.RecordID}
-				b.byRecord[k] = append(b.byRecord[k], ti)
-			}
-		}
-		for _, e := range graph.GroupEdges {
-			b.edgesFrom[e.From] = append(b.edgesFrom[e.From], e)
-		}
+		b.index()
 		return b, nil
 	}()
 	c.mu.Lock()
@@ -320,4 +363,24 @@ func (c *pairCache) computeBundle(ctx context.Context, bf *bundleFlight) {
 	}
 	c.mu.Unlock()
 	close(bf.done)
+}
+
+// currentBundle returns the completed bundle of the given generation if one
+// is resident, without starting a computation. Ingest uses it to decide
+// whether the evolution state can be extended incrementally.
+func (c *pairCache) currentBundle(gen uint64) *evoBundle {
+	c.mu.Lock()
+	bf := c.bundleF
+	c.mu.Unlock()
+	if bf == nil || bf.gen != gen {
+		return nil
+	}
+	select {
+	case <-bf.done:
+		if bf.err == nil {
+			return bf.bundle
+		}
+	default:
+	}
+	return nil
 }

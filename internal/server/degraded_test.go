@@ -15,6 +15,8 @@ import (
 	"censuslink/internal/linkage"
 	"censuslink/internal/obs"
 	"censuslink/internal/store"
+
+	"censuslink/internal/server/api"
 )
 
 // flakyStore is a ResultStore + Ping whose medium can be switched off, for
@@ -206,7 +208,7 @@ func TestReplicaRefreshSharesStore(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	var rl struct {
-		Page pageJSON `json:"page"`
+		Page api.Page `json:"page"`
 	}
 	getJSON(t, tsB, "/v1/links/1871/1881/records", &rl)
 	if rl.Page.Total == 0 {

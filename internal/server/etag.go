@@ -5,7 +5,8 @@ import (
 	"encoding/hex"
 	"io"
 	"net/http"
-	"strings"
+
+	"censuslink/internal/server/api"
 )
 
 // Linkage results are immutable: every pair's output is a pure function of
@@ -14,31 +15,54 @@ import (
 // free — hash the address plus the canonical request URL, no result bytes
 // needed — and a conditional revalidation can answer 304 without even
 // touching the cache, let alone recomputing the pair.
+//
+// Every validator additionally hashes the current series fingerprint, so
+// ingesting a new census year (POST /v1/census) invalidates the whole ETag
+// surface at once: after an ingest, a conditional GET on ANY endpoint —
+// including a pair whose own data did not change — revalidates to a fresh
+// 200 body, and clients see one consistent series version rather than a mix
+// of pre- and post-ingest responses.
 
 // etagSurface salts every ETag with the version of the JSON representation.
 // Bump it whenever a response shape changes, so clients holding ETags from
 // an older build revalidate to fresh bodies instead of keeping stale shapes.
-const etagSurface = "v1.1"
+const etagSurface = "v1.2"
 
 // pairETag is the strong validator of a pair-scoped resource: the content
-// address of pair i (config fingerprint + both dataset hashes) plus the
-// canonical request URL, so every filter/page window validates separately.
-func (s *Server) pairETag(i int, r *http.Request) string {
-	pair := s.series.Pairs()[i]
-	return makeETag(etagSurface, s.cfgHash,
-		pair[0].ContentHash(), pair[1].ContentHash(), canonicalURL(r))
+// address of pair i (config fingerprint + both dataset hashes), the series
+// fingerprint, and the canonical request URL, so every filter/page window
+// validates separately.
+func (s *Server) pairETag(st *seriesState, i int, r *http.Request) string {
+	pair := st.series.Pairs()[i]
+	return makeETag(etagSurface, s.cfgHash, st.seriesHash,
+		pair[0].ContentHash(), pair[1].ContentHash(), api.CanonicalURL(r))
 }
 
 // seriesETag is the validator of series-wide resources (years, timelines,
-// lifecycles, household timelines): it covers every dataset's content hash,
-// since those responses derive from the whole evolution graph.
-func (s *Server) seriesETag(r *http.Request) string {
-	parts := make([]string, 0, len(s.series.Datasets)+3)
-	parts = append(parts, etagSurface, s.cfgHash)
-	for _, d := range s.series.Datasets {
-		parts = append(parts, d.ContentHash())
-	}
-	parts = append(parts, canonicalURL(r))
+// lifecycles, household timelines): it covers every dataset's content hash
+// through the series fingerprint, since those responses derive from the
+// whole evolution graph.
+func (s *Server) seriesETag(st *seriesState, r *http.Request) string {
+	return makeETag(etagSurface, s.cfgHash, st.seriesHash, api.CanonicalURL(r))
+}
+
+// pairBasis is the pagination basis of a pair-scoped listing: cursors stay
+// valid as long as the pair's content and the filter set are unchanged —
+// they survive ingests of later years, because an append cannot alter an
+// already-linked pair.
+func (s *Server) pairBasis(st *seriesState, i int, r *http.Request, filters ...string) string {
+	pair := st.series.Pairs()[i]
+	parts := append([]string{"cursor", s.cfgHash,
+		pair[0].ContentHash(), pair[1].ContentHash(), r.URL.Path}, filters...)
+	return makeETag(parts...)
+}
+
+// seriesBasis is the pagination basis of a series-wide listing: an ingest
+// changes the series fingerprint, so cursors minted before it fail with
+// 410 gone instead of silently skipping or repeating items of the grown
+// feed.
+func (s *Server) seriesBasis(st *seriesState, r *http.Request, filters ...string) string {
+	parts := append([]string{"cursor", s.cfgHash, st.seriesHash, r.URL.Path}, filters...)
 	return makeETag(parts...)
 }
 
@@ -50,44 +74,4 @@ func makeETag(parts ...string) string {
 		h.Write([]byte{0})
 	}
 	return `"` + hex.EncodeToString(h.Sum(nil))[:32] + `"`
-}
-
-// canonicalURL renders the request path with the query parameters in sorted
-// order, so ?limit=2&offset=1 and ?offset=1&limit=2 share one validator.
-func canonicalURL(r *http.Request) string {
-	return r.URL.Path + "?" + r.URL.Query().Encode()
-}
-
-// notModified stamps the response with the resource's ETag and, when the
-// request's If-None-Match matches it, short-circuits with 304 Not Modified
-// and reports true — the caller sends no body. Cache-Control: no-cache
-// makes intermediaries revalidate on every use: the data at a given address
-// never changes, but the same URL can serve a different series after a
-// restart.
-func notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
-	h := w.Header()
-	h.Set("ETag", etag)
-	h.Set("Cache-Control", "no-cache")
-	if !etagMatches(r.Header.Get("If-None-Match"), etag) {
-		return false
-	}
-	w.WriteHeader(http.StatusNotModified)
-	return true
-}
-
-// etagMatches implements the If-None-Match comparison of RFC 9110 §13.1.2:
-// a comma-separated list of entity tags, compared weakly (a W/ prefix on
-// the client's copy still matches our strong tag), or the wildcard *.
-func etagMatches(header, etag string) bool {
-	for _, c := range strings.Split(header, ",") {
-		c = strings.TrimSpace(c)
-		if c == "*" {
-			return true
-		}
-		c = strings.TrimPrefix(c, "W/")
-		if c != "" && c == etag {
-			return true
-		}
-	}
-	return false
 }

@@ -1,10 +1,7 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -13,109 +10,18 @@ import (
 
 	"censuslink/internal/evolution"
 	"censuslink/internal/linkage"
+	"censuslink/internal/server/api"
 )
 
-// Error codes of the v1 envelope. Every non-2xx response carries
-// {"error": {"code": <one of these>, "message": <human text>}} so clients
-// can branch on the code without parsing prose.
-const (
-	codeBadRequest  = "bad_request"  // malformed parameter (400)
-	codeNotFound    = "not_found"    // unknown year, pair, record, household (404)
-	codeTimeout     = "timeout"      // computation exceeded its deadline (504)
-	codeUnavailable = "unavailable"  // computation cancelled / server draining (503)
-	codeOverloaded  = "overloaded"   // shed by the in-flight cap (503)
-	codeRateLimited = "rate_limited" // shed by the per-client token bucket (429)
-	codeInternal    = "internal"     // anything else (500)
-)
+// countingEncodeError is the WriteList mid-stream failure callback: the
+// connection is about to be aborted; count it so /metrics shows the broken
+// transfer.
+func (s *Server) countingEncodeError() { s.requests.encodeErrors.Add(1) }
 
-// statusClientClosedRequest is nginx's non-standard 499: the requester went
-// away before a response was written. No body accompanies it — nobody is
-// left to read one — but the code keeps client disconnects distinguishable
-// from genuine 5xx in the per-endpoint response counters.
-const statusClientClosedRequest = 499
-
-// writeJSON renders a small, non-list response body. The value is encoded
-// to a buffer first, so a marshal failure becomes a clean 500 envelope —
-// the status is never committed before the body is known good.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		status = http.StatusInternalServerError
-		data, _ = json.Marshal(errorJSON{Error: errorBody{
-			Code: codeInternal, Message: "response encoding failed: " + err.Error()}})
-	}
-	data = append(data, '\n')
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-	w.WriteHeader(status)
-	_, _ = w.Write(data)
-}
-
-// field is one scalar member of a list response's envelope.
-type field struct {
-	name  string
-	value any
-}
-
-// writeListJSON streams a list-shaped response: the envelope fields are
-// marshalled up front — any encoding error there still becomes a clean 500
-// — then the page's items are encoded one at a time through a buffered
-// writer, so the response is never materialized as one whole indented byte
-// slice. An item that fails to encode after the header is out cannot be
-// unsent; the failure is counted and the connection aborted, so the client
-// sees a broken transfer instead of a clean 200 with a truncated body.
-func (s *Server) writeListJSON(w http.ResponseWriter, status int, fields []field, listName string, n int, item func(int) any) {
-	var head bytes.Buffer
-	head.WriteByte('{')
-	for _, f := range fields {
-		data, err := json.Marshal(f.value)
-		if err != nil {
-			apiError(w, http.StatusInternalServerError, codeInternal,
-				fmt.Sprintf("response encoding failed on %q: %v", f.name, err))
-			return
-		}
-		key, _ := json.Marshal(f.name)
-		head.Write(key)
-		head.WriteByte(':')
-		head.Write(data)
-		head.WriteByte(',')
-	}
-	key, _ := json.Marshal(listName)
-	head.Write(key)
-	head.WriteString(":[")
-
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	bw := bufio.NewWriterSize(w, 16<<10)
-	_, _ = bw.Write(head.Bytes())
-	for i := 0; i < n; i++ {
-		data, err := json.Marshal(item(i))
-		if err != nil {
-			s.requests.encodeErrors.Add(1)
-			panic(http.ErrAbortHandler)
-		}
-		if i > 0 {
-			_ = bw.WriteByte(',')
-		}
-		_, _ = bw.Write(data)
-	}
-	_, _ = bw.WriteString("]}\n")
-	_ = bw.Flush() // a flush error means the client is gone; nothing to do
-}
-
-// errorJSON is the uniform error envelope of the v1 API.
-type errorJSON struct {
-	Error errorBody `json:"error"`
-}
-
-type errorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// apiError writes the uniform error envelope.
-func apiError(w http.ResponseWriter, status int, code, message string) {
-	writeJSON(w, status, errorJSON{Error: errorBody{Code: code, Message: message}})
+// writeList streams a list response with the server's encode-error counter
+// attached.
+func (s *Server) writeList(w http.ResponseWriter, status int, fields []api.Field, listName string, n int, item func(int) any) {
+	api.WriteList(w, status, fields, listName, n, item, s.countingEncodeError)
 }
 
 // fail maps a computation error to a response. Deadline overruns are
@@ -126,79 +32,21 @@ func apiError(w http.ResponseWriter, status int, code, message string) {
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		apiError(w, http.StatusGatewayTimeout, codeTimeout, err.Error())
+		api.Error(w, http.StatusGatewayTimeout, api.CodeTimeout, err.Error())
 	case r.Context().Err() != nil && !s.shuttingDown():
-		w.WriteHeader(statusClientClosedRequest)
+		w.WriteHeader(api.StatusClientClosedRequest)
 	case errors.Is(err, context.Canceled):
-		apiError(w, http.StatusServiceUnavailable, codeUnavailable, err.Error())
+		api.Error(w, http.StatusServiceUnavailable, api.CodeUnavailable, err.Error())
 	default:
-		apiError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		api.Error(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 	}
 }
 
-// pageJSON describes the window a list-shaped response covers: the
-// requested limit/offset, the total number of items after filtering, and
-// how many of them this response carries.
-type pageJSON struct {
-	Limit    int `json:"limit"`
-	Offset   int `json:"offset"`
-	Total    int `json:"total"`
-	Returned int `json:"returned"`
-}
-
-const (
-	defaultPageLimit = 100
-	maxPageLimit     = 1000
-)
-
-// pageParams parses the uniform ?limit= / ?offset= pagination parameters.
-func pageParams(r *http.Request) (limit, offset int, err error) {
-	limit = defaultPageLimit
-	if v := r.URL.Query().Get("limit"); v != "" {
-		n, e := strconv.Atoi(v)
-		if e != nil || n < 1 || n > maxPageLimit {
-			return 0, 0, fmt.Errorf("bad limit %q: want an integer in 1..%d", v, maxPageLimit)
-		}
-		limit = n
-	}
-	if v := r.URL.Query().Get("offset"); v != "" {
-		n, e := strconv.Atoi(v)
-		if e != nil || n < 0 {
-			return 0, 0, fmt.Errorf("bad offset %q: want an integer >= 0", v)
-		}
-		offset = n
-	}
-	return limit, offset, nil
-}
-
-// window collects the [offset, offset+limit) page of a filtered sequence
-// without materializing the rest: feed every passing item to add, then read
-// the page slice and descriptor. Only up to limit items are ever kept.
-type window[T any] struct {
-	limit, offset int
-	total         int
-	page          []T
-}
-
-func newWindow[T any](limit, offset int) *window[T] {
-	return &window[T]{limit: limit, offset: offset}
-}
-
-// add admits one item that passed the handler's filters.
-func (w *window[T]) add(v T) {
-	if w.total >= w.offset && len(w.page) < w.limit {
-		w.page = append(w.page, v)
-	}
-	w.total++
-}
-
-// pageDesc returns the filled page descriptor.
-func (w *window[T]) pageDesc() pageJSON {
-	return pageJSON{Limit: w.limit, Offset: w.offset, Total: w.total, Returned: len(w.page)}
-}
-
-// pairIndex resolves the {old}/{new} path segments to a year-pair index.
-func (s *Server) pairIndex(r *http.Request) (int, error) {
+// pairIndex resolves the {old}/{new} path segments to a year-pair index of
+// the given series snapshot. Pair indices are stable across ingests — years
+// only append — so the index stays valid against the cache even if the
+// series grows mid-request.
+func pairIndex(st *seriesState, r *http.Request) (int, error) {
 	oldYear, err := strconv.Atoi(r.PathValue("old"))
 	if err != nil {
 		return 0, fmt.Errorf("bad old year %q", r.PathValue("old"))
@@ -207,22 +55,22 @@ func (s *Server) pairIndex(r *http.Request) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad new year %q", r.PathValue("new"))
 	}
-	for i, p := range s.series.Pairs() {
+	for i, p := range st.series.Pairs() {
 		if p[0].Year == oldYear && p[1].Year == newYear {
 			return i, nil
 		}
 	}
-	return 0, fmt.Errorf("no successive census pair %d-%d in series %v", oldYear, newYear, s.series.Years())
+	return 0, fmt.Errorf("no successive census pair %d-%d in series %v", oldYear, newYear, st.series.Years())
 }
 
-// yearParam resolves the {year} path segment against the series.
-func (s *Server) yearParam(r *http.Request) (int, error) {
+// yearParam resolves the {year} path segment against the series snapshot.
+func yearParam(st *seriesState, r *http.Request) (int, error) {
 	year, err := strconv.Atoi(r.PathValue("year"))
 	if err != nil {
 		return 0, fmt.Errorf("bad year %q", r.PathValue("year"))
 	}
-	if s.series.Dataset(year) == nil {
-		return 0, fmt.Errorf("no census year %d in series %v", year, s.series.Years())
+	if st.series.Dataset(year) == nil {
+		return 0, fmt.Errorf("no census year %d in series %v", year, st.series.Years())
 	}
 	return year, nil
 }
@@ -233,17 +81,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Years       []int  `json:"years"`
 		Pairs       int    `json:"pairs"`
 		PairsCached int    `json:"pairs_cached"`
+		// Generation counts ingested census years since startup; watch
+		// events and ingest responses carry the same number.
+		Generation uint64 `json:"generation"`
 		// Store is "ok" or "degraded"; absent when no store is configured.
 		// A degraded store does NOT fail the health check — the server still
 		// answers every query from cache and pipeline — it is detail for
 		// operators and the chaos harness.
 		Store string `json:"store,omitempty"`
 	}
+	st := s.cur()
 	h := health{
 		Status:      "ok",
-		Years:       s.series.Years(),
-		Pairs:       len(s.series.Pairs()),
+		Years:       st.series.Years(),
+		Pairs:       len(st.series.Pairs()),
 		PairsCached: s.cache.cached(),
+		Generation:  st.gen,
 	}
 	if s.store != nil {
 		h.Store = "ok"
@@ -256,24 +109,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.Status = "shutting_down"
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, h)
+	api.WriteJSON(w, status, h)
 }
 
 func (s *Server) handleYears(w http.ResponseWriter, r *http.Request) {
-	if notModified(w, r, s.seriesETag(r)) {
+	st := s.cur()
+	if api.NotModified(w, r, s.seriesETag(st, r)) {
 		return
 	}
 	type pairJSON struct {
 		Old int `json:"old"`
 		New int `json:"new"`
 	}
-	pairs := make([]pairJSON, 0, len(s.series.Pairs()))
-	for _, p := range s.series.Pairs() {
+	pairs := make([]pairJSON, 0, len(st.series.Pairs()))
+	for _, p := range st.series.Pairs() {
 		pairs = append(pairs, pairJSON{Old: p[0].Year, New: p[1].Year})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"years": s.series.Years(),
-		"pairs": pairs,
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"years":      st.series.Years(),
+		"pairs":      pairs,
+		"generation": st.gen,
 	})
 }
 
@@ -299,17 +154,21 @@ type recordLinkJSON struct {
 // window applies after filtering; only the window's items are materialized
 // and they stream straight to the connection.
 func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
-	i, err := s.pairIndex(r)
+	st := s.cur()
+	i, err := pairIndex(st, r)
 	if err != nil {
-		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		api.Error(w, http.StatusNotFound, api.CodeNotFound, err.Error())
 		return
 	}
-	limit, offset, err := pageParams(r)
-	if err != nil {
-		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+	recordFilter := r.URL.Query().Get("record")
+	sourceFilter := r.URL.Query().Get("source")
+	basis := s.pairBasis(st, i, r, recordFilter, sourceFilter)
+	page, apiErr := api.ParsePage(r, basis)
+	if apiErr != nil {
+		apiErr.Write(w)
 		return
 	}
-	if notModified(w, r, s.pairETag(i, r)) {
+	if api.NotModified(w, r, s.pairETag(st, i, r)) {
 		return
 	}
 	res, err := s.cache.result(r.Context(), i)
@@ -317,9 +176,7 @@ func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	recordFilter := r.URL.Query().Get("record")
-	sourceFilter := r.URL.Query().Get("source")
-	win := newWindow[recordLinkJSON](limit, offset)
+	win := api.NewWindow[recordLinkJSON](page)
 	for _, l := range res.RecordLinks {
 		if recordFilter != "" && l.Old != recordFilter && l.New != recordFilter {
 			continue
@@ -339,28 +196,31 @@ func (s *Server) handleRecordLinks(w http.ResponseWriter, r *http.Request) {
 		} else if sourceFilter != "" {
 			continue
 		}
-		win.add(lj)
+		win.Add(lj)
 	}
-	s.writeListJSON(w, http.StatusOK, []field{
-		{"old_year", s.series.Pairs()[i][0].Year},
-		{"new_year", s.series.Pairs()[i][1].Year},
-		{"page", win.pageDesc()},
-	}, "record_links", len(win.page), func(i int) any { return win.page[i] })
+	pair := st.series.Pairs()[i]
+	s.writeList(w, http.StatusOK, []api.Field{
+		{Name: "old_year", Value: pair[0].Year},
+		{Name: "new_year", Value: pair[1].Year},
+		{Name: "page", Value: win.PageOf(basis)},
+	}, "record_links", len(win.Items), func(i int) any { return win.Items[i] })
 }
 
 // handleGroupLinks serves the N:M household mapping of one census pair.
 func (s *Server) handleGroupLinks(w http.ResponseWriter, r *http.Request) {
-	i, err := s.pairIndex(r)
+	st := s.cur()
+	i, err := pairIndex(st, r)
 	if err != nil {
-		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		api.Error(w, http.StatusNotFound, api.CodeNotFound, err.Error())
 		return
 	}
-	limit, offset, err := pageParams(r)
-	if err != nil {
-		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+	basis := s.pairBasis(st, i, r)
+	page, apiErr := api.ParsePage(r, basis)
+	if apiErr != nil {
+		apiErr.Write(w)
 		return
 	}
-	if notModified(w, r, s.pairETag(i, r)) {
+	if api.NotModified(w, r, s.pairETag(st, i, r)) {
 		return
 	}
 	res, err := s.cache.result(r.Context(), i)
@@ -372,15 +232,16 @@ func (s *Server) handleGroupLinks(w http.ResponseWriter, r *http.Request) {
 		Old string `json:"old"`
 		New string `json:"new"`
 	}
-	win := newWindow[groupLinkJSON](limit, offset)
+	win := api.NewWindow[groupLinkJSON](page)
 	for _, g := range res.GroupLinks {
-		win.add(groupLinkJSON{Old: g.Old, New: g.New})
+		win.Add(groupLinkJSON{Old: g.Old, New: g.New})
 	}
-	s.writeListJSON(w, http.StatusOK, []field{
-		{"old_year", s.series.Pairs()[i][0].Year},
-		{"new_year", s.series.Pairs()[i][1].Year},
-		{"page", win.pageDesc()},
-	}, "group_links", len(win.page), func(i int) any { return win.page[i] })
+	pair := st.series.Pairs()[i]
+	s.writeList(w, http.StatusOK, []api.Field{
+		{Name: "old_year", Value: pair[0].Year},
+		{Name: "new_year", Value: pair[1].Year},
+		{Name: "page", Value: win.PageOf(basis)},
+	}, "group_links", len(win.Items), func(i int) any { return win.Items[i] })
 }
 
 // patternEventJSON is one typed evolution event in the flattened pattern
@@ -391,22 +252,68 @@ type patternEventJSON struct {
 	New     []string `json:"new"`
 }
 
+// patternEvents flattens a pair analysis into the typed event list served
+// by handlePatterns and carried (in batches) by the watch feed.
+func patternEvents(a *evolution.PairAnalysis) []patternEventJSON {
+	var events []patternEventJSON
+	for _, pg := range a.PreservedGroups {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternPreserve.String(), Old: []string{pg[0]}, New: []string{pg[1]}})
+	}
+	for _, g := range a.AddedGroups {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternAdd.String(), Old: []string{}, New: []string{g}})
+	}
+	for _, g := range a.RemovedGroups {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternRemove.String(), Old: []string{g}, New: []string{}})
+	}
+	for _, mv := range a.Moves {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternMove.String(), Old: []string{mv[0]}, New: []string{mv[1]}})
+	}
+	for _, sp := range a.Splits {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternSplit.String(), Old: []string{sp.Old}, New: sp.News})
+	}
+	for _, mg := range a.Merges {
+		events = append(events, patternEventJSON{
+			Pattern: evolution.PatternMerge.String(), Old: mg.Olds, New: []string{mg.New}})
+	}
+	for _, ul := range a.UnclassifiedLinks {
+		events = append(events, patternEventJSON{
+			Pattern: "unclassified", Old: []string{ul[0]}, New: []string{ul[1]}})
+	}
+	return events
+}
+
+// patternCounts renders the per-pattern counts of Section 4.1 as a map.
+func patternCounts(a *evolution.PairAnalysis) map[string]int {
+	counts := map[string]int{}
+	for p := evolution.PatternPreserve; p <= evolution.PatternMerge; p++ {
+		counts[p.String()] = a.Count(p)
+	}
+	return counts
+}
+
 // handlePatterns serves the evolution-pattern analysis of one census pair:
 // the per-pattern counts of Section 4.1 plus a flattened, paginated list of
 // the typed events (preserve/add/remove/move/split/merge and any
 // unclassified group links).
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
-	i, err := s.pairIndex(r)
+	st := s.cur()
+	i, err := pairIndex(st, r)
 	if err != nil {
-		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		api.Error(w, http.StatusNotFound, api.CodeNotFound, err.Error())
 		return
 	}
-	limit, offset, err := pageParams(r)
-	if err != nil {
-		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+	basis := s.pairBasis(st, i, r)
+	page, apiErr := api.ParsePage(r, basis)
+	if apiErr != nil {
+		apiErr.Write(w)
 		return
 	}
-	if notModified(w, r, s.pairETag(i, r)) {
+	if api.NotModified(w, r, s.pairETag(st, i, r)) {
 		return
 	}
 	res, err := s.cache.result(r.Context(), i)
@@ -414,51 +321,22 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	pair := s.series.Pairs()[i]
+	pair := st.series.Pairs()[i]
 	a := evolution.Analyze(pair[0], pair[1], res)
-	counts := map[string]int{}
-	for p := evolution.PatternPreserve; p <= evolution.PatternMerge; p++ {
-		counts[p.String()] = a.Count(p)
+	win := api.NewWindow[patternEventJSON](page)
+	for _, ev := range patternEvents(a) {
+		win.Add(ev)
 	}
-	win := newWindow[patternEventJSON](limit, offset)
-	for _, pg := range a.PreservedGroups {
-		win.add(patternEventJSON{
-			Pattern: evolution.PatternPreserve.String(), Old: []string{pg[0]}, New: []string{pg[1]}})
-	}
-	for _, g := range a.AddedGroups {
-		win.add(patternEventJSON{
-			Pattern: evolution.PatternAdd.String(), Old: []string{}, New: []string{g}})
-	}
-	for _, g := range a.RemovedGroups {
-		win.add(patternEventJSON{
-			Pattern: evolution.PatternRemove.String(), Old: []string{g}, New: []string{}})
-	}
-	for _, mv := range a.Moves {
-		win.add(patternEventJSON{
-			Pattern: evolution.PatternMove.String(), Old: []string{mv[0]}, New: []string{mv[1]}})
-	}
-	for _, sp := range a.Splits {
-		win.add(patternEventJSON{
-			Pattern: evolution.PatternSplit.String(), Old: []string{sp.Old}, New: sp.News})
-	}
-	for _, mg := range a.Merges {
-		win.add(patternEventJSON{
-			Pattern: evolution.PatternMerge.String(), Old: mg.Olds, New: []string{mg.New}})
-	}
-	for _, ul := range a.UnclassifiedLinks {
-		win.add(patternEventJSON{
-			Pattern: "unclassified", Old: []string{ul[0]}, New: []string{ul[1]}})
-	}
-	s.writeListJSON(w, http.StatusOK, []field{
-		{"old_year", a.OldYear},
-		{"new_year", a.NewYear},
-		{"counts", counts},
-		{"page", win.pageDesc()},
-		{"unclassified_links", a.UnclassifiedLinks},
-		{"preserved_records", len(a.PreservedRecords)},
-		{"added_records", len(a.AddedRecords)},
-		{"removed_records", len(a.RemovedRecords)},
-	}, "events", len(win.page), func(i int) any { return win.page[i] })
+	s.writeList(w, http.StatusOK, []api.Field{
+		{Name: "old_year", Value: a.OldYear},
+		{Name: "new_year", Value: a.NewYear},
+		{Name: "counts", Value: patternCounts(a)},
+		{Name: "page", Value: win.PageOf(basis)},
+		{Name: "unclassified_links", Value: a.UnclassifiedLinks},
+		{Name: "preserved_records", Value: len(a.PreservedRecords)},
+		{Name: "added_records", Value: len(a.AddedRecords)},
+		{Name: "removed_records", Value: len(a.RemovedRecords)},
+	}, "events", len(win.Items), func(i int) any { return win.Items[i] })
 }
 
 type hhEventJSON struct {
@@ -473,18 +351,19 @@ type hhEventJSON struct {
 // typed pattern edge reachable from the household's vertex in the evolution
 // graph, in year order — the per-household slice of Fig. 5.
 func (s *Server) handleHouseholdTimeline(w http.ResponseWriter, r *http.Request) {
-	year, err := s.yearParam(r)
+	st := s.cur()
+	year, err := yearParam(st, r)
 	if err != nil {
-		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		api.Error(w, http.StatusNotFound, api.CodeNotFound, err.Error())
 		return
 	}
 	id := r.PathValue("id")
-	if s.series.Dataset(year).Household(id) == nil {
-		apiError(w, http.StatusNotFound, codeNotFound,
+	if st.series.Dataset(year).Household(id) == nil {
+		api.Error(w, http.StatusNotFound, api.CodeNotFound,
 			fmt.Sprintf("no household %q in the %d census", id, year))
 		return
 	}
-	if notModified(w, r, s.seriesETag(r)) {
+	if api.NotModified(w, r, s.seriesETag(st, r)) {
 		return
 	}
 	b, err := s.cache.bundle(r.Context())
@@ -525,9 +404,9 @@ func (s *Server) handleHouseholdTimeline(w http.ResponseWriter, r *http.Request)
 		}
 		return a.Pattern < b.Pattern
 	})
-	s.writeListJSON(w, http.StatusOK, []field{
-		{"year", year},
-		{"household", id},
+	s.writeList(w, http.StatusOK, []api.Field{
+		{Name: "year", Value: year},
+		{Name: "household", Value: id},
 	}, "events", len(events), func(i int) any { return events[i] })
 }
 
@@ -540,19 +419,20 @@ type timelineJSON struct {
 // given record: every timeline of the evolution graph that traverses the
 // record at that census year.
 func (s *Server) handleRecordLifecycle(w http.ResponseWriter, r *http.Request) {
-	year, err := s.yearParam(r)
+	st := s.cur()
+	year, err := yearParam(st, r)
 	if err != nil {
-		apiError(w, http.StatusNotFound, codeNotFound, err.Error())
+		api.Error(w, http.StatusNotFound, api.CodeNotFound, err.Error())
 		return
 	}
 	id := r.PathValue("id")
-	rec := s.series.Dataset(year).Record(id)
+	rec := st.series.Dataset(year).Record(id)
 	if rec == nil {
-		apiError(w, http.StatusNotFound, codeNotFound,
+		api.Error(w, http.StatusNotFound, api.CodeNotFound,
 			fmt.Sprintf("no record %q in the %d census", id, year))
 		return
 	}
-	if notModified(w, r, s.seriesETag(r)) {
+	if api.NotModified(w, r, s.seriesETag(st, r)) {
 		return
 	}
 	b, err := s.cache.bundle(r.Context())
@@ -565,33 +445,38 @@ func (s *Server) handleRecordLifecycle(w http.ResponseWriter, r *http.Request) {
 		tl := b.timelines[ti]
 		tls = append(tls, timelineJSON{Span: tl.Span(), Entries: tl.Entries})
 	}
-	s.writeListJSON(w, http.StatusOK, []field{
-		{"year", year},
-		{"record", id},
-		{"name", rec.FullName()},
-		{"household", rec.HouseholdID},
+	s.writeList(w, http.StatusOK, []api.Field{
+		{Name: "year", Value: year},
+		{Name: "record", Value: id},
+		{Name: "name", Value: rec.FullName()},
+		{Name: "household", Value: rec.HouseholdID},
 	}, "timelines", len(tls), func(i int) any { return tls[i] })
 }
 
 // handleTimelines serves the per-person timelines of the whole series,
 // longest first, under the uniform page window. ?min_span=k keeps persons
-// traced through at least k censuses (default 2).
+// traced through at least k censuses (default 2). This is the API's
+// feed-like read: the list grows when a census year is ingested, so offset
+// pagination across an ingest can skip or repeat entries — cursors detect
+// the change (410 gone) and are the documented way to page it.
 func (s *Server) handleTimelines(w http.ResponseWriter, r *http.Request) {
+	st := s.cur()
 	minSpan := 2
 	if v := r.URL.Query().Get("min_span"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			apiError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad min_span %q", v))
+			api.Error(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("bad min_span %q", v))
 			return
 		}
 		minSpan = n
 	}
-	limit, offset, err := pageParams(r)
-	if err != nil {
-		apiError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+	basis := s.seriesBasis(st, r, strconv.Itoa(minSpan))
+	page, apiErr := api.ParsePage(r, basis)
+	if apiErr != nil {
+		apiErr.Write(w)
 		return
 	}
-	if notModified(w, r, s.seriesETag(r)) {
+	if api.NotModified(w, r, s.seriesETag(st, r)) {
 		return
 	}
 	b, err := s.cache.bundle(r.Context())
@@ -599,15 +484,15 @@ func (s *Server) handleTimelines(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	win := newWindow[timelineJSON](limit, offset)
+	win := api.NewWindow[timelineJSON](page)
 	for _, tl := range b.timelines {
 		if tl.Span() < minSpan {
 			continue // timelines are sorted by descending span, but keep scanning: cheap and simple
 		}
-		win.add(timelineJSON{Span: tl.Span(), Entries: tl.Entries})
+		win.Add(timelineJSON{Span: tl.Span(), Entries: tl.Entries})
 	}
-	s.writeListJSON(w, http.StatusOK, []field{
-		{"min_span", minSpan},
-		{"page", win.pageDesc()},
-	}, "timelines", len(win.page), func(i int) any { return win.page[i] })
+	s.writeList(w, http.StatusOK, []api.Field{
+		{Name: "min_span", Value: minSpan},
+		{Name: "page", Value: win.PageOf(basis)},
+	}, "timelines", len(win.Items), func(i int) any { return win.Items[i] })
 }

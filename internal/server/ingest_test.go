@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"censuslink/internal/census"
+	"censuslink/internal/server/api"
+)
+
+// agedDataset ages every household and record of src by one decade into a
+// new census year, substituting the year tag in the IDs — the same aging
+// scheme testSeries uses for its third census.
+func agedDataset(t *testing.T, src *census.Dataset, oldTag, newTag string, year int) *census.Dataset {
+	t.Helper()
+	ds := census.NewDataset(year)
+	for _, h := range src.Households() {
+		nh := &census.Household{ID: strings.Replace(h.ID, oldTag, newTag, 1)}
+		if err := ds.AddHousehold(nh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range src.Records() {
+		nr := *r
+		nr.ID = strings.Replace(r.ID, oldTag, newTag, 1)
+		nr.HouseholdID = strings.Replace(r.HouseholdID, oldTag, newTag, 1)
+		nr.Age += 10
+		if err := ds.AddRecord(&nr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// csvBody renders a dataset as the CSV the ingest endpoint accepts.
+func csvBody(t *testing.T, ds *census.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := census.WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postCSV(t *testing.T, ts *httptest.Server, year int, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(
+		fmt.Sprintf("%s/v1/census?year=%d", ts.URL, year), "text/csv", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	_, _ = out.ReadFrom(resp.Body)
+	return resp.StatusCode, out.Bytes()
+}
+
+// TestIngestEndToEnd is the ingest acceptance path: a POSTed census year is
+// linked, served, and invalidates the whole conditional-GET surface; the
+// incrementally extended evolution state is indistinguishable from a server
+// seeded with the full series; duplicate and out-of-order years are
+// rejected.
+func TestIngestEndToEnd(t *testing.T) {
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Make the evolution bundle resident so the ingest extends it in place.
+	var pre struct {
+		Page api.Page `json:"page"`
+	}
+	getJSON(t, ts, "/v1/timelines?limit=2&cursor=", &pre)
+	if pre.Page.NextCursor == "" {
+		t.Fatal("no next_cursor on the first cursor page")
+	}
+
+	// Capture a pre-ingest validator of a pair-link endpoint.
+	resp, err := ts.Client().Get(ts.URL + "/v1/links/1881/1891/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	oldETag := resp.Header.Get("ETag")
+	if oldETag == "" {
+		t.Fatal("no ETag on pair-link response")
+	}
+	conditional := func(etag string) int {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/links/1881/1891/records", nil)
+		req.Header.Set("If-None-Match", etag)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := conditional(oldETag); got != http.StatusNotModified {
+		t.Fatalf("pre-ingest conditional GET = %d, want 304", got)
+	}
+
+	// Ingest 1901.
+	third := srv.cur().series.Dataset(1891)
+	fourth := agedDataset(t, third, "1891", "1901", 1901)
+	status, body := postCSV(t, ts, 1901, csvBody(t, fourth))
+	if status != http.StatusCreated {
+		t.Fatalf("POST /v1/census = %d: %s", status, body)
+	}
+	var ing ingestResponseJSON
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Year != 1901 || ing.OldYear != 1891 || ing.Generation != 1 {
+		t.Errorf("ingest summary = %+v", ing)
+	}
+	if !ing.Incremental {
+		t.Error("bundle was resident but the ingest did not extend it incrementally")
+	}
+	if ing.RecordLinks == 0 || ing.GroupLinks == 0 {
+		t.Errorf("new pair linked nothing: %+v", ing)
+	}
+
+	// The ETag surface flipped: the SAME pair endpoint revalidates to 200.
+	if got := conditional(oldETag); got != http.StatusOK {
+		t.Fatalf("post-ingest conditional GET = %d, want 200 (stale 304)", got)
+	}
+
+	// The series grew and the new pair serves.
+	var years struct {
+		Years      []int  `json:"years"`
+		Generation uint64 `json:"generation"`
+	}
+	getJSON(t, ts, "/v1/years", &years)
+	if len(years.Years) != 4 || years.Years[3] != 1901 || years.Generation != 1 {
+		t.Errorf("/v1/years = %+v", years)
+	}
+	status, _ = get(t, ts, "/v1/links/1891/1901/records")
+	if status != http.StatusOK {
+		t.Errorf("new pair endpoint = %d", status)
+	}
+
+	// A cursor minted against the pre-ingest series is gone (410), not
+	// silently wrong.
+	status, body = get(t, ts, "/v1/timelines?limit=2&cursor="+pre.Page.NextCursor)
+	if status != http.StatusGone {
+		t.Errorf("stale cursor = %d: %s, want 410", status, body)
+	}
+
+	// Differential: the incrementally grown server must answer exactly like
+	// one seeded with the full four-census series.
+	refCfg := testConfig(t)
+	refCfg.Series = census.NewSeries(append(
+		append([]*census.Dataset{}, refCfg.Series.Datasets...), fourth)...)
+	ref, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Abort()
+	tsRef := httptest.NewServer(ref.Handler())
+	defer tsRef.Close()
+	for _, p := range []string{
+		"/v1/timelines?limit=1000&min_span=2",
+		"/v1/evolution/1891/1901/patterns?limit=1000",
+		"/v1/records/1871/1871_1/lifecycle",
+		"/v1/households/1871/1871_a/timeline",
+	} {
+		_, gotBody := get(t, ts, p)
+		_, wantBody := get(t, tsRef, p)
+		if !bytes.Equal(gotBody, wantBody) {
+			t.Errorf("%s: incremental response differs from full rebuild\n got: %s\nwant: %s", p, gotBody, wantBody)
+		}
+	}
+
+	// Duplicate and out-of-order years conflict; a missing year is a 400.
+	if status, _ = postCSV(t, ts, 1901, csvBody(t, fourth)); status != http.StatusConflict {
+		t.Errorf("duplicate year = %d, want 409", status)
+	}
+	if status, _ = postCSV(t, ts, 1841, csvBody(t, agedDataset(t, third, "1891", "1841", 1841))); status != http.StatusConflict {
+		t.Errorf("out-of-order year = %d, want 409", status)
+	}
+	resp, err = ts.Client().Post(ts.URL+"/v1/census", "text/csv", bytes.NewReader(csvBody(t, fourth)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing ?year= = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestColdBundle: ingesting before anything touched the evolution
+// bundle skips the incremental path and leaves a consistent lazy rebuild.
+func TestIngestColdBundle(t *testing.T) {
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	third := srv.cur().series.Dataset(1891)
+	fourth := agedDataset(t, third, "1891", "1901", 1901)
+	status, body := postCSV(t, ts, 1901, csvBody(t, fourth))
+	if status != http.StatusCreated {
+		t.Fatalf("POST = %d: %s", status, body)
+	}
+	var ing ingestResponseJSON
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Incremental {
+		t.Error("no bundle was resident, yet the ingest claims an incremental extension")
+	}
+	// The lazily rebuilt bundle covers the new year.
+	var tl struct {
+		Page api.Page `json:"page"`
+		List []struct {
+			Span int `json:"span"`
+		} `json:"timelines"`
+	}
+	getJSON(t, ts, "/v1/timelines?min_span=4&limit=5", &tl)
+	if tl.Page.Total == 0 {
+		t.Error("no 4-census timelines after ingest: bundle did not cover the new year")
+	}
+}
+
+// TestIngestJSONReference: the {"path", "year"} form reads a file the
+// server can access instead of an uploaded body.
+func TestIngestJSONReference(t *testing.T) {
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	third := srv.cur().series.Dataset(1891)
+	fourth := agedDataset(t, third, "1891", "1901", 1901)
+	path := filepath.Join(t.TempDir(), census.SeriesFileName(1901))
+	if err := os.WriteFile(path, csvBody(t, fourth), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := json.Marshal(map[string]any{"path": path, "year": 1901})
+	resp, err := ts.Client().Post(ts.URL+"/v1/census", "application/json", bytes.NewReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		var out bytes.Buffer
+		_, _ = out.ReadFrom(resp.Body)
+		t.Fatalf("JSON ingest = %d: %s", resp.StatusCode, out.String())
+	}
+	var years struct {
+		Years []int `json:"years"`
+	}
+	getJSON(t, ts, "/v1/years", &years)
+	if len(years.Years) != 4 {
+		t.Errorf("years after JSON ingest = %v", years.Years)
+	}
+}
+
+// TestIngestTooLarge: an upload above MaxIngestBytes is refused with the
+// typed 413 envelope.
+func TestIngestTooLarge(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxIngestBytes = 64
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	third := srv.cur().series.Dataset(1891)
+	big := csvBody(t, agedDataset(t, third, "1891", "1901", 1901))
+	status, body := postCSV(t, ts, 1901, big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest = %d: %s, want 413", status, body)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != api.CodeTooLarge {
+		t.Errorf("413 envelope = %s", body)
+	}
+}

@@ -14,6 +14,8 @@ import (
 
 	"censuslink/internal/census"
 	"censuslink/internal/linkage"
+
+	"censuslink/internal/server/api"
 )
 
 // TestConditionalGET: immutable linkage resources carry strong ETags
@@ -197,9 +199,9 @@ func TestLoadShedding(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("shed response missing Retry-After")
 	}
-	var envelope errorJSON
-	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != codeOverloaded {
-		t.Errorf("shed envelope = %s, want code %q", body, codeOverloaded)
+	var envelope api.ErrorEnvelope
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != api.CodeOverloaded {
+		t.Errorf("shed envelope = %s, want code %q", body, api.CodeOverloaded)
 	}
 
 	// Infrastructure endpoints are exempt.
@@ -250,9 +252,9 @@ func TestRateLimiting(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
 		t.Errorf("Retry-After = %q, want >= 1 second", ra)
 	}
-	var envelope errorJSON
-	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != codeRateLimited {
-		t.Errorf("rate-limit envelope = %s, want code %q", body, codeRateLimited)
+	var envelope api.ErrorEnvelope
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != api.CodeRateLimited {
+		t.Errorf("rate-limit envelope = %s, want code %q", body, api.CodeRateLimited)
 	}
 	// /metrics and /healthz are never rate limited.
 	if status, _ := get(t, ts, "/healthz"); status != http.StatusOK {
@@ -353,8 +355,8 @@ func TestClientGoneCounted(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("request did not finish after client cancellation")
 	}
-	if rec.Code != statusClientClosedRequest {
-		t.Errorf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	if rec.Code != api.StatusClientClosedRequest {
+		t.Errorf("status = %d, want %d", rec.Code, api.StatusClientClosedRequest)
 	}
 	if rec.Body.Len() != 0 {
 		t.Errorf("a body was written for a vanished client: %q", rec.Body)
@@ -381,12 +383,12 @@ func TestClientGoneCounted(t *testing.T) {
 // clean 500 envelope.
 func TestWriteJSONMarshalFailure(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	api.WriteJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rec.Code)
 	}
-	var envelope errorJSON
-	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil || envelope.Error.Code != codeInternal {
+	var envelope api.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil || envelope.Error.Code != api.CodeInternal {
 		t.Fatalf("body = %q, want internal error envelope", rec.Body)
 	}
 }
@@ -402,8 +404,8 @@ func TestWriteListJSONEncodeFailures(t *testing.T) {
 	defer srv.Abort()
 
 	rec := httptest.NewRecorder()
-	srv.writeListJSON(rec, http.StatusOK,
-		[]field{{"bad", make(chan int)}}, "items", 0, func(int) any { return nil })
+	srv.writeList(rec, http.StatusOK,
+		[]api.Field{{Name: "bad", Value: make(chan int)}}, "items", 0, func(int) any { return nil })
 	if rec.Code != http.StatusInternalServerError {
 		t.Errorf("head failure status = %d, want 500", rec.Code)
 	}
@@ -415,7 +417,7 @@ func TestWriteListJSONEncodeFailures(t *testing.T) {
 				t.Errorf("recovered %v, want http.ErrAbortHandler", r)
 			}
 		}()
-		srv.writeListJSON(rec2, http.StatusOK, nil, "items", 1,
+		srv.writeList(rec2, http.StatusOK, nil, "items", 1,
 			func(int) any { return make(chan int) })
 	}()
 	if got := srv.requests.encodeErrors.Load(); got != 1 {
@@ -424,8 +426,8 @@ func TestWriteListJSONEncodeFailures(t *testing.T) {
 
 	// The happy path emits compact (un-indented), valid JSON.
 	rec3 := httptest.NewRecorder()
-	srv.writeListJSON(rec3, http.StatusOK,
-		[]field{{"n", 2}}, "items", 2, func(i int) any { return i })
+	srv.writeList(rec3, http.StatusOK,
+		[]api.Field{{Name: "n", Value: 2}}, "items", 2, func(i int) any { return i })
 	if got := strings.TrimSpace(rec3.Body.String()); got != `{"n":2,"items":[0,1]}` {
 		t.Errorf("stream = %q", got)
 	}

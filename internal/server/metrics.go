@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"censuslink/internal/obs"
+	"censuslink/internal/server/api"
 )
 
 // requestCounters tracks per-endpoint request totals, per-status response
@@ -150,6 +151,12 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer, so the
+// watch stream can clear the server's write deadline through this wrapper.
+func (sw *statusWriter) Unwrap() http.ResponseWriter {
+	return sw.ResponseWriter
+}
+
 // counted wraps a handler with the request counter, the in-flight gauge,
 // status capture and the per-endpoint latency histogram. The observation
 // runs in a defer so even a handler aborted mid-stream (http.ErrAbortHandler)
@@ -199,7 +206,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP censuslink_http_client_gone_total Requests whose client disconnected before the response.\n# TYPE censuslink_http_client_gone_total counter\n")
 	for _, e := range sortedKeys(statuses) {
-		if n := statuses[e][statusClientClosedRequest]; n > 0 {
+		if n := statuses[e][api.StatusClientClosedRequest]; n > 0 {
 			fmt.Fprintf(w, "censuslink_http_client_gone_total{endpoint=%q} %d\n", e, n)
 		}
 	}
@@ -227,6 +234,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "# HELP censuslink_store_degraded Whether the snapshot store is in degraded mode (serving continues from cache).\n# TYPE censuslink_store_degraded gauge\ncensuslink_store_degraded %d\n", degraded)
 	}
+	subs, published, evictions := s.watch.metrics()
+	fmt.Fprintf(w, "# HELP censuslink_watch_subscribers Change-feed subscribers currently connected.\n# TYPE censuslink_watch_subscribers gauge\ncensuslink_watch_subscribers %d\n", subs)
+	fmt.Fprintf(w, "# HELP censuslink_watch_events_total Change-feed events published since startup.\n# TYPE censuslink_watch_events_total counter\ncensuslink_watch_events_total %d\n", published)
+	fmt.Fprintf(w, "# HELP censuslink_watch_evictions_total Subscribers evicted for not keeping up with the feed.\n# TYPE censuslink_watch_evictions_total counter\ncensuslink_watch_evictions_total %d\n", evictions)
+	st := s.cur()
+	fmt.Fprintf(w, "# HELP censuslink_series_generation Ingested census years since startup.\n# TYPE censuslink_series_generation gauge\ncensuslink_series_generation %d\n", st.gen)
+	fmt.Fprintf(w, "# HELP censuslink_series_years Census years currently served.\n# TYPE censuslink_series_years gauge\ncensuslink_series_years %d\n", len(st.series.Datasets))
 	fmt.Fprintf(w, "# HELP censuslink_uptime_seconds Seconds since the server started.\n# TYPE censuslink_uptime_seconds gauge\ncensuslink_uptime_seconds %g\n", time.Since(s.started).Seconds())
 }
 

@@ -4,8 +4,13 @@
 // single-flight cache, or eagerly at startup) and serves the results — with
 // full per-link provenance — plus the household evolution patterns,
 // timelines and per-record lifecycles derived from them over JSON HTTP
-// endpoints. Observability is the same internal/obs collector the CLIs use,
-// exported in Prometheus text format on /metrics alongside /healthz and
+// endpoints. The series is not frozen: POST /v1/census ingests a newly
+// arrived census year — linking only the new pair and extending the
+// evolution graph in place — and GET /v1/evolution/watch streams the
+// resulting household transitions to subscribers (SSE with a long-poll
+// fallback), so clients follow the series instead of re-querying it.
+// Observability is the same internal/obs collector the CLIs use, exported
+// in Prometheus text format on /metrics alongside /healthz and
 // /debug/pprof; concurrency of the expensive pair computations is bounded
 // by a semaphore and request-scoped deadlines flow into the pipeline's
 // cancellation checkpoints.
@@ -17,12 +22,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"censuslink/internal/census"
+	"censuslink/internal/hgraph"
 	"censuslink/internal/linkage"
 	"censuslink/internal/obs"
+	"censuslink/internal/server/api"
 )
 
 // linkFunc is the pipeline entry point; tests substitute it to observe or
@@ -32,7 +40,9 @@ type linkFunc func(ctx context.Context, old, new *census.Dataset, cfg linkage.Co
 // Config configures a linkage query service over one census series.
 type Config struct {
 	// Series is the loaded census series; it must hold at least two
-	// datasets and is treated as immutable for the server's lifetime.
+	// datasets. The datasets themselves are immutable, but the series grows
+	// when new census years are ingested through POST /v1/census — readers
+	// always see a consistent snapshot via an atomic swap.
 	Series *census.Series
 	// Linkage is the pipeline configuration applied to every year pair. Its
 	// Obs field is overridden by the server's own collector.
@@ -85,16 +95,49 @@ type Config struct {
 	// degraded mode's recovery probe, backing off while the store stays
 	// down. The loop stops when Abort is called.
 	StoreRefresh time.Duration
+	// MaxIngestBytes caps the request body of POST /v1/census; larger
+	// uploads are rejected with 413 `too_large`. <= 0 means 64 MiB.
+	MaxIngestBytes int64
+	// WatchBuffer is how many change-feed events the watch hub retains for
+	// Last-Event-ID replay; a subscriber resuming from further back gets the
+	// retained suffix. <= 0 means 1024.
+	WatchBuffer int
+	// WatchHeartbeat is the SSE keep-alive comment interval; 0 means 15s.
+	WatchHeartbeat time.Duration
 
 	// linkFn substitutes the pipeline in tests; nil means
 	// linkage.LinkContext.
 	linkFn linkFunc
 }
 
+// seriesState is one immutable snapshot of the served series. Ingest builds
+// a new state and swaps the pointer; requests load it once and stay
+// internally consistent for their whole lifetime.
+type seriesState struct {
+	series *census.Series
+	// gen counts ingests (the seed series is gen 0); it stamps watch events
+	// and the ingest response so operators can correlate them.
+	gen uint64
+	// seriesHash fingerprints the member datasets. Every ETag hashes it in,
+	// so ingesting a year invalidates all cached validators at once — a
+	// conditional GET after an ingest refetches a fresh body even on
+	// endpoints whose underlying pair did not change (clients see one
+	// consistent series version, not a mix).
+	seriesHash string
+}
+
+func newSeriesState(series *census.Series, gen uint64) *seriesState {
+	parts := make([]string, 0, len(series.Datasets))
+	for _, d := range series.Datasets {
+		parts = append(parts, d.ContentHash())
+	}
+	return &seriesState{series: series, gen: gen, seriesHash: makeETag(parts...)}
+}
+
 // Server is the HTTP query service. Create with New; it is safe for
 // concurrent use.
 type Server struct {
-	series         *census.Series
+	state          atomic.Pointer[seriesState]
 	linkCfg        linkage.Config
 	stats          *obs.Stats
 	linkFn         linkFunc
@@ -117,6 +160,16 @@ type Server struct {
 	apiInflight atomic.Int64
 	limiter     *tokenBuckets
 
+	// ingestMu serializes POST /v1/census: ingests are rare and ordered —
+	// two concurrent uploads of the same year must resolve to one 201 and
+	// one 409, never two linked pairs.
+	ingestMu       sync.Mutex
+	maxIngestBytes int64
+
+	// watch fans change-feed events out to SSE and long-poll subscribers.
+	watch          *watchHub
+	watchHeartbeat time.Duration
+
 	// baseCtx parents every computation; abort cancels them all on
 	// shutdown.
 	baseCtx context.Context
@@ -124,11 +177,12 @@ type Server struct {
 
 	cache *pairCache
 
-	mux      *http.ServeMux
-	handler  http.Handler
-	started  time.Time
-	inflight atomic.Int64
-	requests *requestCounters
+	mux       *http.ServeMux
+	handler   http.Handler
+	apiRoutes []route
+	started   time.Time
+	inflight  atomic.Int64
+	requests  *requestCounters
 }
 
 // New validates the configuration and builds the service. No computation
@@ -152,9 +206,16 @@ func New(cfg Config) (*Server, error) {
 	if fn == nil {
 		fn = linkage.LinkContext
 	}
+	maxIngest := cfg.MaxIngestBytes
+	if maxIngest <= 0 {
+		maxIngest = 64 << 20
+	}
+	heartbeat := cfg.WatchHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
 	baseCtx, abort := context.WithCancel(context.Background())
 	s := &Server{
-		series:         cfg.Series,
 		linkCfg:        cfg.Linkage,
 		stats:          stats,
 		linkFn:         fn,
@@ -162,6 +223,9 @@ func New(cfg Config) (*Server, error) {
 		sem:            make(chan struct{}, maxc),
 		maxInFlight:    cfg.MaxInFlight,
 		limiter:        newTokenBuckets(cfg.RateLimit, cfg.RateBurst),
+		maxIngestBytes: maxIngest,
+		watch:          newWatchHub(cfg.WatchBuffer),
+		watchHeartbeat: heartbeat,
 		baseCtx:        baseCtx,
 		abort:          abort,
 		started:        time.Now(),
@@ -171,6 +235,12 @@ func New(cfg Config) (*Server, error) {
 		// immutable query endpoints hash it in.
 		cfgHash: cfg.Linkage.Fingerprint(),
 	}
+	// One enrichment cache across all pairs and ingests: each census year's
+	// household graphs are built once for the server's lifetime.
+	if s.linkCfg.GraphCache == nil {
+		s.linkCfg.GraphCache = hgraph.NewCache()
+	}
+	s.state.Store(newSeriesState(cfg.Series, 0))
 	if cfg.Store != nil {
 		s.store = cfg.Store
 	}
@@ -186,6 +256,51 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// cur returns the current series snapshot. Handlers load it once per
+// request; the cache loads it per operation (earlier pairs are shared
+// between snapshots, so pair index i means the same datasets in every
+// snapshot that contains it).
+func (s *Server) cur() *seriesState { return s.state.Load() }
+
+// route describes one /v1 endpoint: how it is mounted, how it is counted,
+// and how it renders into the machine-readable route table
+// (GET /v1/openapi.json) that cmd/loadgen discovers endpoints from.
+type route struct {
+	method  string // HTTP method
+	path    string // /v1-relative pattern, e.g. "/links/{old}/{new}/records"
+	name    string // operation id; also the metrics endpoint label
+	summary string
+	params  []paramDoc
+	// paginated endpoints carry the uniform page window
+	// (limit/offset/cursor) and its parameters in the route table.
+	paginated bool
+	// streaming marks the change feed: loadgen's discovery skips it and
+	// OpenAPI flags it x-streaming.
+	streaming bool
+	// legacyAlias mounts the endpoint under the deprecated unprefixed /api
+	// prefix too (the pre-v1 surface; new endpoints never get one).
+	legacyAlias bool
+	h           http.HandlerFunc
+}
+
+type paramDoc struct {
+	name     string // parameter name
+	in       string // "path" or "query"
+	typ      string // "integer" or "string"
+	desc     string
+	required bool
+}
+
+// pageParamDocs are the shared pagination parameters of every paginated
+// list endpoint. Offset pagination is documented as deprecated for
+// feed-like reads: the series can grow between pages, while a cursor
+// detects the change (410) instead of silently skipping items.
+var pageParamDocs = []paramDoc{
+	{name: "limit", in: "query", typ: "integer", desc: "page size (1..1000, default 100)"},
+	{name: "offset", in: "query", typ: "integer", desc: "items to skip; deprecated for feed-like reads, prefer cursor"},
+	{name: "cursor", in: "query", typ: "string", desc: "opaque resume token from the previous page's page.next_cursor; pass empty (?cursor=) to opt in on the first page"},
+}
+
 // routes registers every endpoint. Query endpoints live under /v1/; the
 // historical unprefixed /api/ paths stay as aliases answering identically
 // but emitting a Deprecation header pointing at the successor. Query
@@ -198,22 +313,74 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 
-	api := []struct {
-		path string
-		name string
-		h    http.HandlerFunc
-	}{
-		{"/years", "years", s.handleYears},
-		{"/links/{old}/{new}/records", "record_links", s.handleRecordLinks},
-		{"/links/{old}/{new}/groups", "group_links", s.handleGroupLinks},
-		{"/evolution/{old}/{new}/patterns", "patterns", s.handlePatterns},
-		{"/households/{year}/{id}/timeline", "household_timeline", s.handleHouseholdTimeline},
-		{"/records/{year}/{id}/lifecycle", "record_lifecycle", s.handleRecordLifecycle},
-		{"/timelines", "timelines", s.handleTimelines},
+	pairParams := []paramDoc{
+		{name: "old", in: "path", typ: "integer", desc: "older census year of a successive pair", required: true},
+		{name: "new", in: "path", typ: "integer", desc: "newer census year of a successive pair", required: true},
 	}
-	for _, e := range api {
-		s.mux.HandleFunc("GET /v1"+e.path, s.api(e.name, e.h))
-		s.mux.HandleFunc("GET /api"+e.path, s.api(e.name, deprecatedAlias(e.h)))
+	s.apiRoutes = []route{
+		{method: "GET", path: "/years", name: "years", legacyAlias: true,
+			summary: "census years and successive pairs of the served series",
+			h:       s.handleYears},
+		{method: "GET", path: "/links/{old}/{new}/records", name: "record_links", legacyAlias: true, paginated: true,
+			summary: "1:1 record links of one census pair with per-link provenance",
+			params: append([]paramDoc{
+				{name: "record", in: "query", typ: "string", desc: "restrict to links touching this record id"},
+				{name: "source", in: "query", typ: "string", desc: "restrict to one stage: subgraph or remainder"},
+			}, pairParams...),
+			h: s.handleRecordLinks},
+		{method: "GET", path: "/links/{old}/{new}/groups", name: "group_links", legacyAlias: true, paginated: true,
+			summary: "household links of one census pair",
+			params:  pairParams,
+			h:       s.handleGroupLinks},
+		{method: "GET", path: "/evolution/{old}/{new}/patterns", name: "patterns", legacyAlias: true, paginated: true,
+			summary: "evolution-pattern counts and typed events of one census pair",
+			params:  pairParams,
+			h:       s.handlePatterns},
+		{method: "GET", path: "/households/{year}/{id}/timeline", name: "household_timeline", legacyAlias: true,
+			summary: "forward evolution of one household through the series",
+			params: []paramDoc{
+				{name: "year", in: "path", typ: "integer", desc: "census year", required: true},
+				{name: "id", in: "path", typ: "string", desc: "household id", required: true},
+			},
+			h: s.handleHouseholdTimeline},
+		{method: "GET", path: "/records/{year}/{id}/lifecycle", name: "record_lifecycle", legacyAlias: true,
+			summary: "reconstructed person history through one census record",
+			params: []paramDoc{
+				{name: "year", in: "path", typ: "integer", desc: "census year", required: true},
+				{name: "id", in: "path", typ: "string", desc: "record id", required: true},
+			},
+			h: s.handleRecordLifecycle},
+		{method: "GET", path: "/timelines", name: "timelines", legacyAlias: true, paginated: true,
+			summary: "per-person timelines of the whole series, longest first",
+			params: []paramDoc{
+				{name: "min_span", in: "query", typ: "integer", desc: "minimum censuses traced through (default 2)"},
+			},
+			h: s.handleTimelines},
+		{method: "POST", path: "/census", name: "census_ingest",
+			summary: "ingest a newly arrived census year (CSV upload with ?year=, or a JSON {path, year} reference); links the new pair, extends the evolution graph and publishes change-feed events",
+			params: []paramDoc{
+				{name: "year", in: "query", typ: "integer", desc: "census year of the uploaded CSV (required for CSV bodies)"},
+			},
+			h: s.handleIngest},
+		{method: "GET", path: "/evolution/watch", name: "evolution_watch", streaming: true,
+			summary: "change feed of household evolution events: SSE by default (Last-Event-ID resume), JSON long-poll with ?mode=poll",
+			params: []paramDoc{
+				{name: "mode", in: "query", typ: "string", desc: "poll for the long-poll fallback; default SSE"},
+				{name: "after", in: "query", typ: "integer", desc: "long-poll: return events with id greater than this"},
+				{name: "wait", in: "query", typ: "string", desc: "long-poll: how long to wait for the first event (duration, max 55s)"},
+				{name: "last_event_id", in: "query", typ: "integer", desc: "SSE resume point when the Last-Event-ID header is inconvenient"},
+			},
+			h: s.handleWatch},
+		{method: "GET", path: "/openapi.json", name: "openapi",
+			summary: "machine-readable route table of this surface (OpenAPI 3.0)",
+			h:       s.handleOpenAPI},
+	}
+	for _, rt := range s.apiRoutes {
+		pattern := rt.method + " /v1" + rt.path
+		s.mux.HandleFunc(pattern, s.api(rt.name, rt.h))
+		if rt.legacyAlias {
+			s.mux.HandleFunc(rt.method+" /api"+rt.path, s.api(rt.name, deprecatedAlias(rt.h)))
+		}
 	}
 
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -224,14 +391,11 @@ func (s *Server) routes() {
 }
 
 // deprecatedAlias wraps a legacy unprefixed /api handler: it answers
-// exactly like its /v1 twin but emits a Deprecation header (RFC 9745) and a
-// Link header naming the successor path, so clients learn where to migrate
-// without breaking today.
+// exactly like its /v1 twin but carries the RFC 9745 deprecation headers,
+// so clients learn where to migrate without breaking today.
 func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link",
-			fmt.Sprintf("<%s>; rel=\"successor-version\"", "/v1"+strings.TrimPrefix(r.URL.Path, "/api")))
+		api.Deprecated(w, "/v1"+strings.TrimPrefix(r.URL.Path, "/api"))
 		h(w, r)
 	}
 }
@@ -249,7 +413,7 @@ func (s *Server) Stats() *obs.Stats { return s.stats }
 // hit a warm cache. It shares the single-flight slots with concurrent
 // requests and respects ctx.
 func (s *Server) Precompute(ctx context.Context) error {
-	if _, err := s.cache.allResults(ctx); err != nil {
+	if _, err := s.cache.allResults(ctx, s.cur()); err != nil {
 		return err
 	}
 	_, err := s.cache.bundle(ctx)
@@ -257,8 +421,9 @@ func (s *Server) Precompute(ctx context.Context) error {
 }
 
 // Abort cancels every in-flight and future computation: queries that are
-// waiting fail promptly and new ones are refused by handlers observing the
-// closed base context. Call after draining HTTP requests on shutdown.
+// waiting fail promptly, watch subscribers are disconnected, and new
+// queries are refused by handlers observing the closed base context. Call
+// after draining HTTP requests on shutdown.
 func (s *Server) Abort() { s.abort() }
 
 // shuttingDown reports whether Abort has been called.

@@ -17,6 +17,8 @@ import (
 	"censuslink/internal/census"
 	"censuslink/internal/linkage"
 	"censuslink/internal/paperexample"
+
+	"censuslink/internal/server/api"
 )
 
 // testSeries builds a three-census series by aging the running example one
@@ -123,7 +125,7 @@ func TestServerEndpoints(t *testing.T) {
 	// The same handler serves /v1 and the deprecated /api alias identically.
 	var rl struct {
 		OldYear int              `json:"old_year"`
-		Page    pageJSON         `json:"page"`
+		Page    api.Page         `json:"page"`
 		Links   []recordLinkJSON `json:"record_links"`
 	}
 	getJSON(t, ts, "/v1/links/1871/1881/records", &rl)
@@ -147,7 +149,7 @@ func TestServerEndpoints(t *testing.T) {
 
 	// Filtering by record; the page total reflects the filtered list.
 	var one struct {
-		Page pageJSON `json:"page"`
+		Page api.Page `json:"page"`
 	}
 	getJSON(t, ts, "/v1/links/1871/1881/records?record=1871_1", &one)
 	if one.Page.Total != 1 {
@@ -156,7 +158,7 @@ func TestServerEndpoints(t *testing.T) {
 
 	// Pagination: limit/offset windows tile the full list.
 	var win struct {
-		Page  pageJSON         `json:"page"`
+		Page  api.Page         `json:"page"`
 		Links []recordLinkJSON `json:"record_links"`
 	}
 	getJSON(t, ts, "/v1/links/1871/1881/records?limit=2&offset=1", &win)
@@ -194,7 +196,7 @@ func TestServerEndpoints(t *testing.T) {
 	// Patterns carry counts plus the flattened, paginated event list.
 	var pat struct {
 		Counts       map[string]int     `json:"counts"`
-		Page         pageJSON           `json:"page"`
+		Page         api.Page           `json:"page"`
 		Events       []patternEventJSON `json:"events"`
 		Unclassified [][2]string        `json:"unclassified_links"`
 	}
@@ -257,8 +259,8 @@ func TestServerEndpoints(t *testing.T) {
 		if status != http.StatusNotFound {
 			t.Errorf("GET %s: status %d, want 404", p, status)
 		}
-		var envelope errorJSON
-		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != codeNotFound || envelope.Error.Message == "" {
+		var envelope api.ErrorEnvelope
+		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != api.CodeNotFound || envelope.Error.Message == "" {
 			t.Errorf("GET %s: error envelope = %s", p, body)
 		}
 	}

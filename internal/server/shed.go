@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"censuslink/internal/server/api"
 )
 
 // Load shedding: a server that accepts every request under overload serves
@@ -127,7 +129,7 @@ func (s *Server) api(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		if ok, retry := s.limiter.allow(clientKey(r)); !ok {
 			s.requests.shed(endpoint, "rate_limit")
 			w.Header().Set("Retry-After", retryAfterHeader(retry))
-			apiError(w, http.StatusTooManyRequests, codeRateLimited,
+			api.Error(w, http.StatusTooManyRequests, api.CodeRateLimited,
 				"per-client rate limit exceeded, slow down")
 			return
 		}
@@ -136,7 +138,7 @@ func (s *Server) api(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 				s.apiInflight.Add(-1)
 				s.requests.shed(endpoint, "overload")
 				w.Header().Set("Retry-After", "1")
-				apiError(w, http.StatusServiceUnavailable, codeOverloaded,
+				api.Error(w, http.StatusServiceUnavailable, api.CodeOverloaded,
 					"server at capacity ("+strconv.Itoa(s.maxInFlight)+" requests in flight), retry later")
 				return
 			}

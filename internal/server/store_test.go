@@ -14,6 +14,8 @@ import (
 	"censuslink/internal/linkage"
 	"censuslink/internal/obs"
 	"censuslink/internal/store"
+
+	"censuslink/internal/server/api"
 )
 
 // populateStore links every pair of the series once, directly, and writes
@@ -87,7 +89,7 @@ func TestServerWarmStartFromStore(t *testing.T) {
 	}
 
 	var rl struct {
-		Page pageJSON `json:"page"`
+		Page api.Page `json:"page"`
 	}
 	getJSON(t, ts, "/v1/links/1871/1881/records", &rl)
 	if rl.Page.Total == 0 {

@@ -134,7 +134,7 @@ func (c *pairCache) refreshOnce(ctx context.Context) {
 		}
 	}
 	ioFailed := false
-	for i, pair := range c.s.series.Pairs() {
+	for i, pair := range c.s.cur().series.Pairs() {
 		if ctx.Err() != nil {
 			return
 		}
@@ -208,7 +208,7 @@ func (c *pairCache) flushUnpersisted() {
 	}
 	c.mu.Unlock()
 	for _, td := range flush {
-		pair := c.s.series.Pairs()[td.i]
+		pair := c.s.cur().series.Pairs()[td.i]
 		if err := c.s.store.SaveResult(c.s.cfgHash, pair[0], pair[1], td.res); err != nil {
 			c.s.stats.Add(obs.StoreSaveErrors, 1)
 			c.s.health.fail()

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"censuslink/internal/server/api"
+)
+
+// The change feed: every ingested census year publishes a versioned event
+// stream — one census_ingested summary followed by the household lifecycle
+// transitions of the new pair in bounded batches — to whoever is watching.
+// GET /v1/evolution/watch serves it as Server-Sent Events by default, with
+// a JSON long-poll fallback (?mode=poll) for clients that cannot hold a
+// stream open. Event IDs are monotonic per server lifetime; a reconnecting
+// SSE client presents Last-Event-ID and resumes from the retained suffix of
+// the feed (WatchBuffer events deep), and the SSE `retry:` hint plus the
+// ring buffer make the reconnect loop lossless as long as the client is not
+// further behind than the buffer.
+
+// watchEventSchema versions the event payloads; bump when their shape
+// changes so consumers can dispatch on it.
+const watchEventSchema = 1
+
+// transitionBatchSize bounds one transitions event's payload; a census pair
+// with tens of thousands of households becomes a sequence of digestible
+// frames instead of one multi-megabyte SSE line.
+const transitionBatchSize = 500
+
+// watchEvent is one published change-feed entry: a monotonically increasing
+// ID, the SSE event name, and the marshalled payload (encoded once, fanned
+// out to every subscriber).
+type watchEvent struct {
+	ID   uint64
+	Name string
+	Data []byte
+}
+
+// subscriberBuffer is each subscriber's private channel depth; a consumer
+// that falls this far behind while the hub holds its lock is evicted rather
+// than allowed to stall the feed for everyone else.
+const subscriberBuffer = 64
+
+type watchSub struct {
+	ch chan watchEvent
+	// evicted is set (under the hub lock) when the subscriber's channel
+	// overflowed and the hub dropped it; the serving goroutine translates it
+	// into closing the stream so the client reconnects with Last-Event-ID.
+	evicted bool
+}
+
+// watchHub fans change-feed events out to subscribers and retains a ring of
+// recent events for Last-Event-ID replay.
+type watchHub struct {
+	mu      sync.Mutex
+	ring    []watchEvent // last ringCap events, oldest first
+	ringCap int
+	nextID  uint64
+	subs    map[*watchSub]struct{}
+
+	published uint64
+	evictions uint64
+}
+
+func newWatchHub(ringCap int) *watchHub {
+	if ringCap <= 0 {
+		ringCap = 1024
+	}
+	return &watchHub{ringCap: ringCap, nextID: 1, subs: make(map[*watchSub]struct{})}
+}
+
+// publish marshals the payload once, assigns the next event ID, retains the
+// event in the replay ring and fans it out. A subscriber whose channel is
+// full is evicted on the spot: the hub never blocks on a slow consumer.
+func (h *watchHub) publish(name string, payload any) uint64 {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Payloads are our own structs; a marshal failure is a programming
+		// error. Publish the error itself so watchers at least see the gap.
+		data = []byte(fmt.Sprintf(`{"schema":%d,"type":"error","message":%q}`, watchEventSchema, err.Error()))
+	}
+	h.mu.Lock()
+	ev := watchEvent{ID: h.nextID, Name: name, Data: data}
+	h.nextID++
+	h.published++
+	if len(h.ring) == h.ringCap {
+		copy(h.ring, h.ring[1:])
+		h.ring[len(h.ring)-1] = ev
+	} else {
+		h.ring = append(h.ring, ev)
+	}
+	for sub := range h.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.evicted = true
+			delete(h.subs, sub)
+			close(sub.ch)
+			h.evictions++
+		}
+	}
+	h.mu.Unlock()
+	return ev.ID
+}
+
+// subscribe registers a new consumer and returns the retained events after
+// the given ID (0: none — only new events). The caller must unsubscribe.
+// Backlog and registration happen under one lock acquisition, so no event
+// can fall between the replayed suffix and the live channel.
+func (h *watchHub) subscribe(after uint64) (*watchSub, []watchEvent) {
+	sub := &watchSub{ch: make(chan watchEvent, subscriberBuffer)}
+	h.mu.Lock()
+	var backlog []watchEvent
+	for _, ev := range h.ring {
+		if ev.ID > after {
+			backlog = append(backlog, ev)
+		}
+	}
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	return sub, backlog
+}
+
+func (h *watchHub) unsubscribe(sub *watchSub) {
+	h.mu.Lock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+	h.mu.Unlock()
+}
+
+// eventsAfter returns the retained events with ID greater than after (the
+// long-poll read path).
+func (h *watchHub) eventsAfter(after uint64) []watchEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []watchEvent
+	for _, ev := range h.ring {
+		if ev.ID > after {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// lastID returns the highest published event ID (0 when none yet).
+func (h *watchHub) lastID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nextID - 1
+}
+
+func (h *watchHub) metrics() (subscribers int, published, evictions uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs), h.published, h.evictions
+}
+
+// ingestEventJSON is the census_ingested summary event: one per ingest,
+// first on the wire, carrying the new series shape and the new pair's
+// headline numbers.
+type ingestEventJSON struct {
+	Schema      int            `json:"schema"`
+	Type        string         `json:"type"`
+	Year        int            `json:"year"`
+	OldYear     int            `json:"old_year"`
+	Generation  uint64         `json:"generation"`
+	Years       []int          `json:"years"`
+	RecordLinks int            `json:"record_links"`
+	GroupLinks  int            `json:"group_links"`
+	Counts      map[string]int `json:"counts"`
+}
+
+// transitionsEventJSON carries one batch of the new pair's household
+// lifecycle transitions (the typed pattern events of Section 4.1).
+type transitionsEventJSON struct {
+	Schema      int                `json:"schema"`
+	Type        string             `json:"type"`
+	OldYear     int                `json:"old_year"`
+	NewYear     int                `json:"new_year"`
+	Generation  uint64             `json:"generation"`
+	Batch       int                `json:"batch"`
+	Batches     int                `json:"batches"`
+	Transitions []patternEventJSON `json:"transitions"`
+}
+
+// handleWatch serves the change feed. Default: an SSE stream that replays
+// retained events after Last-Event-ID (header, or ?last_event_id= for
+// clients that cannot set headers) and then follows the live feed, with
+// periodic comment heartbeats so dead connections are noticed. Fallback:
+// ?mode=poll returns the retained events after ?after=N as one JSON
+// response, waiting up to ?wait= (default 0, max 55s) for the first event
+// when none are pending — a poll loop over it observes the same IDs in the
+// same order as the stream.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("mode") == "poll" {
+		s.handleWatchPoll(w, r)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		api.Error(w, http.StatusInternalServerError, api.CodeInternal,
+			"response writer does not support streaming")
+		return
+	}
+	after, apiErr := watchResumePoint(r)
+	if apiErr != nil {
+		apiErr.Write(w)
+		return
+	}
+	sub, backlog := s.watch.subscribe(after)
+	defer s.watch.unsubscribe(sub)
+
+	// An SSE stream outlives any sane server write timeout; clear the
+	// deadline for this connection only. Dead peers are still noticed: the
+	// heartbeat write fails once the kernel buffers fill. Ignore the error —
+	// a recorder or exotic wrapper without deadline support just keeps the
+	// global timeout.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	// Reconnect hint: with Last-Event-ID resume, a 2s retry loop is lossless
+	// while the client stays within the replay ring.
+	fmt.Fprintf(w, "retry: 2000\n\n")
+	for _, ev := range backlog {
+		writeSSE(w, ev)
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.watchHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-sub.ch:
+			if !open {
+				// Evicted: close the stream; the client reconnects with
+				// Last-Event-ID and replays what it missed from the ring.
+				return
+			}
+			writeSSE(w, ev)
+			if !drainPending(w, sub) {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": ping\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// drainPending writes whatever else is already queued on the subscriber's
+// channel (so one flush covers a burst); it reports false when the channel
+// was closed by an eviction.
+func drainPending(w http.ResponseWriter, sub *watchSub) bool {
+	for {
+		select {
+		case ev, open := <-sub.ch:
+			if !open {
+				return false
+			}
+			writeSSE(w, ev)
+		default:
+			return true
+		}
+	}
+}
+
+// watchResumePoint reads the SSE resume position: the Last-Event-ID header
+// (standard EventSource reconnect) or ?last_event_id=.
+func watchResumePoint(r *http.Request) (uint64, *api.Err) {
+	v := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("last_event_id"); q != "" {
+		v = q
+	}
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, &api.Err{Status: http.StatusBadRequest, Code: api.CodeBadRequest,
+			Message: fmt.Sprintf("bad event id %q: want an unsigned integer", v)}
+	}
+	return n, nil
+}
+
+func writeSSE(w http.ResponseWriter, ev watchEvent) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, ev.Data)
+}
+
+// handleWatchPoll is the long-poll fallback: GET /v1/evolution/watch?mode=poll
+// &after=N[&wait=5s]. It answers immediately with the retained events after
+// N; when there are none and wait > 0, it parks until the next publish (or
+// the wait expires) so a poll loop is push-like without holding a stream.
+func (s *Server) handleWatchPoll(w http.ResponseWriter, r *http.Request) {
+	var after uint64
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			api.Error(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Sprintf("bad after %q: want an unsigned integer", v))
+			return
+		}
+		after = n
+	}
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			api.Error(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Sprintf("bad wait %q: want a duration like 5s", v))
+			return
+		}
+		if d > 55*time.Second {
+			d = 55 * time.Second // stay under common proxy idle timeouts
+		}
+		wait = d
+	}
+	events := s.watch.eventsAfter(after)
+	if len(events) == 0 && wait > 0 {
+		sub, backlog := s.watch.subscribe(after)
+		events = backlog // published between the two reads
+		if len(events) == 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case ev, open := <-sub.ch:
+				if open {
+					events = append(events, ev)
+				}
+			case <-timer.C:
+			case <-r.Context().Done():
+			case <-s.baseCtx.Done():
+			}
+			timer.Stop()
+		}
+		s.watch.unsubscribe(sub)
+	}
+	type eventJSON struct {
+		ID    uint64          `json:"id"`
+		Event string          `json:"event"`
+		Data  json.RawMessage `json:"data"`
+	}
+	out := make([]eventJSON, 0, len(events))
+	lastID := after
+	for _, ev := range events {
+		out = append(out, eventJSON{ID: ev.ID, Event: ev.Name, Data: ev.Data})
+		lastID = ev.ID
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"events":  out,
+		"last_id": lastID,
+	})
+}
